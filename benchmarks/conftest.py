@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper artifact end-to-end, so a single
+round is the meaningful unit of measurement (these are throughput
+benchmarks of the full experiment pipeline, not micro-benchmarks).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

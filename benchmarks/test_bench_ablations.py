@@ -1,0 +1,62 @@
+"""Bench: ablations of Sizey's design choices (DESIGN.md section 4)."""
+
+import pytest
+
+from repro.experiments import ablations
+
+SCALE = 0.25
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def results():
+    return ablations.run(seed=SEED, scale=SCALE, verbose=True)
+
+
+def test_gating_ablation(results, benchmark):
+    r = benchmark.pedantic(lambda: results["gating"], rounds=1, iterations=1)
+    # Both strategies must be functional and in the same ballpark; the
+    # paper uses interpolation as the default.
+    assert set(r) == {"interpolation", "argmax"}
+    ratio = r["interpolation"]["wastage_gbh"] / r["argmax"]["wastage_gbh"]
+    assert 0.2 < ratio < 5.0
+
+
+def test_offset_ablation(results, benchmark):
+    r = benchmark.pedantic(lambda: results["offset"], rounds=1, iterations=1)
+    # No offset at all must fail the most — offsets exist to prevent
+    # failures from small underpredictions (§II-E).
+    fails = {v: m["failures"] for v, m in r.items()}
+    assert fails["none"] == max(fails.values())
+    # The dynamic selection is never the worst offset choice on wastage.
+    wastage = {v: m["wastage_gbh"] for v, m in r.items() if v != "none"}
+    assert wastage["dynamic"] < max(wastage.values()) * 1.001
+
+
+def test_pool_ablation(results, benchmark):
+    r = benchmark.pedantic(lambda: results["pool"], rounds=1, iterations=1)
+    # The full pool beats the worst single-model pool clearly — the core
+    # claim: no single model class fits all task types.
+    singles = {v: m["wastage_gbh"] for v, m in r.items() if v != "full_pool"}
+    assert r["full_pool"]["wastage_gbh"] < max(singles.values())
+    # And it is competitive with the best single model (within 2x).
+    assert r["full_pool"]["wastage_gbh"] < min(singles.values()) * 2.0
+
+
+def test_granularity_ablation(results, benchmark):
+    r = benchmark.pedantic(
+        lambda: results["granularity"], rounds=1, iterations=1
+    )
+    assert set(r) == {"task_machine", "task"}
+    for m in r.values():
+        assert m["wastage_gbh"] > 0
+
+
+def test_adaptive_alpha_ablation(results, benchmark):
+    r = benchmark.pedantic(
+        lambda: results["adaptive_alpha"], rounds=1, iterations=1
+    )
+    # The future-work extension must not be worse than the worst fixed
+    # alpha (it can switch to that alpha's behaviour per task type).
+    fixed = {v: m["wastage_gbh"] for v, m in r.items() if v != "adaptive"}
+    assert r["adaptive"]["wastage_gbh"] <= max(fixed.values()) * 1.1

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 1 (peak-memory distributions of 4 task types)."""
+
+import numpy as np
+
+from repro.experiments import fig1_distributions
+
+
+def test_fig1_distributions(once):
+    dists = once(fig1_distributions.run, seed=0, scale=1.0, verbose=True)
+
+    assert set(dists) == {"lcextrap", "Preprocessing", "mpileup", "genomecov"}
+    # Paper bands: lcextrap ~200 MB-1 GB around a ~550 MB median.
+    lc = dists["lcextrap"]
+    assert 400 < np.median(lc) < 700
+    # mpileup stays below ~400 MB for the bulk of instances.
+    assert np.percentile(dists["mpileup"], 75) < 500
+    # Preprocessing sits in the 2-4.5 GB band.
+    assert 2000 < np.median(dists["Preprocessing"]) < 4500
+    # genomecov plateaus in the 4-7 GB band, clearly above the others.
+    assert 4000 < np.median(dists["genomecov"]) < 7000
+    assert np.median(dists["genomecov"]) > np.median(lc)

@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 10 (wastage vs alpha for two rnaseq tasks)."""
+
+import numpy as np
+
+from repro.experiments import fig10_alpha_sweep
+
+#: Reduced alpha grid for the bench (the regenerator supports the full
+#: 13-point paper grid; see examples/paper_figures.py --full).
+ALPHAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_fig10_alpha_sweep(once):
+    sweeps = once(
+        fig10_alpha_sweep.run,
+        alphas=ALPHAS,
+        seed=0,
+        scale=0.4,
+        verbose=True,
+    )
+
+    assert set(sweeps) == {"FastQC", "MarkDuplicates"}
+    for task, series in sweeps.items():
+        assert set(series) == set(ALPHAS)
+        vals = np.array([series[a] for a in ALPHAS])
+        assert np.all(np.isfinite(vals)) and np.all(vals >= 0)
+        # Alpha must actually matter: the sweep is not flat.
+        assert vals.max() > vals.min()

@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 11 (model-class selection shares, Argmax)."""
+
+import pytest
+
+from repro.experiments import fig11_model_selection
+
+
+def test_fig11_model_selection(once):
+    shares = once(
+        fig11_model_selection.run, workflow="rnaseq", seed=0, scale=0.5,
+        verbose=True,
+    )
+
+    # All four classes get selected at least sometimes.
+    assert set(shares) == {"linear", "knn", "mlp", "random_forest"}
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert all(s > 0.0 for s in shares.values())
+    # Paper shape: the non-linear classes together carry a large share of
+    # predictions (91.2% in the paper).  Our synthetic tasks are more
+    # linear-friendly than the measured traces, so the split shifts
+    # toward the linear model (documented in EXPERIMENTS.md); the robust
+    # invariant is that the non-linear classes matter substantially.
+    nonlinear = shares["mlp"] + shares["knn"] + shares["random_forest"]
+    assert nonlinear > 0.4

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 12 (Prokka prediction-error trend)."""
+
+from repro.experiments import fig12_error_trend
+
+
+def test_fig12_error_trend(once):
+    trend = once(
+        fig12_error_trend.run,
+        task="Prokka",
+        workflow="mag",
+        seed=0,
+        scale=0.5,
+        verbose=True,
+    )
+
+    assert trend.n > 300  # plenty of Prokka executions even at half scale
+    # The paper's claim: the relative prediction error decreases with the
+    # number of task executions due to online learning.
+    assert trend.second_half_mean < trend.first_half_mean
+    assert trend.declining
+    # Errors are in a sane band (paper shows ~7-11% for Prokka).
+    assert 0.0 < trend.second_half_mean < 50.0

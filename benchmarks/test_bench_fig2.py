@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 2 (memory vs input read, linear fits)."""
+
+from repro.experiments import fig2_input_relation
+
+
+def test_fig2_input_relation(once):
+    out = once(fig2_input_relation.run, seed=0, scale=1.0, verbose=True)
+
+    md = out["MarkDuplicates"]
+    br = out["BaseRecalibrator"]
+    # MarkDuplicates: clear linear correlation (paper: ~18-22 GB band).
+    assert md.r2 > 0.95
+    assert 15000 < md.intercept_mb < 17000
+    # BaseRecalibrator: a single linear model is pathological — roughly
+    # half the instances under-predicted ("would lead to half of the task
+    # instances failing"), the rest substantially over-allocated.
+    assert br.r2 < md.r2
+    assert 0.25 < br.under_prediction_rate < 0.75
+    assert br.mean_over_allocation_frac > 0.10

@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig. 7 (resource-utilisation distributions)."""
+
+import numpy as np
+
+from repro.experiments import fig7_utilization
+
+
+def test_fig7_utilization(once):
+    data = once(fig7_utilization.run, seed=0, scale=1.0, verbose=True)
+
+    med = {
+        wf: {res: float(np.median(v)) for res, v in byres.items()}
+        for wf, byres in data.items()
+    }
+    # The documented character of the workflows:
+    # methylseq is I/O-intensive (heavy writes) and CPU-intensive.
+    assert med["methylseq"]["io_write_mb"] > med["chipseq"]["io_write_mb"]
+    assert med["methylseq"]["cpu_percent"] > med["iwd"]["cpu_percent"] * 0.5
+    # mag reads a lot.
+    assert med["mag"]["io_read_mb"] > med["iwd"]["io_read_mb"]
+    # iwd is the lightweight workflow (smallest memory footprint).
+    assert med["iwd"]["peak_memory_mb"] == min(
+        m["peak_memory_mb"] for m in med.values()
+    )
+    # Every workflow produced positive utilisation samples everywhere.
+    for byres in data.values():
+        for v in byres.values():
+            assert np.all(v > 0)

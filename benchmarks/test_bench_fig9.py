@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 9 (full vs incremental training time)."""
+
+from repro.experiments import fig9_training_time
+
+
+def test_fig9_training_time(once):
+    out = once(
+        fig9_training_time.run,
+        workflows=("rnaseq", "iwd"),
+        seed=0,
+        scale=0.15,
+        verbose=True,
+    )
+
+    for wf, r in out.items():
+        # Paper: incremental updates cut the median training time by
+        # 98.39%; demand at least an order of magnitude here.
+        assert r.median_incremental_ms < r.median_full_ms, wf
+        assert r.time_reduction > 0.80, (wf, r.time_reduction)
+        # Both variants stay in the same wastage ballpark (paper: ~6%
+        # premium; allow generous slack at reduced scale).
+        assert r.wastage_incremental_gbh < r.wastage_full_gbh * 3.0, wf

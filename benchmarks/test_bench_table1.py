@@ -1,0 +1,14 @@
+"""Bench: regenerate Table I (workflow task-type statistics)."""
+
+import pytest
+
+from repro.experiments import table1_workflow_stats
+
+
+def test_table1_workflow_stats(once):
+    stats = once(table1_workflow_stats.run, seed=0, scale=1.0, verbose=True)
+
+    for wf, (paper_types, paper_avg) in table1_workflow_stats.PAPER_TABLE_I.items():
+        got_types, got_avg = stats[wf]
+        assert got_types == paper_types, wf
+        assert got_avg == pytest.approx(paper_avg, rel=0.02), wf

@@ -1,0 +1,92 @@
+"""Heterogeneous cluster: why per-(task, machine) granularity exists.
+
+The paper's Fig. 4 argues for the finest model granularity because
+"tasks exhibit heterogeneous computational patterns that vary even more
+with different machine configurations".  This scenario builds a
+two-machine-type workflow where the same task type consumes different
+memory per machine (e.g. different page sizes / allocators), then
+compares Sizey with per-(task, machine) pools against the per-task
+ablation that lumps both machines together.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+import numpy as np
+
+from repro import SizeyConfig, SizeyPredictor
+from repro.sim import OnlineSimulator
+from repro.workflow.task import TaskInstance, TaskType, WorkflowTrace
+
+
+def build_heterogeneous_trace(n_per_machine=150, seed=0) -> WorkflowTrace:
+    """One task type, two machines with different memory laws."""
+    rng = np.random.default_rng(seed)
+    tt = TaskType(name="align", workflow="hetero", preset_memory_mb=16 * 1024)
+    instances = []
+    iid = 0
+    for machine, slope, intercept in (
+        ("amd-128g", 2.0, 2000.0),
+        ("arm-64g", 3.1, 3400.0),  # same tool, different memory law
+    ):
+        for _ in range(n_per_machine):
+            x = float(rng.uniform(100, 2000))
+            peak = slope * x + intercept + float(rng.normal(0, 40.0))
+            instances.append(
+                TaskInstance(
+                    task_type=tt,
+                    instance_id=iid,
+                    input_size_mb=x,
+                    peak_memory_mb=max(peak, 16.0),
+                    runtime_hours=0.1,
+                    machine=machine,
+                )
+            )
+            iid += 1
+    order = rng.permutation(len(instances))
+    instances = [instances[i] for i in order]
+    # Re-number so instance ids match submission order.
+    instances = [
+        TaskInstance(
+            task_type=i.task_type,
+            instance_id=k,
+            input_size_mb=i.input_size_mb,
+            peak_memory_mb=i.peak_memory_mb,
+            runtime_hours=i.runtime_hours,
+            machine=i.machine,
+        )
+        for k, i in enumerate(instances)
+    ]
+    return WorkflowTrace("hetero", instances)
+
+
+def main() -> None:
+    trace = build_heterogeneous_trace()
+    print(f"{len(trace)} instances of one task type on two machine types\n")
+
+    fine = OnlineSimulator(trace).run(
+        SizeyPredictor(
+            SizeyConfig(training_mode="incremental", granularity="task_machine")
+        )
+    )
+    coarse = OnlineSimulator(trace).run(
+        SizeyPredictor(
+            SizeyConfig(training_mode="incremental", granularity="task")
+        )
+    )
+
+    print(f"{'granularity':16s} {'wastage GBh':>12s} {'failures':>9s}")
+    print(f"{'task+machine':16s} {fine.total_wastage_gbh:12.2f} "
+          f"{fine.num_failures:9d}")
+    print(f"{'task only':16s} {coarse.total_wastage_gbh:12.2f} "
+          f"{coarse.num_failures:9d}")
+
+    if fine.total_wastage_gbh < coarse.total_wastage_gbh:
+        gain = 1.0 - fine.total_wastage_gbh / coarse.total_wastage_gbh
+        print(f"\nper-(task, machine) pools reduce wastage by {gain*100:.1f}% "
+              f"on this heterogeneous cluster (the paper's Fig. 4 rationale)")
+    else:
+        print("\n(no benefit on this draw — machine laws too similar)")
+
+
+if __name__ == "__main__":
+    main()

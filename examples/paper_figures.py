@@ -1,0 +1,53 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Uses reduced scales so the whole sweep finishes in a few minutes on a
+laptop; pass ``--full`` for full-scale traces (slower, closer shapes).
+
+Run:  python examples/paper_figures.py [--full]
+"""
+
+import sys
+
+from repro.experiments import (  # noqa: F401  (imported for discovery)
+    fig1_distributions,
+    fig2_input_relation,
+    fig7_utilization,
+    fig8_main_results,
+    fig9_training_time,
+    fig10_alpha_sweep,
+    fig11_model_selection,
+    fig12_error_trend,
+    table1_workflow_stats,
+    table2_per_workflow,
+)
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    grid_scale = 1.0 if full else 0.15
+    sweep_scale = 1.0 if full else 0.25
+
+    print("=" * 72)
+    table1_workflow_stats.run()
+    print("=" * 72)
+    fig1_distributions.run()
+    print("=" * 72)
+    fig2_input_relation.run()
+    print("=" * 72)
+    fig7_utilization.run()
+    print("=" * 72)
+    grids = fig8_main_results.run(scale=grid_scale)
+    print("=" * 72)
+    table2_per_workflow.run(grid=grids[1.0])
+    print("=" * 72)
+    fig9_training_time.run(scale=0.5 if full else 0.15)
+    print("=" * 72)
+    fig10_alpha_sweep.run(scale=sweep_scale)
+    print("=" * 72)
+    fig11_model_selection.run(scale=1.0 if full else 0.5)
+    print("=" * 72)
+    fig12_error_trend.run(scale=1.0 if full else 0.5)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,196 @@
+"""Reinforcement-learning memory sizers (Bader et al. [35], extension).
+
+The Sizey paper discusses two RL methods from its related work —
+gradient bandits and Q-learning — whose objective is "the minimization
+between allocated and used memory while avoiding task failure", without
+any offsetting ("the reward functions implicitly discourage the agents
+from underestimating").  They are included here as optional extensions
+so the repository can reproduce the related-work comparison the paper
+makes qualitatively: RL sizers "do not incorporate the dependency
+between task input size and resource usage, leading to higher wastage
+for tasks with fluctuating memory usage".
+
+Both agents discretise the allocation space per task type into a fixed
+number of arms spanning ``(0, preset]`` — the preset is the only prior
+knowledge available before any execution, exactly as for the other
+online methods.
+
+Rewards: a successful attempt earns the negative normalised
+over-allocation; a failed attempt earns ``failure_penalty``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.base import check_random_state
+from repro.provenance.records import TaskRecord
+from repro.sim.interface import MemoryPredictor, TaskSubmission
+
+__all__ = ["GradientBanditSizer", "QLearningSizer"]
+
+
+@dataclass
+class _ArmState:
+    """Per-task-type arm grid and learner state."""
+
+    arms_mb: np.ndarray
+    values: np.ndarray  # preferences (bandit) or Q-values (Q-learning)
+    counts: np.ndarray = field(init=False)
+    mean_reward: float = 0.0
+    n: int = 0
+
+    def __post_init__(self) -> None:
+        self.counts = np.zeros_like(self.values)
+
+
+class _RLBase(MemoryPredictor):
+    """Shared bookkeeping for both RL sizers."""
+
+    def __init__(
+        self,
+        n_arms: int = 10,
+        failure_penalty: float = -1.0,
+        random_state: int = 0,
+    ) -> None:
+        if n_arms < 2:
+            raise ValueError(f"n_arms must be >= 2, got {n_arms}")
+        self.n_arms = n_arms
+        self.failure_penalty = failure_penalty
+        self.rng = check_random_state(random_state)
+        self._state: dict[str, _ArmState] = {}
+        # instance_id -> (task type, arm index) of the pending attempt.
+        self._pending: dict[int, tuple[str, int]] = {}
+
+    def _arms_for(self, task: TaskSubmission) -> _ArmState:
+        st = self._state.get(task.task_type)
+        if st is None:
+            arms = np.linspace(
+                task.preset_memory_mb / self.n_arms,
+                task.preset_memory_mb,
+                self.n_arms,
+            )
+            st = self._state[task.task_type] = _ArmState(
+                arms_mb=arms, values=np.zeros(self.n_arms)
+            )
+        return st
+
+    def _reward(self, arm_mb: float, record: TaskRecord) -> float:
+        if not record.success:
+            return self.failure_penalty
+        scale = max(arm_mb, record.peak_memory_mb)
+        return -(arm_mb - record.peak_memory_mb) / scale
+
+    def _choose(self, st: _ArmState) -> int:
+        raise NotImplementedError
+
+    def _learn(self, st: _ArmState, arm: int, reward: float) -> None:
+        raise NotImplementedError
+
+    def predict(self, task: TaskSubmission) -> float:
+        st = self._arms_for(task)
+        arm = self._choose(st)
+        self._pending[task.instance_id] = (task.task_type, arm)
+        return float(st.arms_mb[arm])
+
+    def observe(self, record: TaskRecord) -> None:
+        pending = self._pending.get(record.instance_id)
+        if pending is None:
+            return
+        task_type, arm = pending
+        st = self._state[task_type]
+        reward = self._reward(float(st.arms_mb[arm]), record)
+        self._learn(st, arm, reward)
+        if record.success:
+            del self._pending[record.instance_id]
+
+    def on_failure(
+        self, task: TaskSubmission, failed_allocation_mb: float, attempt: int
+    ) -> float:
+        # Retry on the arm grid: the smallest arm above the failed value,
+        # else double (the grid is exhausted).
+        st = self._arms_for(task)
+        above = st.arms_mb[st.arms_mb > failed_allocation_mb]
+        if above.size:
+            arm = int(np.argmax(st.arms_mb == above[0]))
+            self._pending[task.instance_id] = (task.task_type, arm)
+            return float(above[0])
+        return failed_allocation_mb * 2.0
+
+
+class GradientBanditSizer(_RLBase):
+    """Softmax gradient-bandit over discrete allocations per task type."""
+
+    name = "RL-GradientBandit"
+
+    def __init__(
+        self,
+        n_arms: int = 10,
+        learning_rate: float = 0.3,
+        failure_penalty: float = -1.0,
+        random_state: int = 0,
+    ) -> None:
+        super().__init__(n_arms, failure_penalty, random_state)
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+
+    def _policy(self, st: _ArmState) -> np.ndarray:
+        z = st.values - st.values.max()
+        p = np.exp(z)
+        return p / p.sum()
+
+    def _choose(self, st: _ArmState) -> int:
+        return int(self.rng.choice(self.n_arms, p=self._policy(st)))
+
+    def _learn(self, st: _ArmState, arm: int, reward: float) -> None:
+        st.n += 1
+        st.mean_reward += (reward - st.mean_reward) / st.n
+        pi = self._policy(st)
+        advantage = reward - st.mean_reward
+        one_hot = np.zeros(self.n_arms)
+        one_hot[arm] = 1.0
+        st.values += self.learning_rate * advantage * (one_hot - pi)
+        st.counts[arm] += 1
+
+
+class QLearningSizer(_RLBase):
+    """Stateless epsilon-greedy Q-learning over discrete allocations."""
+
+    name = "RL-QLearning"
+
+    def __init__(
+        self,
+        n_arms: int = 10,
+        learning_rate: float = 0.2,
+        epsilon: float = 0.1,
+        epsilon_decay: float = 0.999,
+        failure_penalty: float = -1.0,
+        random_state: int = 0,
+    ) -> None:
+        super().__init__(n_arms, failure_penalty, random_state)
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError(f"learning_rate must be in (0, 1], got {learning_rate}")
+        self.learning_rate = learning_rate
+        self.epsilon = epsilon
+        self.epsilon_decay = epsilon_decay
+        self._eps: dict[str, float] = {}
+
+    def _choose(self, st: _ArmState) -> int:
+        key = id(st)  # per-state epsilon tracked via the mapping below
+        eps = self._eps.setdefault(str(key), self.epsilon)
+        self._eps[str(key)] = eps * self.epsilon_decay
+        if self.rng.random() < eps:
+            return int(self.rng.integers(0, self.n_arms))
+        return int(np.argmax(st.values))
+
+    def _learn(self, st: _ArmState, arm: int, reward: float) -> None:
+        # Stateless contextual bandit form of Q-learning: no successor
+        # state, so the update is Q += lr * (r - Q).
+        st.values[arm] += self.learning_rate * (reward - st.values[arm])
+        st.counts[arm] += 1
+        st.n += 1

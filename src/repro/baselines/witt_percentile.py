@@ -1,0 +1,50 @@
+"""Witt-Percentile: conservative percentile predictor.
+
+Re-implementation of the percentile predictor from Witt et al.,
+"Feedback-Based Resource Allocation for Batch Scheduling of Scientific
+Workflows" (HPCS 2019), following the Sizey paper's description: "The
+percentile predictor predicts the percentile peak memory usage of all
+historical tasks.  The authors propose a conservative estimate, using
+the 95th percentile to avoid task failures."  Doubles on failure.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.provenance.records import TaskRecord
+from repro.sim.interface import MemoryPredictor, TaskSubmission
+
+__all__ = ["WittPercentile"]
+
+
+class WittPercentile(MemoryPredictor):
+    """Per-task-type percentile of historical peaks (default P95)."""
+
+    name = "Witt-Percentile"
+
+    def __init__(self, percentile: float = 95.0, min_history: int = 2) -> None:
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        if min_history < 1:
+            raise ValueError(f"min_history must be >= 1, got {min_history}")
+        self.percentile = percentile
+        self.min_history = min_history
+        self._peaks: dict[str, list[float]] = defaultdict(list)
+
+    def predict(self, task: TaskSubmission) -> float:
+        peaks = self._peaks.get(task.task_type, [])
+        if len(peaks) < self.min_history:
+            return task.preset_memory_mb
+        return float(np.percentile(np.asarray(peaks), self.percentile))
+
+    def observe(self, record: TaskRecord) -> None:
+        if record.success:
+            self._peaks[record.task_type].append(record.peak_memory_mb)
+
+    def on_failure(
+        self, task: TaskSubmission, failed_allocation_mb: float, attempt: int
+    ) -> float:
+        return failed_allocation_mb * 2.0

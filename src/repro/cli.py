@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+simulate      replay one workflow with one method, print the result
+figures       regenerate paper artifacts (all or a selection)
+trace         generate a synthetic workflow trace to JSON/CSV
+compare       run the full method grid on selected workflows
+
+Examples::
+
+    python -m repro simulate --workflow rnaseq --method Sizey --scale 0.3
+    python -m repro figures --only fig11 fig12
+    python -m repro trace --workflow mag --scale 0.1 --out mag.json --csv mag.csv
+    python -m repro compare --workflows chipseq iwd --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.factories import METHOD_ORDER, method_factories
+from repro.experiments.report import render_table
+from repro.sim.engine import OnlineSimulator
+from repro.sim.runner import run_grid
+from repro.workflow.io import export_csv, save_trace
+from repro.workflow.nfcore import WORKFLOW_NAMES, build_workflow_trace
+
+__all__ = ["main", "build_parser"]
+
+_ARTIFACTS = (
+    "table1",
+    "fig1",
+    "fig2",
+    "fig7",
+    "fig8",
+    "table2",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablations",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sizey reproduction (CLUSTER 2024) command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="replay one workflow with one method")
+    sim.add_argument("--workflow", choices=WORKFLOW_NAMES, required=True)
+    sim.add_argument("--method", choices=METHOD_ORDER, default="Sizey")
+    sim.add_argument("--scale", type=float, default=1.0)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--ttf", type=float, default=1.0,
+                     help="time-to-failure fraction (paper parameter)")
+
+    fig = sub.add_parser("figures", help="regenerate paper artifacts")
+    fig.add_argument("--only", nargs="*", choices=_ARTIFACTS, default=None)
+    fig.add_argument("--scale", type=float, default=0.15)
+    fig.add_argument("--seed", type=int, default=0)
+
+    tr = sub.add_parser("trace", help="generate a synthetic trace")
+    tr.add_argument("--workflow", choices=WORKFLOW_NAMES, required=True)
+    tr.add_argument("--scale", type=float, default=1.0)
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--out", help="write JSON trace here")
+    tr.add_argument("--csv", help="write CSV table here")
+
+    cmp_ = sub.add_parser("compare", help="run the method grid")
+    cmp_.add_argument("--workflows", nargs="+", choices=WORKFLOW_NAMES,
+                      default=list(WORKFLOW_NAMES))
+    cmp_.add_argument("--scale", type=float, default=0.2)
+    cmp_.add_argument("--seed", type=int, default=0)
+    cmp_.add_argument("--ttf", type=float, default=1.0)
+    cmp_.add_argument("--workers", type=int, default=1)
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = build_workflow_trace(args.workflow, seed=args.seed, scale=args.scale)
+    predictor = method_factories()[args.method]()
+    res = OnlineSimulator(trace, time_to_failure=args.ttf).run(predictor)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["workflow", args.workflow],
+                ["method", args.method],
+                ["tasks", res.num_tasks],
+                ["wastage GBh", res.total_wastage_gbh],
+                ["failures", res.num_failures],
+                ["runtime h", res.total_runtime_hours],
+                ["mean over-allocation ratio", res.over_allocation_ratio()],
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ablations,
+        fig1_distributions,
+        fig2_input_relation,
+        fig7_utilization,
+        fig8_main_results,
+        fig9_training_time,
+        fig10_alpha_sweep,
+        fig11_model_selection,
+        fig12_error_trend,
+        table1_workflow_stats,
+        table2_per_workflow,
+    )
+
+    wanted = set(args.only or _ARTIFACTS)
+    s, seed = args.scale, args.seed
+    if "table1" in wanted:
+        table1_workflow_stats.run(seed=seed)
+    if "fig1" in wanted:
+        fig1_distributions.run(seed=seed)
+    if "fig2" in wanted:
+        fig2_input_relation.run(seed=seed)
+    if "fig7" in wanted:
+        fig7_utilization.run(seed=seed)
+    grid = None
+    if "fig8" in wanted:
+        grids = fig8_main_results.run(seed=seed, scale=s)
+        grid = grids[1.0]
+    if "table2" in wanted:
+        table2_per_workflow.run(seed=seed, scale=s, grid=grid)
+    if "fig9" in wanted:
+        fig9_training_time.run(seed=seed, scale=s)
+    if "fig10" in wanted:
+        fig10_alpha_sweep.run(seed=seed, scale=max(s, 0.2))
+    if "fig11" in wanted:
+        fig11_model_selection.run(seed=seed, scale=max(s, 0.3))
+    if "fig12" in wanted:
+        fig12_error_trend.run(seed=seed, scale=max(s, 0.3))
+    if "ablations" in wanted:
+        ablations.run(seed=seed, scale=max(s, 0.2))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = build_workflow_trace(args.workflow, seed=args.seed, scale=args.scale)
+    stats = trace.stats()
+    print(
+        f"{trace.workflow}: {stats['n_instances']:.0f} instances, "
+        f"{stats['n_task_types']:.0f} task types"
+    )
+    if args.out:
+        save_trace(trace, args.out)
+        print(f"wrote JSON trace to {args.out}")
+    if args.csv:
+        export_csv(trace, args.csv)
+        print(f"wrote CSV table to {args.csv}")
+    if not args.out and not args.csv:
+        print("(use --out/--csv to persist the trace)")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    traces = {
+        wf: build_workflow_trace(wf, seed=args.seed, scale=args.scale)
+        for wf in args.workflows
+    }
+    results = run_grid(
+        traces,
+        method_factories(),
+        time_to_failure=args.ttf,
+        n_workers=args.workers,
+    )
+    rows = []
+    for method in METHOD_ORDER:
+        per_wf = results[method]
+        rows.append(
+            [
+                method,
+                sum(r.total_wastage_gbh for r in per_wf.values()),
+                sum(r.num_failures for r in per_wf.values()),
+                sum(r.total_runtime_hours for r in per_wf.values()),
+            ]
+        )
+    print(
+        render_table(
+            ["method", "wastage GBh", "failures", "runtime h"],
+            rows,
+            title=f"workflows: {', '.join(args.workflows)} "
+            f"(scale={args.scale}, ttf={args.ttf})",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "figures": _cmd_figures,
+    "trace": _cmd_trace,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

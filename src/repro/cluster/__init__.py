@@ -1,0 +1,21 @@
+"""Simulated cluster substrate.
+
+Models the resource-manager side of the paper's setup: machines with
+fixed memory capacity, strict enforcement of memory limits (assumption
+A3: "the resource manager enforces strict resource limits on memory
+allocations, resulting in a failed task execution when exceeding these
+limits"), and the GBh wastage ledger that the evaluation's headline
+metric is computed from.
+"""
+
+from repro.cluster.accounting import AttemptOutcome, WastageLedger
+from repro.cluster.machine import Machine, MachineConfig
+from repro.cluster.manager import ResourceManager
+
+__all__ = [
+    "MachineConfig",
+    "Machine",
+    "ResourceManager",
+    "WastageLedger",
+    "AttemptOutcome",
+]

@@ -1,0 +1,161 @@
+"""Wastage accounting: the evaluation's headline metric.
+
+The paper reports *memory wastage over time* in gigabyte-hours (GBh).
+Definition used here (matching the paper's semantics):
+
+- A **successful** attempt wastes ``(allocated - peak) * runtime`` — the
+  over-provisioned slice of memory is held for the task's whole runtime.
+- A **failed** attempt (under-allocation, killed at the limit) wastes
+  ``allocated * time_to_failure`` — everything that was allocated was
+  held without producing a result, for the fraction of the runtime the
+  task survived.
+
+Total runtime per method (Fig. 8d) is the sum of successful runtimes
+plus the time lost in failed attempts — which is why failure-prone
+methods show higher aggregate runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections import defaultdict
+
+__all__ = ["AttemptOutcome", "WastageLedger"]
+
+_MB_PER_GB = 1024.0
+
+
+@dataclass(frozen=True)
+class AttemptOutcome:
+    """Outcome of one execution attempt of one task instance."""
+
+    task_type: str
+    workflow: str
+    instance_id: int
+    attempt: int
+    allocated_mb: float
+    peak_memory_mb: float
+    runtime_hours: float
+    success: bool
+    wastage_gbh: float
+
+    @property
+    def over_allocation_mb(self) -> float:
+        return max(self.allocated_mb - self.peak_memory_mb, 0.0)
+
+
+class WastageLedger:
+    """Accumulates wastage, runtime, and failure statistics per task type."""
+
+    def __init__(self) -> None:
+        self._outcomes: list[AttemptOutcome] = []
+        self._wastage_by_type: dict[str, float] = defaultdict(float)
+        self._failures_by_type: dict[str, int] = defaultdict(int)
+        self._runtime_hours = 0.0
+        self._total_wastage = 0.0
+
+    def record_success(
+        self,
+        *,
+        task_type: str,
+        workflow: str,
+        instance_id: int,
+        attempt: int,
+        allocated_mb: float,
+        peak_memory_mb: float,
+        runtime_hours: float,
+    ) -> AttemptOutcome:
+        if allocated_mb < peak_memory_mb - 1e-9:
+            raise ValueError(
+                "successful attempt cannot have allocated < peak "
+                f"({allocated_mb:.1f} < {peak_memory_mb:.1f} MB)"
+            )
+        wastage = (allocated_mb - peak_memory_mb) / _MB_PER_GB * runtime_hours
+        out = AttemptOutcome(
+            task_type=task_type,
+            workflow=workflow,
+            instance_id=instance_id,
+            attempt=attempt,
+            allocated_mb=allocated_mb,
+            peak_memory_mb=peak_memory_mb,
+            runtime_hours=runtime_hours,
+            success=True,
+            wastage_gbh=wastage,
+        )
+        self._commit(out)
+        return out
+
+    def record_failure(
+        self,
+        *,
+        task_type: str,
+        workflow: str,
+        instance_id: int,
+        attempt: int,
+        allocated_mb: float,
+        peak_memory_mb: float,
+        time_to_failure_hours: float,
+    ) -> AttemptOutcome:
+        if allocated_mb >= peak_memory_mb:
+            raise ValueError(
+                "failed attempt requires allocated < peak "
+                f"({allocated_mb:.1f} >= {peak_memory_mb:.1f} MB)"
+            )
+        # The whole allocation was wasted for as long as the task ran.
+        wastage = allocated_mb / _MB_PER_GB * time_to_failure_hours
+        out = AttemptOutcome(
+            task_type=task_type,
+            workflow=workflow,
+            instance_id=instance_id,
+            attempt=attempt,
+            allocated_mb=allocated_mb,
+            peak_memory_mb=peak_memory_mb,
+            runtime_hours=time_to_failure_hours,
+            success=False,
+            wastage_gbh=wastage,
+        )
+        self._commit(out)
+        self._failures_by_type[task_type] += 1
+        return out
+
+    def _commit(self, out: AttemptOutcome) -> None:
+        self._outcomes.append(out)
+        self._wastage_by_type[out.task_type] += out.wastage_gbh
+        self._total_wastage += out.wastage_gbh
+        self._runtime_hours += out.runtime_hours
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def outcomes(self) -> list[AttemptOutcome]:
+        return list(self._outcomes)
+
+    @property
+    def total_wastage_gbh(self) -> float:
+        return self._total_wastage
+
+    @property
+    def total_runtime_hours(self) -> float:
+        return self._runtime_hours
+
+    @property
+    def num_failures(self) -> int:
+        return sum(self._failures_by_type.values())
+
+    def wastage_by_task_type(self) -> dict[str, float]:
+        return dict(self._wastage_by_type)
+
+    def failures_by_task_type(self) -> dict[str, int]:
+        return dict(self._failures_by_type)
+
+    def merge(self, other: "WastageLedger") -> "WastageLedger":
+        """Fold ``other`` into this ledger (for multi-workflow aggregation)."""
+        for out in other._outcomes:
+            self._outcomes.append(out)
+            self._wastage_by_type[out.task_type] += out.wastage_gbh
+            self._total_wastage += out.wastage_gbh
+            self._runtime_hours += out.runtime_hours
+        for t, n in other._failures_by_type.items():
+            self._failures_by_type[t] += n
+        return self

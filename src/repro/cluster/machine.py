@@ -1,0 +1,71 @@
+"""Machine model: configurations and allocation state.
+
+The paper's testbed is eight identical nodes (AMD EPYC 7282, 128 GB
+DDR4).  :class:`MachineConfig` describes a node type;
+:class:`Machine` tracks the live allocation state of one node so the
+resource manager can enforce capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MachineConfig", "Machine", "EPYC_7282_128G"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A node type: name, memory capacity, and core count."""
+
+    name: str
+    memory_mb: float
+    cores: int = 32
+
+    def __post_init__(self) -> None:
+        if self.memory_mb <= 0:
+            raise ValueError(f"memory_mb must be positive, got {self.memory_mb}")
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+
+
+#: The paper's node type: AMD EPYC 7282, 128 GB DDR4.
+EPYC_7282_128G = MachineConfig(name="epyc-7282-128g", memory_mb=128.0 * 1024, cores=32)
+
+
+@dataclass
+class Machine:
+    """One cluster node with live allocation bookkeeping."""
+
+    config: MachineConfig
+    node_id: int = 0
+    allocated_mb: float = 0.0
+    running: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def free_mb(self) -> float:
+        return self.config.memory_mb - self.allocated_mb
+
+    def can_fit(self, memory_mb: float) -> bool:
+        return memory_mb <= self.free_mb + 1e-9
+
+    def allocate(self, task_id: int, memory_mb: float) -> None:
+        """Reserve ``memory_mb`` for ``task_id``; strict capacity check."""
+        if memory_mb <= 0:
+            raise ValueError(f"allocation must be positive, got {memory_mb}")
+        if task_id in self.running:
+            raise ValueError(f"task {task_id} already running on node {self.node_id}")
+        if not self.can_fit(memory_mb):
+            raise MemoryError(
+                f"node {self.node_id} ({self.config.name}) cannot fit "
+                f"{memory_mb:.0f} MB; free={self.free_mb:.0f} MB"
+            )
+        self.running[task_id] = memory_mb
+        self.allocated_mb += memory_mb
+
+    def release(self, task_id: int) -> float:
+        """Free the reservation of ``task_id``; returns the released MB."""
+        if task_id not in self.running:
+            raise KeyError(f"task {task_id} not running on node {self.node_id}")
+        mb = self.running.pop(task_id)
+        self.allocated_mb -= mb
+        return mb

@@ -1,0 +1,115 @@
+"""Cluster resource manager: placement and strict limit enforcement.
+
+Scheduling policy itself is out of the paper's scope (assumption A2 —
+ordering and node assignment belong to the resource manager), so this
+manager implements a deliberately simple first-fit placement.  What the
+evaluation *does* depend on is captured faithfully:
+
+- strict memory limits: a task whose true peak exceeds its allocation is
+  killed (assumption A3);
+- allocation requests are capped at node capacity — the retry policy
+  "doubles until the machine resources are exhausted" (§II-E), so the
+  manager exposes the cap;
+- placement bookkeeping so utilisation can be inspected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.machine import EPYC_7282_128G, Machine, MachineConfig
+
+__all__ = ["ResourceManager", "ExecutionVerdict"]
+
+
+@dataclass(frozen=True)
+class ExecutionVerdict:
+    """Result of executing one attempt under a strict memory limit."""
+
+    success: bool
+    node_id: int
+    allocated_mb: float
+    #: hours the attempt occupied its allocation (full runtime on
+    #: success; runtime * time_to_failure on a kill)
+    occupied_hours: float
+
+
+class ResourceManager:
+    """A small cluster of identical nodes with strict memory limits.
+
+    Parameters
+    ----------
+    config:
+        Node type (defaults to the paper's 128 GB EPYC nodes).
+    n_nodes:
+        Cluster size (paper: 8).
+    """
+
+    def __init__(
+        self, config: MachineConfig = EPYC_7282_128G, n_nodes: int = 8
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.config = config
+        self.nodes = [Machine(config=config, node_id=i) for i in range(n_nodes)]
+        self._next_task_id = 0
+
+    @property
+    def max_allocation_mb(self) -> float:
+        """The largest allocation any single task can receive (node size)."""
+        return self.config.memory_mb
+
+    def clamp_allocation(self, request_mb: float) -> float:
+        """Clamp a request to (0, node capacity]."""
+        return float(min(max(request_mb, 1.0), self.max_allocation_mb))
+
+    def place(self, memory_mb: float) -> Machine:
+        """First-fit placement; frees are logical so capacity always returns.
+
+        Raises ``MemoryError`` when no node can currently fit the request
+        — callers in the simulator execute tasks one at a time, so this
+        only triggers for requests beyond node capacity.
+        """
+        for node in self.nodes:
+            if node.can_fit(memory_mb):
+                return node
+        raise MemoryError(
+            f"no node can fit {memory_mb:.0f} MB "
+            f"(node capacity {self.config.memory_mb:.0f} MB)"
+        )
+
+    def execute_attempt(
+        self,
+        *,
+        allocated_mb: float,
+        true_peak_mb: float,
+        runtime_hours: float,
+        time_to_failure: float = 1.0,
+    ) -> ExecutionVerdict:
+        """Run one attempt under assumption A3.
+
+        The task succeeds iff its true peak fits in the allocation; an
+        under-allocated task is killed after ``time_to_failure`` of its
+        runtime (the paper's simulation parameter: 1.0 = fails at the
+        end, 0.5 = fails halfway).
+        """
+        if not 0.0 < time_to_failure <= 1.0:
+            raise ValueError(
+                f"time_to_failure must be in (0, 1], got {time_to_failure}"
+            )
+        allocated_mb = self.clamp_allocation(allocated_mb)
+        node = self.place(allocated_mb)
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        node.allocate(task_id, allocated_mb)
+        try:
+            success = allocated_mb >= true_peak_mb
+            occupied = runtime_hours if success else runtime_hours * time_to_failure
+            return ExecutionVerdict(
+                success=success,
+                node_id=node.node_id,
+                allocated_mb=allocated_mb,
+                occupied_hours=occupied,
+            )
+        finally:
+            node.release(task_id)

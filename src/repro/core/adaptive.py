@@ -1,0 +1,114 @@
+"""Adaptive alpha: the paper's future-work extension (§III-E).
+
+The alpha analysis (Fig. 10) shows no single value wins everywhere:
+"Switching between alpha parameters adaptively during workflow
+execution, as we do with the models, could address this problem and is
+an idea for future work."  This module implements that idea.
+
+Per (task type, machine) pool, a small set of candidate alphas is
+tracked.  Every prediction gates the model outputs once per candidate;
+when the task completes, each candidate's *hypothetical* estimate is
+scored with the same wastage model the offset selection uses (over-
+allocation for covered tasks, lost work + max-observed retry for
+misses).  The candidate with the least accumulated hypothetical wastage
+is used for the real prediction — a bandit-with-full-feedback, since
+every arm's outcome is observable from the same completion record.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.config import SizeyConfig
+from repro.core.gating import gate
+from repro.core.predictor import SizeyPredictor
+from repro.core.scores import raq_scores
+from repro.sim.interface import TaskSubmission
+
+__all__ = ["AdaptiveAlphaSizey", "DEFAULT_ALPHA_CANDIDATES"]
+
+DEFAULT_ALPHA_CANDIDATES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+class AdaptiveAlphaSizey(SizeyPredictor):
+    """Sizey with per-task-type online alpha selection."""
+
+    name = "Sizey-AdaptiveAlpha"
+
+    def __init__(
+        self,
+        config: SizeyConfig | None = None,
+        alpha_candidates: tuple[float, ...] = DEFAULT_ALPHA_CANDIDATES,
+    ) -> None:
+        if config is None:
+            config = SizeyConfig(training_mode="incremental")
+        super().__init__(config)
+        if not alpha_candidates or any(not 0.0 <= a <= 1.0 for a in alpha_candidates):
+            raise ValueError(
+                f"alpha candidates must lie in [0, 1], got {alpha_candidates}"
+            )
+        self.alpha_candidates = tuple(alpha_candidates)
+        # Accumulated hypothetical wastage (MBh) per pool per candidate.
+        self._alpha_waste: dict[tuple[str, str], np.ndarray] = {}
+        # instance_id -> per-candidate raw estimates awaiting completion.
+        self._pending_candidates: dict[int, tuple[tuple[str, str], np.ndarray]] = {}
+        self.alpha_choices: dict[str, list[float]] = defaultdict(list)
+
+    def current_alpha(self, key: tuple[str, str]) -> float:
+        """The currently preferred alpha for a pool (least waste so far)."""
+        waste = self._alpha_waste.get(key)
+        if waste is None:
+            return self.alpha_candidates[0]
+        return self.alpha_candidates[int(np.argmin(waste))]
+
+    def predict(self, task: TaskSubmission) -> float:
+        key = self._key(task.task_type, task.machine)
+        pool = self.pools.get(key)
+        if pool is None or not pool.is_ready or (
+            pool.n_observations < self.config.min_history
+        ):
+            self.preset_fallbacks += 1
+            return task.preset_memory_mb
+
+        pp = pool.predict(task.features)
+        self.selection_counts[pp.selected_model] += 1
+
+        # Gate once per candidate alpha from the same model outputs.
+        estimates = np.empty(len(self.alpha_candidates))
+        for i, a in enumerate(self.alpha_candidates):
+            raq = raq_scores(pp.accuracy, pp.efficiency, a)
+            estimates[i] = gate(
+                pp.predictions, raq, self.config.gating, self.config.beta
+            ).estimate
+        self._pending_candidates[task.instance_id] = (key, estimates)
+
+        alpha = self.current_alpha(key)
+        self.alpha_choices[task.task_type].append(alpha)
+        chosen = float(estimates[self.alpha_candidates.index(alpha)])
+        self._pending[task.instance_id] = (key, chosen)
+
+        tracker = self.offsets.get(key)
+        offset = tracker.current_offset()[0] if tracker is not None else 0.0
+        return max(chosen + offset, 1.0)
+
+    def observe(self, record) -> None:
+        if record.success:
+            pending = self._pending_candidates.pop(record.instance_id, None)
+            if pending is not None:
+                key, estimates = pending
+                waste = self._alpha_waste.setdefault(
+                    key, np.zeros(len(self.alpha_candidates))
+                )
+                y = record.peak_memory_mb
+                rt = record.runtime_hours
+                max_peak = self.db.max_observed_peak(record.task_type) or y
+                covered = estimates >= y
+                waste += np.where(
+                    covered,
+                    (estimates - y) * rt,
+                    estimates * rt * self.config.time_to_failure
+                    + max(max_peak - y, 0.0) * rt,
+                )
+        super().observe(record)

@@ -1,0 +1,54 @@
+"""Failure handling (paper §II-E).
+
+"If a task instance still fails due to underprediction, the maximum
+amount of task memory ever observed is allocated.  For each subsequent
+attempt to size a previously failed task instance, the given resource
+estimate is continuously doubled until the machine resources are
+exhausted."
+
+The machine-capacity cap itself is enforced by the resource manager; the
+handler guarantees strict growth so the retry loop terminates.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FailureHandler"]
+
+
+class FailureHandler:
+    """Stateless retry-allocation policy."""
+
+    def __init__(self, doubling_factor: float = 2.0) -> None:
+        if doubling_factor <= 1.0:
+            raise ValueError(
+                f"doubling_factor must exceed 1, got {doubling_factor}"
+            )
+        self.doubling_factor = doubling_factor
+
+    def next_allocation(
+        self,
+        failed_allocation_mb: float,
+        attempt: int,
+        max_observed_mb: float | None,
+        preset_mb: float,
+    ) -> float:
+        """Allocation for the attempt after ``attempt`` failed.
+
+        First failure: jump to the maximum peak ever observed for the
+        task type (falling back to the user preset when no history
+        exists).  If that is not above the failed allocation — the failed
+        attempt already exceeded historical peaks — escalate by doubling
+        immediately.  Later failures: keep doubling.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        if failed_allocation_mb <= 0:
+            raise ValueError(
+                f"failed_allocation_mb must be positive, got {failed_allocation_mb}"
+            )
+        doubled = failed_allocation_mb * self.doubling_factor
+        if attempt == 1:
+            candidate = max_observed_mb if max_observed_mb else preset_mb
+            if candidate > failed_allocation_mb:
+                return candidate
+        return doubled

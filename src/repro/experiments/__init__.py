@@ -1,0 +1,30 @@
+"""Regenerators for every table and figure in the paper's evaluation.
+
+One module per artifact:
+
+========  =====================================================  ============================
+Artifact  Paper content                                          Module
+========  =====================================================  ============================
+Fig. 1    peak-memory distributions of four task types           ``fig1_distributions``
+Fig. 2    memory vs. input read + linear fits                    ``fig2_input_relation``
+Table I   task-type counts per workflow                          ``table1_workflow_stats``
+Fig. 7    CPU/memory/I-O utilisation distributions               ``fig7_utilization``
+Fig. 8a   total wastage, ttf = 1.0                               ``fig8_main_results``
+Fig. 8b   total wastage, ttf = 0.5                               ``fig8_main_results``
+Fig. 8c   task-failure distributions                             ``fig8_main_results``
+Fig. 8d   aggregated task runtimes                               ``fig8_main_results``
+Table II  per-workflow wastage                                   ``table2_per_workflow``
+Fig. 9    full vs incremental training time                      ``fig9_training_time``
+Fig. 10   wastage vs alpha for two rnaseq tasks                  ``fig10_alpha_sweep``
+Fig. 11   model-class selection shares (Argmax)                  ``fig11_model_selection``
+Fig. 12   Prokka prediction-error trend                          ``fig12_error_trend``
+(ours)    gating/offset/granularity/pool ablations               ``ablations``
+========  =====================================================  ============================
+
+All regenerators accept ``scale`` (trace subsampling fraction) and
+``seed`` so the benchmark harness can trade fidelity for wall-clock.
+"""
+
+from repro.experiments.factories import METHOD_ORDER, method_factories
+
+__all__ = ["METHOD_ORDER", "method_factories"]

@@ -1,0 +1,140 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but direct tests of its design rationale:
+
+- **Gating strategy**: Argmax vs softmax Interpolation (§II-D discusses
+  the trade-off: opportunism vs consensus).
+- **Offset strategy**: each fixed offset statistic vs the dynamic
+  least-wastage selection (§II-E), plus no offset at all.
+- **Model-pool composition**: each model class alone vs the full pool —
+  the heart of the paper's claim that no single model class fits all
+  task types.
+- **Granularity**: per-(task, machine) pools vs per-task pools (Fig. 4).
+- **Adaptive alpha**: the paper's future-work idea (§III-E), switching
+  alpha per task type online (see :mod:`repro.core.adaptive`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.adaptive import AdaptiveAlphaSizey
+from repro.experiments.factories import make_sizey
+from repro.experiments.report import render_table
+from repro.sim.engine import OnlineSimulator
+from repro.sim.interface import MemoryPredictor
+from repro.workflow.nfcore import build_workflow_trace
+
+__all__ = [
+    "run_variants",
+    "gating_ablation",
+    "offset_ablation",
+    "pool_ablation",
+    "granularity_ablation",
+    "adaptive_alpha_ablation",
+    "run",
+]
+
+
+def run_variants(
+    variants: dict[str, Callable[[], MemoryPredictor]],
+    workflow: str = "rnaseq",
+    seed: int = 0,
+    scale: float = 0.5,
+) -> dict[str, dict[str, float]]:
+    """Run each predictor variant on one workflow trace."""
+    trace = build_workflow_trace(workflow, seed=seed, scale=scale)
+    out: dict[str, dict[str, float]] = {}
+    for name, factory in variants.items():
+        res = OnlineSimulator(trace).run(factory())
+        out[name] = {
+            "wastage_gbh": res.total_wastage_gbh,
+            "failures": float(res.num_failures),
+            "runtime_h": res.total_runtime_hours,
+        }
+    return out
+
+
+def gating_ablation(workflow: str = "rnaseq", seed: int = 0, scale: float = 0.5):
+    return run_variants(
+        {
+            "interpolation": lambda: make_sizey(gating="interpolation"),
+            "argmax": lambda: make_sizey(gating="argmax"),
+        },
+        workflow,
+        seed,
+        scale,
+    )
+
+
+def offset_ablation(workflow: str = "rnaseq", seed: int = 0, scale: float = 0.5):
+    strategies = ("dynamic", "std", "std_under", "median", "median_under", "none")
+    return run_variants(
+        {s: (lambda s=s: make_sizey(offset_strategy=s)) for s in strategies},
+        workflow,
+        seed,
+        scale,
+    )
+
+
+def pool_ablation(workflow: str = "rnaseq", seed: int = 0, scale: float = 0.5):
+    singles = ("linear", "knn", "mlp", "random_forest")
+    variants: dict[str, Callable[[], MemoryPredictor]] = {
+        f"only_{m}": (lambda m=m: make_sizey(model_classes=(m,))) for m in singles
+    }
+    variants["full_pool"] = make_sizey
+    return run_variants(variants, workflow, seed, scale)
+
+
+def granularity_ablation(workflow: str = "rnaseq", seed: int = 0, scale: float = 0.5):
+    return run_variants(
+        {
+            "task_machine": lambda: make_sizey(granularity="task_machine"),
+            "task": lambda: make_sizey(granularity="task"),
+        },
+        workflow,
+        seed,
+        scale,
+    )
+
+
+def adaptive_alpha_ablation(
+    workflow: str = "rnaseq", seed: int = 0, scale: float = 0.5
+):
+    return run_variants(
+        {
+            "alpha_0.0": lambda: make_sizey(alpha=0.0),
+            "alpha_0.5": lambda: make_sizey(alpha=0.5),
+            "alpha_1.0": lambda: make_sizey(alpha=1.0),
+            "adaptive": AdaptiveAlphaSizey,
+        },
+        workflow,
+        seed,
+        scale,
+    )
+
+
+def run(seed: int = 0, scale: float = 0.5, verbose: bool = True):
+    """Run all ablations on rnaseq; returns ``{ablation: {variant: metrics}}``."""
+    all_results = {
+        "gating": gating_ablation(seed=seed, scale=scale),
+        "offset": offset_ablation(seed=seed, scale=scale),
+        "pool": pool_ablation(seed=seed, scale=scale),
+        "granularity": granularity_ablation(seed=seed, scale=scale),
+        "adaptive_alpha": adaptive_alpha_ablation(seed=seed, scale=scale),
+    }
+    if verbose:
+        for ablation, variants in all_results.items():
+            rows = [
+                [v, m["wastage_gbh"], m["failures"], m["runtime_h"]]
+                for v, m in variants.items()
+            ]
+            print(
+                render_table(
+                    ["variant", "wastage GBh", "failures", "runtime h"],
+                    rows,
+                    title=f"Ablation — {ablation} (rnaseq)",
+                )
+            )
+            print()
+    return all_results

@@ -1,0 +1,51 @@
+"""Fig. 11: proportion of model classes selected by Sizey (Argmax).
+
+The paper runs Sizey with the Argmax strategy on rnaseq and reports the
+share of predictions each model class won: MLP 42.7 %, KNN 29.1 %,
+random forest 19.4 %, linear regression 8.8 % — with the note that the
+linear model dominates early (few data points) and more complex models
+take over as history grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.factories import make_sizey_argmax
+from repro.experiments.report import render_table
+from repro.sim.engine import OnlineSimulator
+from repro.workflow.nfcore import build_workflow_trace
+
+__all__ = ["PAPER_SHARES", "run"]
+
+PAPER_SHARES = {
+    "mlp": 0.427,
+    "knn": 0.291,
+    "random_forest": 0.194,
+    "linear": 0.088,
+}
+
+
+def run(
+    workflow: str = "rnaseq",
+    seed: int = 0,
+    scale: float = 1.0,
+    verbose: bool = True,
+) -> dict[str, float]:
+    """Regenerate Fig. 11; returns the selection share per model class."""
+    trace = build_workflow_trace(workflow, seed=seed, scale=scale)
+    sizey = make_sizey_argmax()
+    OnlineSimulator(trace).run(sizey)
+    shares = sizey.model_selection_shares()
+    if verbose:
+        rows = [
+            [name, shares.get(name, 0.0) * 100.0, PAPER_SHARES[name] * 100.0]
+            for name in ("mlp", "knn", "random_forest", "linear")
+        ]
+        print(
+            render_table(
+                ["model class", "share % (ours)", "share % (paper)"],
+                rows,
+                title=f"Fig. 11 — model classes selected by Sizey ({workflow}, Argmax)",
+                ndigits=1,
+            )
+        )
+    return shares

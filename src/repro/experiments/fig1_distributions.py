@@ -1,0 +1,50 @@
+"""Fig. 1: peak-memory distributions of four task types.
+
+The paper shows box/violin distributions for ``lcextrap``,
+``Preprocessing``, ``mpileup`` and ``genomecov``, demonstrating that
+(a) memory varies widely between instances of one task type and (b) the
+ranges differ strongly across task types.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.report import render_distribution
+from repro.workflow.nfcore import build_workflow_trace
+
+__all__ = ["FIG1_TASKS", "run", "collect_distributions"]
+
+#: (task type, workflow it lives in) — as in the paper's Fig. 1 panels.
+FIG1_TASKS = (
+    ("lcextrap", "eager"),
+    ("Preprocessing", "iwd"),
+    ("mpileup", "eager"),
+    ("genomecov", "chipseq"),
+)
+
+
+def collect_distributions(
+    seed: int = 0, scale: float = 1.0
+) -> dict[str, np.ndarray]:
+    """Peak-memory samples (MB) per Fig. 1 task type."""
+    out: dict[str, np.ndarray] = {}
+    for task, workflow in FIG1_TASKS:
+        trace = build_workflow_trace(workflow, seed=seed, scale=scale)
+        mems = np.array(
+            [i.peak_memory_mb for i in trace.instances_of(task)], dtype=np.float64
+        )
+        if mems.size == 0:
+            raise RuntimeError(f"no instances of {task!r} in {workflow!r}")
+        out[task] = mems
+    return out
+
+
+def run(seed: int = 0, scale: float = 1.0, verbose: bool = True) -> dict[str, np.ndarray]:
+    """Regenerate Fig. 1; returns the per-task peak-memory samples."""
+    dists = collect_distributions(seed=seed, scale=scale)
+    if verbose:
+        print("Fig. 1 — peak memory consumption per task type (MB)")
+        for task, mems in dists.items():
+            print(f"  {task:14s} {render_distribution(mems)}")
+    return dists

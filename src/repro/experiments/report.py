@@ -1,0 +1,77 @@
+"""Plain-text rendering of experiment tables.
+
+The harness prints the same rows/series the paper reports; these helpers
+keep the formatting consistent across all regenerators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_distribution", "fmt"]
+
+
+def fmt(value: object, ndigits: int = 2) -> str:
+    """Format numbers compactly; pass strings through."""
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        if np.isnan(value):
+            return "-"
+        return f"{value:,.{ndigits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    ndigits: int = 2,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[fmt(c, ndigits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(
+                c.rjust(w) if _is_numeric(c) else c.ljust(w)
+                for c, w in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell.replace(",", ""))
+        return True
+    except ValueError:
+        return False
+
+
+def render_distribution(values: np.ndarray, ndigits: int = 1) -> str:
+    """One-line five-number summary, the text form of a box plot."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        return "(empty)"
+    q1, med, q3 = np.percentile(v, [25, 50, 75])
+    return (
+        f"min={fmt(v.min(), ndigits)} q1={fmt(q1, ndigits)} "
+        f"median={fmt(med, ndigits)} q3={fmt(q3, ndigits)} "
+        f"max={fmt(v.max(), ndigits)} (n={v.size})"
+    )

@@ -1,0 +1,40 @@
+"""Table I: number of task types and average instances per type."""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_table
+from repro.workflow.nfcore import WORKFLOW_NAMES, build_workflow_trace
+
+__all__ = ["PAPER_TABLE_I", "run"]
+
+#: The paper's Table I, for side-by-side comparison.
+PAPER_TABLE_I = {
+    "eager": (13, 121),
+    "methylseq": (9, 100),
+    "chipseq": (30, 82),
+    "rnaseq": (30, 39),
+    "mag": (8, 720),
+    "iwd": (5, 332),
+}
+
+
+def run(seed: int = 0, scale: float = 1.0, verbose: bool = True):
+    """Regenerate Table I; returns ``{workflow: (types, avg_instances)}``."""
+    out: dict[str, tuple[int, float]] = {}
+    rows = []
+    for wf in WORKFLOW_NAMES:
+        stats = build_workflow_trace(wf, seed=seed, scale=scale).stats()
+        got = (int(stats["n_task_types"]), float(stats["avg_instances_per_type"]))
+        out[wf] = got
+        paper = PAPER_TABLE_I[wf]
+        rows.append([wf, got[0], round(got[1], 1), paper[0], paper[1]])
+    if verbose:
+        print(
+            render_table(
+                ["workflow", "types", "avg inst", "paper types", "paper avg"],
+                rows,
+                title="Table I — task types and instances per workflow",
+                ndigits=1,
+            )
+        )
+    return out

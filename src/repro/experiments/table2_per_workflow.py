@@ -1,0 +1,64 @@
+"""Table II: per-workflow memory wastage for all methods."""
+
+from __future__ import annotations
+
+from repro.experiments.factories import METHOD_ORDER
+from repro.experiments.fig8_main_results import MainGrid, run_main_grid
+from repro.experiments.report import render_table
+from repro.workflow.nfcore import WORKFLOW_NAMES
+
+__all__ = ["PAPER_TABLE_II", "run", "winners"]
+
+#: The paper's Table II (GBh), for side-by-side comparison.
+PAPER_TABLE_II = {
+    "Sizey": {"methylseq": 631.62, "chipseq": 79.38, "eager": 678.19,
+              "rnaseq": 43.62, "mag": 251.05, "iwd": 0.36},
+    "Witt-Wastage": {"methylseq": 3565.11, "chipseq": 214.60, "eager": 491.16,
+                     "rnaseq": 176.39, "mag": 323.62, "iwd": 0.55},
+    "Witt-LR": {"methylseq": 988.90, "chipseq": 136.33, "eager": 3585.19,
+                "rnaseq": 57.91, "mag": 301.00, "iwd": 2.94},
+    "Tovar-PPM": {"methylseq": 4080.60, "chipseq": 211.02, "eager": 624.14,
+                  "rnaseq": 195.26, "mag": 309.36, "iwd": 16.70},
+    "Witt-Percentile": {"methylseq": 4372.19, "chipseq": 94.70, "eager": 860.16,
+                        "rnaseq": 128.90, "mag": 309.81, "iwd": 1.44},
+    "Workflow-Presets": {"methylseq": 22596.14, "chipseq": 260.61, "eager": 2304.53,
+                         "rnaseq": 1238.62, "mag": 1955.01, "iwd": 15.86},
+}
+
+
+def winners(per_workflow: dict[str, dict[str, float]]) -> dict[str, str]:
+    """Lowest-wastage method per workflow."""
+    out: dict[str, str] = {}
+    workflows = next(iter(per_workflow.values())).keys()
+    for wf in workflows:
+        out[wf] = min(per_workflow, key=lambda m: per_workflow[m][wf])
+    return out
+
+
+def run(
+    seed: int = 0,
+    scale: float = 1.0,
+    n_workers: int = 1,
+    verbose: bool = True,
+    grid: MainGrid | None = None,
+) -> dict[str, dict[str, float]]:
+    """Regenerate Table II; accepts a pre-computed Fig. 8 grid to reuse."""
+    if grid is None:
+        grid = run_main_grid(1.0, seed=seed, scale=scale, n_workers=n_workers)
+    table = grid.per_workflow()
+    if verbose:
+        wfs = [wf for wf in WORKFLOW_NAMES if wf in next(iter(table.values()))]
+        rows = [
+            [m, *[table[m][wf] for wf in wfs]] for m in METHOD_ORDER if m in table
+        ]
+        print(
+            render_table(
+                ["method", *wfs],
+                rows,
+                title="Table II — wastage (GBh) per workflow",
+            )
+        )
+        won = winners(table)
+        sizey_wins = sum(1 for wf, m in won.items() if m == "Sizey")
+        print(f"  Sizey lowest in {sizey_wins}/{len(won)} workflows; winners: {won}")
+    return table

@@ -1,0 +1,145 @@
+"""Gradient-boosted regression trees.
+
+Not used by the paper's four-model pool, but provided as an additional
+model class for Sizey's extendable interface (see
+:mod:`repro.core.models` and ``examples/custom_model.py``): boosting
+often dominates random forests on the small, low-dimensional tabular
+histories that workflow provenance produces.
+
+Standard least-squares gradient boosting: each stage fits a shallow
+CART tree to the current residuals; predictions accumulate with a
+learning-rate shrinkage.  Optional Huber loss makes the ensemble robust
+to the occasional wild peak-memory outlier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    RegressorMixin,
+    check_array,
+    check_is_fitted,
+    check_X_y,
+)
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = ["GradientBoostingRegressor"]
+
+
+class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
+    """Stage-wise additive regression with CART base learners.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of boosting stages.
+    learning_rate:
+        Shrinkage applied to each stage's contribution.
+    max_depth:
+        Depth of the base trees (shallow trees regularise).
+    min_samples_leaf:
+        Passed through to the base trees.
+    loss:
+        ``"squared"`` (default) or ``"huber"``.
+    huber_delta_quantile:
+        For the Huber loss: the residual-magnitude quantile used as the
+        transition point delta at each stage.
+    subsample:
+        Fraction of samples drawn (without replacement) per stage;
+        values < 1 give stochastic gradient boosting.
+    random_state:
+        Seed for subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        loss: str = "squared",
+        huber_delta_quantile: float = 0.9,
+        subsample: float = 1.0,
+        random_state: int | None = 0,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.loss = loss
+        self.huber_delta_quantile = huber_delta_quantile
+        self.subsample = subsample
+        self.random_state = random_state
+
+    def _negative_gradient(self, residual: np.ndarray) -> np.ndarray:
+        if self.loss == "squared":
+            return residual
+        # Huber: clip the gradient beyond delta.
+        delta = np.quantile(np.abs(residual), self.huber_delta_quantile)
+        if delta <= 0.0:
+            return residual
+        return np.clip(residual, -delta, delta)
+
+    def fit(self, X, y) -> "GradientBoostingRegressor":
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ValueError(
+                f"learning_rate must be in (0, 1], got {self.learning_rate}"
+            )
+        if self.loss not in ("squared", "huber"):
+            raise ValueError(f"unknown loss {self.loss!r}")
+        if not 0.0 < self.subsample <= 1.0:
+            raise ValueError(f"subsample must be in (0, 1], got {self.subsample}")
+        X, y = check_X_y(X, y)
+        rng = np.random.default_rng(self.random_state)
+        n = X.shape[0]
+
+        self.init_ = float(np.mean(y))
+        current = np.full(n, self.init_)
+        self.estimators_: list[DecisionTreeRegressor] = []
+        self.train_score_: list[float] = []
+        n_sub = max(1, int(round(self.subsample * n)))
+        for stage in range(self.n_estimators):
+            residual = y - current
+            target = self._negative_gradient(residual)
+            if self.subsample < 1.0:
+                idx = rng.choice(n, size=n_sub, replace=False)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            ).fit(X[idx], target[idx])
+            update = tree.predict(X)
+            current = current + self.learning_rate * update
+            self.estimators_.append(tree)
+            self.train_score_.append(float(np.mean((y - current) ** 2)))
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, ["estimators_"])
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.n_features_in_}"
+            )
+        out = np.full(X.shape[0], self.init_)
+        for tree in self.estimators_:
+            out += self.learning_rate * tree.predict(X)
+        return out
+
+    def staged_predict(self, X):
+        """Yield predictions after each boosting stage (for early-stop
+        diagnostics)."""
+        check_is_fitted(self, ["estimators_"])
+        X = check_array(X)
+        out = np.full(X.shape[0], self.init_)
+        for tree in self.estimators_:
+            out = out + self.learning_rate * tree.predict(X)
+            yield out.copy()

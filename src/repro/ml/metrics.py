@@ -1,0 +1,119 @@
+"""Regression metrics used across the Sizey reproduction.
+
+All metrics are vectorised, allocate no intermediate Python objects, and
+accept plain array-likes.  They are the measuring instruments both for the
+ML substrate's own tests and for the paper's evaluation (relative
+prediction error in Fig. 12, accuracy score Eq. 1, wastage accounting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_percentage_error",
+    "median_absolute_error",
+    "r2_score",
+    "pinball_loss",
+    "relative_error",
+    "under_prediction_rate",
+]
+
+
+def _pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    yt = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    yp = np.asarray(y_pred, dtype=np.float64).reshape(-1)
+    if yt.shape != yp.shape:
+        raise ValueError(f"shape mismatch: {yt.shape} vs {yp.shape}")
+    if yt.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return yt, yp
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error ``mean(|y - yhat|)``."""
+    yt, yp = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(yt - yp)))
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean squared error ``mean((y - yhat)^2)``."""
+    yt, yp = _pair(y_true, y_pred)
+    d = yt - yp
+    return float(np.mean(d * d))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Square root of :func:`mean_squared_error`."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_percentage_error(y_true, y_pred) -> float:
+    """MAPE with the conventional guard against division by zero.
+
+    Zero targets contribute ``|y - yhat| / eps`` as in scikit-learn, which
+    keeps the metric finite while still penalising errors on zero targets
+    heavily.
+    """
+    yt, yp = _pair(y_true, y_pred)
+    denom = np.maximum(np.abs(yt), np.finfo(np.float64).eps)
+    return float(np.mean(np.abs(yt - yp) / denom))
+
+
+def median_absolute_error(y_true, y_pred) -> float:
+    """Median of absolute errors; robust to outliers."""
+    yt, yp = _pair(y_true, y_pred)
+    return float(np.median(np.abs(yt - yp)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination.
+
+    Returns 0.0 for a constant target predicted exactly and a negative
+    value when the model is worse than predicting the mean; mirrors the
+    scikit-learn convention.
+    """
+    yt, yp = _pair(y_true, y_pred)
+    ss_res = float(np.sum((yt - yp) ** 2))
+    ss_tot = float(np.sum((yt - np.mean(yt)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def pinball_loss(y_true, y_pred, quantile: float) -> float:
+    """Quantile (pinball) loss for quantile regression.
+
+    ``quantile`` must lie strictly in (0, 1).  Minimising this loss yields
+    the conditional ``quantile`` of the target, which is what the
+    Witt-Wastage baseline's quantile regression lines optimise.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+    yt, yp = _pair(y_true, y_pred)
+    diff = yt - yp
+    return float(np.mean(np.maximum(quantile * diff, (quantile - 1.0) * diff)))
+
+
+def relative_error(y_true, y_pred) -> np.ndarray:
+    """Per-sample relative error ``|y - yhat| / y`` (paper Fig. 12).
+
+    Targets must be strictly positive (peak memory always is).
+    """
+    yt, yp = _pair(y_true, y_pred)
+    if np.any(yt <= 0):
+        raise ValueError("relative_error requires strictly positive targets")
+    return np.abs(yt - yp) / yt
+
+
+def under_prediction_rate(y_true, y_pred) -> float:
+    """Fraction of samples where the prediction is below the target.
+
+    An underprediction of peak memory is the failure-triggering event in
+    the paper's execution model (assumption A3).
+    """
+    yt, yp = _pair(y_true, y_pred)
+    return float(np.mean(yp < yt))

@@ -1,0 +1,216 @@
+"""Model selection: splits, K-fold cross-validation, grid search.
+
+Sizey performs "hyperparameter optimization" during full retraining and
+"caches the best hyperparameters over the workflow execution" in the
+incremental variant (paper §III-A / §III-D).  :class:`GridSearchCV` here
+supports both: ``fit`` finds the best parameter combination by K-fold
+cross-validated error, and the winning combination is exposed as
+``best_params_`` for the pool's hyper-parameter cache.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    check_random_state,
+    check_X_y,
+    clone,
+)
+from repro.ml.metrics import mean_squared_error
+
+__all__ = [
+    "train_test_split",
+    "KFold",
+    "ParameterGrid",
+    "cross_val_score",
+    "GridSearchCV",
+]
+
+
+def train_test_split(
+    X,
+    y,
+    *,
+    test_size: float = 0.25,
+    shuffle: bool = True,
+    random_state: int | None = 0,
+):
+    """Split arrays into train and test subsets.
+
+    Returns ``X_train, X_test, y_train, y_test``.  ``test_size`` is a
+    fraction in (0, 1); at least one sample lands on each side.
+    """
+    X, y = check_X_y(X, y)
+    n = X.shape[0]
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+    n_test = min(max(1, int(round(n * test_size))), n - 1)
+    idx = np.arange(n)
+    if shuffle:
+        idx = check_random_state(random_state).permutation(n)
+    test_idx = idx[:n_test]
+    train_idx = idx[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        shuffle: bool = False,
+        random_state: int | None = 0,
+    ) -> None:
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = np.asarray(X).shape[0]
+        if n < self.n_splits:
+            raise ValueError(
+                f"cannot split {n} samples into {self.n_splits} folds"
+            )
+        idx = np.arange(n)
+        if self.shuffle:
+            idx = check_random_state(self.random_state).permutation(n)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits)
+        fold_sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test = idx[start : start + size]
+            train = np.concatenate([idx[:start], idx[start + size :]])
+            yield train, test
+            start += size
+
+
+class ParameterGrid:
+    """Iterate over the cartesian product of a parameter grid.
+
+    ``grid`` maps parameter names to candidate value lists; iteration
+    yields dicts in a deterministic order (sorted keys, row-major).
+    """
+
+    def __init__(self, grid: Mapping[str, Sequence[Any]]) -> None:
+        if not grid:
+            self._keys: list[str] = []
+            self._values: list[Sequence[Any]] = []
+            return
+        for key, vals in grid.items():
+            if isinstance(vals, str) or not isinstance(vals, Sequence):
+                raise ValueError(
+                    f"grid values must be sequences; {key!r} has {vals!r}"
+                )
+            if len(vals) == 0:
+                raise ValueError(f"grid for {key!r} is empty")
+        self._keys = sorted(grid)
+        self._values = [list(grid[k]) for k in self._keys]
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        if not self._keys:
+            yield {}
+            return
+        for combo in itertools.product(*self._values):
+            yield dict(zip(self._keys, combo))
+
+    def __len__(self) -> int:
+        if not self._keys:
+            return 1
+        out = 1
+        for v in self._values:
+            out *= len(v)
+        return out
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X,
+    y,
+    *,
+    cv: KFold | int = 3,
+    scoring: Callable[[np.ndarray, np.ndarray], float] = mean_squared_error,
+) -> np.ndarray:
+    """Per-fold scores of ``estimator`` (lower = better for error metrics)."""
+    X, y = check_X_y(X, y)
+    folds = KFold(cv) if isinstance(cv, int) else cv
+    scores = []
+    for train, test in folds.split(X):
+        model = clone(estimator)
+        model.fit(X[train], y[train])
+        scores.append(scoring(y[test], model.predict(X[test])))
+    return np.asarray(scores, dtype=np.float64)
+
+
+class GridSearchCV(BaseEstimator):
+    """Exhaustive search over a parameter grid with K-fold validation.
+
+    The scoring function is an *error* (lower is better), defaulting to
+    MSE.  After ``fit`` the search exposes ``best_params_``,
+    ``best_score_``, ``best_estimator_`` (refitted on all data), and
+    ``cv_results_`` (params + mean score per candidate).
+
+    When the data are too small to split (fewer samples than folds), the
+    search degrades gracefully to in-sample scoring — essential for
+    online use where the first few observations must still produce a
+    model.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator = None,  # type: ignore[assignment]
+        param_grid: Mapping[str, Sequence[Any]] = None,  # type: ignore[assignment]
+        cv: int = 3,
+        scoring: Callable[[np.ndarray, np.ndarray], float] = mean_squared_error,
+    ) -> None:
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.cv = cv
+        self.scoring = scoring
+
+    def fit(self, X, y) -> "GridSearchCV":
+        if self.estimator is None:
+            raise ValueError("estimator must be provided")
+        X, y = check_X_y(X, y)
+        grid = ParameterGrid(self.param_grid or {})
+        n = X.shape[0]
+        results: list[dict[str, Any]] = []
+        best_score = np.inf
+        best_params: dict[str, Any] = {}
+        for params in grid:
+            if n >= self.cv and n >= 2 * self.cv:
+                scores = cross_val_score(
+                    clone(self.estimator, overrides=params),
+                    X,
+                    y,
+                    cv=KFold(self.cv),
+                    scoring=self.scoring,
+                )
+                mean_score = float(scores.mean())
+            else:
+                # Degenerate small-sample path: in-sample error.
+                model = clone(self.estimator, overrides=params)
+                model.fit(X, y)
+                mean_score = float(self.scoring(y, model.predict(X)))
+            results.append({"params": params, "mean_score": mean_score})
+            if mean_score < best_score:
+                best_score = mean_score
+                best_params = params
+        self.cv_results_ = results
+        self.best_params_ = best_params
+        self.best_score_ = best_score
+        self.best_estimator_ = clone(self.estimator, overrides=best_params).fit(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        from repro.ml.base import check_is_fitted
+
+        check_is_fitted(self, ["best_estimator_"])
+        return self.best_estimator_.predict(X)

@@ -1,0 +1,120 @@
+"""k-nearest-neighbours regression.
+
+The paper motivates KNN as the model class that lets "historical
+observations similar to the task currently estimated ... influence the
+resource prediction" (§II-B).  Workflow histories are small (tens to a
+few thousand points, few features), so brute-force distance computation
+— one vectorised matrix operation per query batch — beats tree indexes;
+this matches the HPC guide's "vectorise, avoid Python loops" advice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    RegressorMixin,
+    check_array,
+    check_is_fitted,
+    check_X_y,
+)
+
+__all__ = ["KNeighborsRegressor"]
+
+
+def _pairwise_distances(A: np.ndarray, B: np.ndarray, p: float) -> np.ndarray:
+    """Minkowski distance matrix between rows of ``A`` (queries) and ``B``."""
+    if p == 2.0:
+        # ||a-b||^2 = ||a||^2 - 2 a.b + ||b||^2 ; clip tiny negatives from
+        # cancellation before sqrt.
+        sq = (
+            np.sum(A * A, axis=1)[:, None]
+            - 2.0 * (A @ B.T)
+            + np.sum(B * B, axis=1)[None, :]
+        )
+        return np.sqrt(np.maximum(sq, 0.0))
+    if p == 1.0:
+        return np.abs(A[:, None, :] - B[None, :, :]).sum(axis=2)
+    d = np.abs(A[:, None, :] - B[None, :, :]) ** p
+    return d.sum(axis=2) ** (1.0 / p)
+
+
+class KNeighborsRegressor(BaseEstimator, RegressorMixin):
+    """Regression by (weighted) averaging of the k nearest training targets.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours; silently clipped to the training-set size at
+        predict time so the model stays usable during the first online
+        steps when history is shorter than ``k``.
+    weights:
+        ``"uniform"`` averages neighbours equally; ``"distance"`` weights
+        by inverse distance (exact matches dominate, as in scikit-learn).
+    p:
+        Minkowski exponent (1 = Manhattan, 2 = Euclidean).
+    """
+
+    def __init__(
+        self,
+        n_neighbors: int = 5,
+        weights: str = "uniform",
+        p: float = 2.0,
+    ) -> None:
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self.p = p
+
+    def fit(self, X, y) -> "KNeighborsRegressor":
+        if self.n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {self.n_neighbors}")
+        if self.weights not in ("uniform", "distance"):
+            raise ValueError(f"unknown weights {self.weights!r}")
+        if self.p <= 0:
+            raise ValueError(f"p must be positive, got {self.p}")
+        X, y = check_X_y(X, y)
+        # KNN is a lazy learner; fitting just stores (a copy of) the data.
+        self.X_train_ = X.copy()
+        self.y_train_ = y.copy()
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def partial_fit(self, X, y) -> "KNeighborsRegressor":
+        """Append new samples to the stored training set (online mode)."""
+        if not hasattr(self, "X_train_"):
+            return self.fit(X, y)
+        X, y = check_X_y(X, y)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError("feature dimension changed between updates")
+        self.X_train_ = np.vstack([self.X_train_, X])
+        self.y_train_ = np.concatenate([self.y_train_, y])
+        return self
+
+    def kneighbors(self, X, n_neighbors: int | None = None):
+        """Return (distances, indices) of the nearest training samples."""
+        check_is_fitted(self, ["X_train_"])
+        X = check_array(X)
+        k = n_neighbors if n_neighbors is not None else self.n_neighbors
+        k = min(k, self.X_train_.shape[0])
+        dist = _pairwise_distances(X, self.X_train_, self.p)
+        # argpartition gives the k smallest in O(n); sort only those k.
+        idx = np.argpartition(dist, kth=k - 1, axis=1)[:, :k]
+        row = np.arange(X.shape[0])[:, None]
+        d_k = dist[row, idx]
+        order = np.argsort(d_k, axis=1, kind="stable")
+        return d_k[row, order], idx[row, order]
+
+    def predict(self, X) -> np.ndarray:
+        dist, idx = self.kneighbors(X)
+        targets = self.y_train_[idx]
+        if self.weights == "uniform":
+            return targets.mean(axis=1)
+        # Inverse-distance weighting; rows containing an exact match
+        # average the exact matches only (scikit-learn convention).
+        with np.errstate(divide="ignore"):
+            w = 1.0 / dist
+        exact = dist == 0.0
+        has_exact = exact.any(axis=1)
+        w[has_exact] = exact[has_exact].astype(np.float64)
+        return (w * targets).sum(axis=1) / w.sum(axis=1)

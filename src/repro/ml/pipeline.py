@@ -1,0 +1,87 @@
+"""Transformer/estimator pipelines.
+
+A minimal counterpart of sklearn's ``Pipeline``: a chain of transformers
+(objects with ``fit``/``transform``) ending in an estimator.  Sizey's
+model slots hand-roll their scaling today; the pipeline exists for users
+composing custom model classes (``examples/custom_model.py``) without
+re-implementing the plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, RegressorMixin, check_is_fitted, clone
+
+__all__ = ["Pipeline", "make_pipeline"]
+
+
+class Pipeline(BaseEstimator, RegressorMixin):
+    """Chain of ``(name, transformer)`` steps ending in an estimator."""
+
+    def __init__(self, steps: Sequence[tuple[str, Any]] = ()) -> None:
+        self.steps = list(steps)
+
+    def _validate(self) -> None:
+        if not self.steps:
+            raise ValueError("pipeline needs at least one step")
+        names = [n for n, _ in self.steps]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate step names: {names}")
+        for name, step in self.steps[:-1]:
+            if not hasattr(step, "transform"):
+                raise TypeError(
+                    f"intermediate step {name!r} must implement transform"
+                )
+        last = self.steps[-1][1]
+        if not hasattr(last, "fit") or not hasattr(last, "predict"):
+            raise TypeError("final step must be an estimator (fit/predict)")
+
+    @property
+    def named_steps(self) -> dict[str, Any]:
+        return dict(self.steps)
+
+    def fit(self, X, y) -> "Pipeline":
+        self._validate()
+        self.steps_ = [(name, clone(step)) for name, step in self.steps]
+        data = np.asarray(X, dtype=np.float64)
+        for _, step in self.steps_[:-1]:
+            data = step.fit(data).transform(data)
+        self.steps_[-1][1].fit(data, y)
+        return self
+
+    def _transform_through(self, X) -> np.ndarray:
+        check_is_fitted(self, ["steps_"])
+        data = np.asarray(X, dtype=np.float64)
+        for _, step in self.steps_[:-1]:
+            data = step.transform(data)
+        return data
+
+    def predict(self, X) -> np.ndarray:
+        return self.steps_[-1][1].predict(self._transform_through(X))
+
+    def partial_fit(self, X, y) -> "Pipeline":
+        """Incremental update: every step must support ``partial_fit``."""
+        if not hasattr(self, "steps_"):
+            self._validate()
+            self.steps_ = [(name, clone(step)) for name, step in self.steps]
+        data = np.asarray(X, dtype=np.float64)
+        for name, step in self.steps_[:-1]:
+            if not hasattr(step, "partial_fit"):
+                raise TypeError(f"step {name!r} does not support partial_fit")
+            step.partial_fit(data)
+            data = step.transform(data)
+        final = self.steps_[-1][1]
+        if not hasattr(final, "partial_fit"):
+            raise TypeError("final estimator does not support partial_fit")
+        final.partial_fit(data, y)
+        return self
+
+
+def make_pipeline(*steps: Any) -> Pipeline:
+    """Build a pipeline with auto-generated step names."""
+    return Pipeline(
+        [(f"step{i}_{type(s).__name__.lower()}", s) for i, s in enumerate(steps)]
+    )

@@ -1,0 +1,164 @@
+"""Feature scalers.
+
+Sizey's MLP and KNN models are scale-sensitive, so the model pool wraps
+them with a scaler fitted online.  All scalers support ``partial_fit`` so
+the incremental-update mode (paper §III-D) never re-reads history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array, check_is_fitted
+
+__all__ = ["StandardScaler", "MinMaxScaler", "RobustScaler"]
+
+
+class StandardScaler(BaseEstimator):
+    """Standardise features to zero mean and unit variance.
+
+    Uses Welford/Chan parallel moments for ``partial_fit`` so online
+    updates are O(d) per batch and numerically stable.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_array(X)
+        self.n_samples_seen_ = X.shape[0]
+        self.mean_ = X.mean(axis=0)
+        self.var_ = X.var(axis=0)
+        self.scale_ = self._compute_scale()
+        return self
+
+    def partial_fit(self, X) -> "StandardScaler":
+        X = check_array(X)
+        if not hasattr(self, "n_samples_seen_"):
+            return self.fit(X)
+        n_a = self.n_samples_seen_
+        n_b = X.shape[0]
+        mean_b = X.mean(axis=0)
+        var_b = X.var(axis=0)
+        delta = mean_b - self.mean_
+        n = n_a + n_b
+        # Chan et al. parallel combination of means and variances.
+        self.mean_ = self.mean_ + delta * (n_b / n)
+        m_a = self.var_ * n_a
+        m_b = var_b * n_b
+        m2 = m_a + m_b + delta**2 * (n_a * n_b / n)
+        self.var_ = m2 / n
+        self.n_samples_seen_ = n
+        self.scale_ = self._compute_scale()
+        return self
+
+    def _compute_scale(self) -> np.ndarray:
+        std = np.sqrt(self.var_)
+        # Constant features scale to 1.0 so transform is a no-op on them.
+        return np.where(std > 0.0, std, 1.0)
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ["mean_", "scale_"])
+        X = check_array(X)
+        out = X
+        if self.with_mean:
+            out = out - self.mean_
+        if self.with_std:
+            out = out / self.scale_
+        return out
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ["mean_", "scale_"])
+        X = check_array(X)
+        out = X
+        if self.with_std:
+            out = out * self.scale_
+        if self.with_mean:
+            out = out + self.mean_
+        return out
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features to a fixed range (default [0, 1])."""
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        self.feature_range = feature_range
+
+    def fit(self, X) -> "MinMaxScaler":
+        lo, hi = self.feature_range
+        if lo >= hi:
+            raise ValueError(f"invalid feature_range {self.feature_range}")
+        X = check_array(X)
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        self._update_scale()
+        return self
+
+    def partial_fit(self, X) -> "MinMaxScaler":
+        X = check_array(X)
+        if not hasattr(self, "data_min_"):
+            return self.fit(X)
+        self.data_min_ = np.minimum(self.data_min_, X.min(axis=0))
+        self.data_max_ = np.maximum(self.data_max_, X.max(axis=0))
+        self._update_scale()
+        return self
+
+    def _update_scale(self) -> None:
+        lo, hi = self.feature_range
+        rng = self.data_max_ - self.data_min_
+        rng = np.where(rng > 0.0, rng, 1.0)
+        self.scale_ = (hi - lo) / rng
+        self.min_ = lo - self.data_min_ * self.scale_
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ["scale_", "min_"])
+        X = check_array(X)
+        return X * self.scale_ + self.min_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ["scale_", "min_"])
+        X = check_array(X)
+        return (X - self.min_) / self.scale_
+
+
+class RobustScaler(BaseEstimator):
+    """Scale using the median and inter-quartile range.
+
+    Robust to the heavy-tailed peak-memory outliers common in workflow
+    traces (Fig. 1 shows long upper tails for several task types).
+    """
+
+    def __init__(self, quantile_range: tuple[float, float] = (25.0, 75.0)) -> None:
+        self.quantile_range = quantile_range
+
+    def fit(self, X) -> "RobustScaler":
+        q_lo, q_hi = self.quantile_range
+        if not 0 <= q_lo < q_hi <= 100:
+            raise ValueError(f"invalid quantile_range {self.quantile_range}")
+        X = check_array(X)
+        self.center_ = np.median(X, axis=0)
+        lo = np.percentile(X, q_lo, axis=0)
+        hi = np.percentile(X, q_hi, axis=0)
+        iqr = hi - lo
+        self.scale_ = np.where(iqr > 0.0, iqr, 1.0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ["center_", "scale_"])
+        X = check_array(X)
+        return (X - self.center_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ["center_", "scale_"])
+        X = check_array(X)
+        return X * self.scale_ + self.center_

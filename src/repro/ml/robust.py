@@ -1,0 +1,96 @@
+"""Robust linear regression (Huber loss via IRLS).
+
+Peak-memory histories occasionally contain wild outliers (a task hitting
+swap-adjacent pathological inputs); ordinary least squares lets a single
+such point rotate the whole line.  The Huber M-estimator keeps the
+efficient quadratic behaviour near the fit while bounding the influence
+of outliers, solved here with iteratively reweighted least squares.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    RegressorMixin,
+    check_array,
+    check_is_fitted,
+    check_X_y,
+)
+
+__all__ = ["HuberRegressor"]
+
+
+class HuberRegressor(BaseEstimator, RegressorMixin):
+    """Linear model minimising the Huber loss.
+
+    Parameters
+    ----------
+    delta:
+        Transition point between quadratic and linear loss, in units of
+        the robust residual scale (MAD); 1.35 gives ~95 % efficiency on
+        Gaussian data.
+    max_iter, tol:
+        IRLS iteration limits.
+    fit_intercept:
+        Whether to estimate an intercept term.
+    """
+
+    def __init__(
+        self,
+        delta: float = 1.35,
+        max_iter: int = 100,
+        tol: float = 1e-8,
+        fit_intercept: bool = True,
+    ) -> None:
+        self.delta = delta
+        self.max_iter = max_iter
+        self.tol = tol
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y) -> "HuberRegressor":
+        if self.delta <= 0:
+            raise ValueError(f"delta must be positive, got {self.delta}")
+        X, y = check_X_y(X, y)
+        design = (
+            np.hstack([X, np.ones((X.shape[0], 1))]) if self.fit_intercept else X
+        )
+        beta, *_ = np.linalg.lstsq(design, y, rcond=None)  # OLS start
+        for _ in range(self.max_iter):
+            resid = y - design @ beta
+            # Robust scale: median absolute deviation (consistent for
+            # the Gaussian via the 0.6745 factor).
+            mad = np.median(np.abs(resid - np.median(resid))) / 0.6745
+            scale = max(mad, 1e-12)
+            z = np.abs(resid) / scale
+            # Huber weights: 1 inside delta, delta/|z| outside.
+            w = np.where(z <= self.delta, 1.0, self.delta / np.maximum(z, 1e-12))
+            wd = design * w[:, None]
+            gram = wd.T @ design
+            try:
+                beta_new = np.linalg.solve(gram, wd.T @ y)
+            except np.linalg.LinAlgError:  # singular weighted design
+                beta_new, *_ = np.linalg.lstsq(wd, w * y, rcond=None)
+            if np.max(np.abs(beta_new - beta)) < self.tol:
+                beta = beta_new
+                break
+            beta = beta_new
+        if self.fit_intercept:
+            self.coef_ = beta[:-1]
+            self.intercept_ = float(beta[-1])
+        else:
+            self.coef_ = beta
+            self.intercept_ = 0.0
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, ["coef_"])
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.n_features_in_}"
+            )
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,242 @@
+"""CART regression trees.
+
+The building block for :class:`repro.ml.forest.RandomForestRegressor`,
+one of Sizey's four model classes ("makes our method more resistant to
+overfitting, especially when there are not many historical task
+executions", paper §II-B).
+
+The implementation is a standard variance-reduction CART grower.  Split
+search is fully vectorised per (node, feature): candidate thresholds are
+midpoints between consecutive sorted unique values, and the sum of child
+variances is computed with cumulative sums in O(n) per feature, no Python
+inner loop — the hot path the HPC guide tells us to vectorise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    RegressorMixin,
+    check_array,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a value, internal nodes a split."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: int = -1
+    right: int = -1
+    value: float = 0.0
+    n_samples: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left < 0
+
+
+def _best_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    feature_idx: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[int, float, float]:
+    """Return (feature, threshold, score_gain) of the best split.
+
+    ``score_gain`` is the reduction in total squared error; returns
+    feature == -1 when no valid split exists.
+    """
+    n = y.shape[0]
+    total_sq = float(y @ y)
+    total_sum = float(y.sum())
+    parent_sse = total_sq - total_sum**2 / n
+
+    best_feat, best_thr, best_gain = -1, 0.0, 0.0
+    for f in feature_idx:
+        col = X[:, f]
+        order = np.argsort(col, kind="stable")
+        xs = col[order]
+        ys = y[order]
+        # Candidate split positions: between distinct consecutive values,
+        # respecting min_samples_leaf on both sides.
+        csum = np.cumsum(ys)
+        csq = np.cumsum(ys * ys)
+        pos = np.arange(1, n)  # left child size at candidate i
+        valid = (xs[1:] != xs[:-1]) & (pos >= min_samples_leaf) & (
+            n - pos >= min_samples_leaf
+        )
+        if not np.any(valid):
+            continue
+        left_n = pos[valid].astype(np.float64)
+        right_n = n - left_n
+        left_sum = csum[:-1][valid]
+        left_sq = csq[:-1][valid]
+        right_sum = total_sum - left_sum
+        right_sq = total_sq - left_sq
+        sse = (
+            left_sq
+            - left_sum**2 / left_n
+            + right_sq
+            - right_sum**2 / right_n
+        )
+        i = int(np.argmin(sse))
+        gain = parent_sse - float(sse[i])
+        if gain > best_gain:
+            where = np.flatnonzero(valid)[i]
+            best_feat = int(f)
+            best_thr = float(0.5 * (xs[where] + xs[where + 1]))
+            best_gain = gain
+    return best_feat, best_thr, best_gain
+
+
+class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
+    """CART regression tree minimising squared error.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum depth (``None`` = grow until pure / size limits).
+    min_samples_split:
+        Minimum samples required to attempt a split.
+    min_samples_leaf:
+        Minimum samples in each child.
+    max_features:
+        Features examined per split: ``None`` (all), ``"sqrt"``,
+        ``"log2"``, an int, or a float fraction.  Randomised selection is
+        what decorrelates trees inside the random forest.
+    random_state:
+        Seed for the feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        random_state: int | None = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    def _n_features_to_use(self, d: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return d
+        if isinstance(mf, str):
+            if mf == "sqrt":
+                return max(1, int(np.sqrt(d)))
+            if mf == "log2":
+                return max(1, int(np.log2(d)) if d > 1 else 1)
+            raise ValueError(f"unknown max_features {mf!r}")
+        if isinstance(mf, float):
+            if not 0.0 < mf <= 1.0:
+                raise ValueError(f"max_features fraction must be in (0,1], got {mf}")
+            return max(1, int(mf * d))
+        if isinstance(mf, int):
+            if not 1 <= mf <= d:
+                raise ValueError(f"max_features must be in [1, {d}], got {mf}")
+            return mf
+        raise ValueError(f"invalid max_features {mf!r}")
+
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        if self.min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if self.min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1 or None")
+        X, y = check_X_y(X, y)
+        rng = check_random_state(self.random_state)
+        d = X.shape[1]
+        k = self._n_features_to_use(d)
+
+        nodes: list[_Node] = []
+
+        def grow(sample_idx: np.ndarray, depth: int) -> int:
+            node_id = len(nodes)
+            ys = y[sample_idx]
+            node = _Node(value=float(ys.mean()), n_samples=sample_idx.shape[0])
+            nodes.append(node)
+            if (
+                sample_idx.shape[0] < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or np.all(ys == ys[0])
+            ):
+                return node_id
+            feats = (
+                np.arange(d)
+                if k == d
+                else rng.choice(d, size=k, replace=False)
+            )
+            f, thr, gain = _best_split(
+                X[sample_idx], ys, feats, self.min_samples_leaf
+            )
+            if f < 0 or gain <= 0.0:
+                return node_id
+            mask = X[sample_idx, f] <= thr
+            node.feature = f
+            node.threshold = thr
+            node.left = grow(sample_idx[mask], depth + 1)
+            node.right = grow(sample_idx[~mask], depth + 1)
+            return node_id
+
+        grow(np.arange(X.shape[0]), 0)
+        self.nodes_ = nodes
+        self.n_features_in_ = d
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, ["nodes_"])
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.n_features_in_}"
+            )
+        nodes = self.nodes_
+        out = np.empty(X.shape[0], dtype=np.float64)
+        # Iterative descent; trees from workflow histories are shallow so
+        # this loop is cheap, and level-order vectorisation would not pay
+        # for itself at these sizes (profile before optimising).
+        for i in range(X.shape[0]):
+            nid = 0
+            node = nodes[0]
+            while not node.is_leaf:
+                nid = node.left if X[i, node.feature] <= node.threshold else node.right
+                node = nodes[nid]
+            out[i] = node.value
+        return out
+
+    @property
+    def depth_(self) -> int:
+        """Depth of the fitted tree (root = depth 0)."""
+        check_is_fitted(self, ["nodes_"])
+
+        def walk(nid: int) -> int:
+            node = self.nodes_[nid]
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(0)
+
+    @property
+    def n_leaves_(self) -> int:
+        """Number of leaves of the fitted tree."""
+        check_is_fitted(self, ["nodes_"])
+        return sum(1 for n in self.nodes_ if n.is_leaf)

@@ -1,0 +1,12 @@
+"""Provenance database substrate.
+
+The SWMS-side store Sizey queries in Phase 1 of the paper's Fig. 3: it
+holds one record per (attempted) task execution — task name, machine,
+input features, measured peak memory, runtime, and success flag — and
+supports the online insertions of Phase 3.
+"""
+
+from repro.provenance.database import ProvenanceDatabase
+from repro.provenance.records import TaskRecord
+
+__all__ = ["TaskRecord", "ProvenanceDatabase"]

@@ -1,0 +1,171 @@
+"""In-memory provenance database with per-(task, machine) indexes.
+
+Append-only store; queries return NumPy views over pre-grown arrays so
+the online hot path (one insert + one query per task completion) does no
+per-call list-to-array conversion.  Capacity doubles amortised, like a
+C++ vector — the "be easy on the memory" guide idiom applied to growth.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.provenance.records import TaskRecord
+
+__all__ = ["ProvenanceDatabase"]
+
+
+class _ColumnStore:
+    """Growable column store for one (task type, machine) partition."""
+
+    _INITIAL = 32
+
+    def __init__(self) -> None:
+        cap = self._INITIAL
+        self.size = 0
+        self._inputs = np.empty(cap, dtype=np.float64)
+        self._peaks = np.empty(cap, dtype=np.float64)
+        self._runtimes = np.empty(cap, dtype=np.float64)
+        self._timestamps = np.empty(cap, dtype=np.int64)
+        self._success = np.empty(cap, dtype=bool)
+
+    def _grow(self) -> None:
+        cap = self._inputs.shape[0] * 2
+        for name in ("_inputs", "_peaks", "_runtimes", "_timestamps", "_success"):
+            old = getattr(self, name)
+            new = np.empty(cap, dtype=old.dtype)
+            new[: self.size] = old[: self.size]
+            setattr(self, name, new)
+
+    def append(self, rec: TaskRecord) -> None:
+        if self.size == self._inputs.shape[0]:
+            self._grow()
+        i = self.size
+        self._inputs[i] = rec.input_size_mb
+        self._peaks[i] = rec.peak_memory_mb
+        self._runtimes[i] = rec.runtime_hours
+        self._timestamps[i] = rec.timestamp
+        self._success[i] = rec.success
+        self.size += 1
+
+    def view(self, name: str) -> np.ndarray:
+        return getattr(self, name)[: self.size]
+
+
+class ProvenanceDatabase:
+    """Append-only provenance store indexed by (task type, machine).
+
+    The ``machine`` dimension exists because Sizey's model granularity is
+    per task-machine pair (paper Fig. 4); queries may also aggregate over
+    machines by passing ``machine=None``.
+    """
+
+    def __init__(self) -> None:
+        self._partitions: dict[tuple[str, str], _ColumnStore] = defaultdict(
+            _ColumnStore
+        )
+        self._records: list[TaskRecord] = []
+        self._max_peak: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(self, rec: TaskRecord) -> None:
+        """Store one execution record (Phase 3 of the paper's Fig. 3)."""
+        self._partitions[rec.pool_key].append(rec)
+        self._records.append(rec)
+        if rec.success:
+            prev = self._max_peak.get(rec.task_type, 0.0)
+            if rec.peak_memory_mb > prev:
+                self._max_peak[rec.task_type] = rec.peak_memory_mb
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> list[TaskRecord]:
+        return list(self._records)
+
+    def partitions(self) -> list[tuple[str, str]]:
+        """All (task type, machine) keys with at least one record."""
+        return sorted(self._partitions)
+
+    def count(self, task_type: str, machine: str | None = None) -> int:
+        """Number of records for a task type (optionally one machine)."""
+        return sum(
+            store.size
+            for (t, m), store in self._partitions.items()
+            if t == task_type and (machine is None or m == machine)
+        )
+
+    def _stores_for(
+        self, task_type: str, machine: str | None
+    ) -> list[_ColumnStore]:
+        return [
+            store
+            for (t, m), store in self._partitions.items()
+            if t == task_type and (machine is None or m == machine)
+        ]
+
+    def training_arrays(
+        self,
+        task_type: str,
+        machine: str | None = None,
+        *,
+        include_failures: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(X, y)`` for model training.
+
+        ``X`` is the ``(n, 1)`` input-size matrix and ``y`` the measured
+        peak memory.  Failed attempts are excluded by default: their
+        recorded "peak" is merely the exceeded allocation, a lower bound
+        that would bias models downward — the exact wrong direction for
+        a failure-avoiding predictor.
+        """
+        stores = self._stores_for(task_type, machine)
+        if not stores:
+            return np.empty((0, 1)), np.empty(0)
+        xs, ys = [], []
+        for store in stores:
+            ok = (
+                np.ones(store.size, dtype=bool)
+                if include_failures
+                else store.view("_success")
+            )
+            xs.append(store.view("_inputs")[ok])
+            ys.append(store.view("_peaks")[ok])
+        x = np.concatenate(xs)
+        y = np.concatenate(ys)
+        return x.reshape(-1, 1), y
+
+    def peaks(self, task_type: str, machine: str | None = None) -> np.ndarray:
+        """Successful peak-memory observations (for percentile baselines)."""
+        _, y = self.training_arrays(task_type, machine)
+        return y
+
+    def runtimes(self, task_type: str, machine: str | None = None) -> np.ndarray:
+        """Runtimes of successful executions."""
+        stores = self._stores_for(task_type, machine)
+        if not stores:
+            return np.empty(0)
+        return np.concatenate(
+            [s.view("_runtimes")[s.view("_success")] for s in stores]
+        )
+
+    def max_observed_peak(self, task_type: str) -> float | None:
+        """Largest successful peak ever seen for ``task_type``.
+
+        This is the allocation the paper's failure handler jumps to after
+        the first underprediction failure ("the maximum amount of task
+        memory ever observed is allocated", §II-E).
+        """
+        return self._max_peak.get(task_type)
+
+    def known_task_types(self) -> set[str]:
+        """Task types with at least one successful record."""
+        return set(self._max_peak)

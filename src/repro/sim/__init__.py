@@ -1,0 +1,30 @@
+"""Online replay simulator.
+
+The paper evaluates all methods by "simulat[ing] an online environment
+where our measured real-world metrics from completed task executions can
+be incorporated into the learning process" (§III-A).  This package is
+that environment:
+
+- :mod:`repro.sim.interface` -- the predictor contract every method
+  (Sizey and all baselines) implements, and the task-submission view
+  that hides ground truth from predictors.
+- :mod:`repro.sim.engine` -- the replay loop: predict, allocate, execute
+  under strict limits, retry on failure, learn online.
+- :mod:`repro.sim.results` -- per-run results and aggregation.
+- :mod:`repro.sim.runner` -- the (workflow x method) experiment grid with
+  optional process parallelism.
+"""
+
+from repro.sim.engine import OnlineSimulator
+from repro.sim.interface import MemoryPredictor, TaskSubmission
+from repro.sim.results import SimulationResult, aggregate_results
+from repro.sim.runner import run_grid
+
+__all__ = [
+    "MemoryPredictor",
+    "TaskSubmission",
+    "OnlineSimulator",
+    "SimulationResult",
+    "aggregate_results",
+    "run_grid",
+]

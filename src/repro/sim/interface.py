@@ -1,0 +1,96 @@
+"""Predictor contract shared by Sizey and every baseline.
+
+The simulator only ever talks to predictors through this interface, so
+all methods play under identical rules: they see a
+:class:`TaskSubmission` (no ground truth), return an allocation in MB,
+receive a :class:`~repro.provenance.records.TaskRecord` after each
+attempt, and are asked for a new allocation after a failure.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.provenance.records import TaskRecord
+from repro.workflow.task import TaskInstance
+
+__all__ = ["TaskSubmission", "MemoryPredictor"]
+
+
+@dataclass(frozen=True)
+class TaskSubmission:
+    """The predictor-visible view of a submitted task instance.
+
+    Deliberately excludes ground-truth peak memory and runtime — those
+    are only revealed through provenance records after execution.
+    """
+
+    task_type: str
+    workflow: str
+    machine: str
+    instance_id: int
+    input_size_mb: float
+    preset_memory_mb: float
+    timestamp: int
+
+    @classmethod
+    def from_instance(cls, inst: TaskInstance, timestamp: int) -> "TaskSubmission":
+        return cls(
+            task_type=inst.task_type.name,
+            workflow=inst.task_type.workflow,
+            machine=inst.machine,
+            instance_id=inst.instance_id,
+            input_size_mb=inst.input_size_mb,
+            preset_memory_mb=inst.task_type.preset_memory_mb,
+            timestamp=timestamp,
+        )
+
+    @property
+    def features(self) -> np.ndarray:
+        """Feature vector (shape ``(1, d)``) for model queries."""
+        return np.array([[self.input_size_mb]], dtype=np.float64)
+
+    @property
+    def pool_key(self) -> tuple[str, str]:
+        """(task type, machine) — Sizey's model granularity key."""
+        return (self.task_type, self.machine)
+
+
+class MemoryPredictor(ABC):
+    """Interface every memory-sizing method implements.
+
+    Lifecycle per task instance, driven by the simulator::
+
+        alloc = predictor.predict(task)
+        while attempt fails:
+            predictor.observe(failure_record)
+            alloc = predictor.on_failure(task, alloc, attempt)
+        predictor.observe(success_record)
+
+    ``observe`` is the online-learning hook (paper Phase 3); predictors
+    that do not learn online simply ignore it.
+    """
+
+    #: Human-readable method name used in result tables.
+    name: str = "predictor"
+
+    @abstractmethod
+    def predict(self, task: TaskSubmission) -> float:
+        """Memory allocation (MB) for the first attempt of ``task``."""
+
+    def observe(self, record: TaskRecord) -> None:
+        """Ingest an execution record (success or failure)."""
+
+    def on_failure(
+        self, task: TaskSubmission, failed_allocation_mb: float, attempt: int
+    ) -> float:
+        """Allocation for the next attempt after a failure.
+
+        Default policy: double the failed allocation (the common
+        failure-handling strategy of the Witt baselines).  ``attempt`` is
+        the 1-based index of the attempt that just failed.
+        """
+        return failed_allocation_mb * 2.0

@@ -1,0 +1,114 @@
+"""Simulation results and cross-workflow aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.accounting import WastageLedger
+
+__all__ = ["PredictionLog", "SimulationResult", "aggregate_results"]
+
+
+@dataclass(frozen=True)
+class PredictionLog:
+    """Per-task-instance summary emitted by the simulator."""
+
+    instance_id: int
+    task_type: str
+    workflow: str
+    timestamp: int
+    input_size_mb: float
+    true_peak_mb: float
+    true_runtime_hours: float
+    first_allocation_mb: float
+    final_allocation_mb: float
+    n_attempts: int
+
+    @property
+    def failed_attempts(self) -> int:
+        return self.n_attempts - 1
+
+    @property
+    def first_attempt_over_mb(self) -> float:
+        """Over-allocation of the first attempt (negative = underprediction)."""
+        return self.first_allocation_mb - self.true_peak_mb
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured while one method ran one workflow trace."""
+
+    workflow: str
+    method: str
+    time_to_failure: float
+    ledger: WastageLedger
+    predictions: list[PredictionLog] = field(default_factory=list)
+
+    @property
+    def total_wastage_gbh(self) -> float:
+        return self.ledger.total_wastage_gbh
+
+    @property
+    def total_runtime_hours(self) -> float:
+        return self.ledger.total_runtime_hours
+
+    @property
+    def num_failures(self) -> int:
+        return self.ledger.num_failures
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.predictions)
+
+    def failures_by_task_type(self) -> dict[str, int]:
+        return self.ledger.failures_by_task_type()
+
+    def wastage_by_task_type(self) -> dict[str, float]:
+        return self.ledger.wastage_by_task_type()
+
+    def failure_distribution(self) -> np.ndarray:
+        """Failures aggregated by task type (the Fig. 8c box-plot data).
+
+        Includes zero entries for task types that never failed, so the
+        distribution is over *all* task types of the workflow.
+        """
+        types = {p.task_type for p in self.predictions}
+        per_type = self.ledger.failures_by_task_type()
+        return np.array(
+            [per_type.get(t, 0) for t in sorted(types)], dtype=np.int64
+        )
+
+    def over_allocation_ratio(self) -> float:
+        """Mean allocated/used ratio of successful first attempts."""
+        ratios = [
+            p.first_allocation_mb / p.true_peak_mb
+            for p in self.predictions
+            if p.first_allocation_mb >= p.true_peak_mb
+        ]
+        return float(np.mean(ratios)) if ratios else float("nan")
+
+
+def aggregate_results(results: list[SimulationResult]) -> dict[str, object]:
+    """Aggregate one method's results over multiple workflows (Fig. 8).
+
+    Returns totals plus the pooled per-task-type failure distribution.
+    """
+    if not results:
+        raise ValueError("no results to aggregate")
+    methods = {r.method for r in results}
+    if len(methods) != 1:
+        raise ValueError(f"cannot aggregate across methods: {sorted(methods)}")
+    failure_counts: list[int] = []
+    for r in results:
+        failure_counts.extend(r.failure_distribution().tolist())
+    return {
+        "method": results[0].method,
+        "total_wastage_gbh": sum(r.total_wastage_gbh for r in results),
+        "total_runtime_hours": sum(r.total_runtime_hours for r in results),
+        "num_failures": sum(r.num_failures for r in results),
+        "num_tasks": sum(r.num_tasks for r in results),
+        "per_workflow_wastage": {r.workflow: r.total_wastage_gbh for r in results},
+        "failure_distribution": np.asarray(failure_counts, dtype=np.int64),
+    }

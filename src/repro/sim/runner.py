@@ -1,0 +1,74 @@
+"""Experiment grid runner: (workflow x method) cells, optionally parallel.
+
+Each cell is independent — a fresh predictor instance replays one
+workflow trace — so the grid fans out over a process pool when asked.
+Predictors are supplied as zero-argument factories (not instances) so
+every cell starts untrained and the work ships to workers as picklable
+callables.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Mapping
+
+from repro.cluster.manager import ResourceManager
+from repro.sim.engine import OnlineSimulator
+from repro.sim.interface import MemoryPredictor
+from repro.sim.results import SimulationResult
+from repro.workflow.task import WorkflowTrace
+
+__all__ = ["run_cell", "run_grid"]
+
+PredictorFactory = Callable[[], MemoryPredictor]
+
+
+def run_cell(
+    trace: WorkflowTrace,
+    factory: PredictorFactory,
+    time_to_failure: float = 1.0,
+) -> SimulationResult:
+    """Run one (workflow, method) cell with a fresh predictor and cluster."""
+    sim = OnlineSimulator(
+        trace, manager=ResourceManager(), time_to_failure=time_to_failure
+    )
+    return sim.run(factory())
+
+
+def _run_cell_star(
+    args: tuple[WorkflowTrace, PredictorFactory, float],
+) -> SimulationResult:
+    return run_cell(*args)
+
+
+def run_grid(
+    traces: Mapping[str, WorkflowTrace],
+    factories: Mapping[str, PredictorFactory],
+    time_to_failure: float = 1.0,
+    n_workers: int = 1,
+) -> dict[str, dict[str, SimulationResult]]:
+    """Run every method on every workflow.
+
+    Returns ``results[method][workflow]``.  With ``n_workers > 1`` the
+    cells run in separate processes; traces and factories must then be
+    picklable (all built-ins here are).
+    """
+    cells = [
+        (method, wf, (trace, factory, time_to_failure))
+        for method, factory in factories.items()
+        for wf, trace in traces.items()
+    ]
+    results: dict[str, dict[str, SimulationResult]] = {
+        m: {} for m in factories
+    }
+    if n_workers <= 1:
+        for method, wf, args in cells:
+            results[method][wf] = _run_cell_star(args)
+        return results
+
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        for (method, wf, _), res in zip(
+            cells, pool.map(_run_cell_star, [c[2] for c in cells])
+        ):
+            results[method][wf] = res
+    return results

@@ -1,0 +1,31 @@
+"""Scientific-workflow task model and synthetic trace generation.
+
+A workflow is a DAG of black-box *task types*; each task type is a
+template instantiated into many *physical task instances* with concrete
+inputs (paper §I).  This package provides:
+
+- :mod:`repro.workflow.task` -- the task-type / task-instance data model.
+- :mod:`repro.workflow.dag` -- the workflow DAG with validation and
+  topological stage ordering.
+- :mod:`repro.workflow.archetypes` -- parametric memory/runtime behaviour
+  models (linear, sub-linear, quadratic, bimodal, heavy-tail constant)
+  calibrated to the shapes in the paper's Figs. 1 and 2.
+- :mod:`repro.workflow.generator` -- deterministic trace generation.
+- :mod:`repro.workflow.nfcore` -- the six evaluation workflows (eager,
+  methylseq, chipseq, rnaseq, mag, iwd) parameterised with the paper's
+  Table I statistics.
+"""
+
+from repro.workflow.dag import WorkflowDAG
+from repro.workflow.generator import TaskTypeSpec, WorkflowSpec, generate_trace
+from repro.workflow.task import TaskInstance, TaskType, WorkflowTrace
+
+__all__ = [
+    "TaskType",
+    "TaskInstance",
+    "WorkflowTrace",
+    "WorkflowDAG",
+    "TaskTypeSpec",
+    "WorkflowSpec",
+    "generate_trace",
+]

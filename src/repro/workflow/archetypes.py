@@ -1,0 +1,211 @@
+"""Parametric task-behaviour archetypes.
+
+The paper's evaluation rests on the observation that different task types
+exhibit *different* relationships between input size and peak memory
+(Figs. 1 and 2): some are cleanly linear (MarkDuplicates), some bimodal
+(BaseRecalibrator — "using a linear model ... would lead to half of the
+task instances failing"), some nearly input-independent with wide spread
+(lcextrap).  Each archetype below generates ground-truth peak memory,
+runtime, CPU and I/O figures for a task instance given its input size.
+
+All archetypes are deterministic functions of (input size, RNG), so a
+seeded generator reproduces a trace bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MemoryArchetype",
+    "LinearMemory",
+    "SublinearMemory",
+    "PolynomialMemory",
+    "BimodalMemory",
+    "ConstantHeavyTailMemory",
+    "SaturatingMemory",
+    "RuntimeModel",
+    "ARCHETYPE_REGISTRY",
+]
+
+
+class MemoryArchetype:
+    """Base class: maps input size (MB) to peak memory (MB), stochastically."""
+
+    def sample(self, input_mb: float, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def _positive(self, value: float, floor: float = 16.0) -> float:
+        """Clamp to a sane positive floor (tasks never use < ~16 MB)."""
+        return max(float(value), floor)
+
+
+@dataclass
+class LinearMemory(MemoryArchetype):
+    """``mem = slope * input + intercept`` with Gaussian noise.
+
+    The MarkDuplicates shape in Fig. 2 (clear linear correlation).
+    ``noise_frac`` is multiplicative jitter (scales with the memory
+    level, i.e. heteroscedastic); ``noise_mb`` is additive jitter (a
+    fixed spread from buffers/runtime overhead, independent of input).
+    Most real tools are dominated by the additive component.
+    """
+
+    slope: float = 4.0
+    intercept_mb: float = 512.0
+    noise_frac: float = 0.03
+    noise_mb: float = 0.0
+
+    def sample(self, input_mb: float, rng: np.random.Generator) -> float:
+        base = self.slope * input_mb + self.intercept_mb
+        value = base * (1.0 + rng.normal(0.0, self.noise_frac)) if self.noise_frac else base
+        if self.noise_mb:
+            value += rng.normal(0.0, self.noise_mb)
+        return self._positive(value)
+
+
+@dataclass
+class SublinearMemory(MemoryArchetype):
+    """``mem = coef * input^exponent + intercept`` with ``exponent < 1``.
+
+    Streaming tools whose working set grows with the square root (or
+    similar) of input size.
+    """
+
+    coef: float = 64.0
+    exponent: float = 0.5
+    intercept_mb: float = 256.0
+    noise_frac: float = 0.05
+    noise_mb: float = 0.0
+
+    def sample(self, input_mb: float, rng: np.random.Generator) -> float:
+        base = self.coef * input_mb**self.exponent + self.intercept_mb
+        value = base * (1.0 + rng.normal(0.0, self.noise_frac)) if self.noise_frac else base
+        if self.noise_mb:
+            value += rng.normal(0.0, self.noise_mb)
+        return self._positive(value)
+
+
+@dataclass
+class PolynomialMemory(MemoryArchetype):
+    """``mem = coef * input^exponent + intercept`` with ``exponent > 1``.
+
+    The paper's §II-B motivates the MLP with "memory usage that grows as
+    the square of the amount of input data".
+    """
+
+    coef: float = 0.01
+    exponent: float = 2.0
+    intercept_mb: float = 256.0
+    noise_frac: float = 0.04
+    noise_mb: float = 0.0
+
+    def sample(self, input_mb: float, rng: np.random.Generator) -> float:
+        base = self.coef * input_mb**self.exponent + self.intercept_mb
+        value = base * (1.0 + rng.normal(0.0, self.noise_frac)) if self.noise_frac else base
+        if self.noise_mb:
+            value += rng.normal(0.0, self.noise_mb)
+        return self._positive(value)
+
+
+@dataclass
+class BimodalMemory(MemoryArchetype):
+    """Two memory regimes selected by input size (BaseRecalibrator, Fig. 2).
+
+    Below ``threshold_mb`` the task stays in the low regime; above it the
+    working set jumps.  A single linear model fitted to both regimes
+    underestimates the high regime (task failures) and overestimates the
+    low regime (waste) — exactly the pathology the paper describes.
+    """
+
+    threshold_mb: float = 600.0
+    low_mb: float = 800.0
+    high_mb: float = 3000.0
+    slope: float = 0.15
+    noise_frac: float = 0.06
+
+    def sample(self, input_mb: float, rng: np.random.Generator) -> float:
+        base = (self.high_mb if input_mb >= self.threshold_mb else self.low_mb)
+        base += self.slope * input_mb
+        return self._positive(base * (1.0 + rng.normal(0.0, self.noise_frac)))
+
+
+@dataclass
+class ConstantHeavyTailMemory(MemoryArchetype):
+    """Input-independent log-normal spread (the lcextrap shape in Fig. 1).
+
+    ``median_mb`` sets the distribution median; ``sigma`` the log-scale
+    spread (0.35 gives roughly the 200 MB–1 GB range around a 550 MB
+    median seen in the paper).  ``cap_mb`` truncates the tail so traces
+    stay schedulable on the simulated machines.
+    """
+
+    median_mb: float = 550.0
+    sigma: float = 0.35
+    cap_mb: float = 16384.0
+
+    def sample(self, input_mb: float, rng: np.random.Generator) -> float:
+        value = self.median_mb * np.exp(rng.normal(0.0, self.sigma))
+        return self._positive(min(value, self.cap_mb))
+
+
+@dataclass
+class SaturatingMemory(MemoryArchetype):
+    """Memory rises with input then saturates at a plateau.
+
+    The genomecov shape in Fig. 1: tight distribution at a high plateau
+    (4–7 GB) regardless of the largest inputs.
+    """
+
+    plateau_mb: float = 5500.0
+    scale_mb: float = 1500.0
+    half_input_mb: float = 300.0
+    noise_frac: float = 0.05
+
+    def sample(self, input_mb: float, rng: np.random.Generator) -> float:
+        frac = input_mb / (input_mb + self.half_input_mb)
+        base = self.plateau_mb - self.scale_mb * (1.0 - frac)
+        return self._positive(base * (1.0 + rng.normal(0.0, self.noise_frac)))
+
+
+@dataclass
+class RuntimeModel:
+    """Task runtime, CPU, and I/O as functions of input size.
+
+    ``runtime = base_hours + hours_per_gb * input_gb`` with log-normal
+    jitter; CPU and I/O are drawn around workflow-typical levels so the
+    Fig. 7 utilisation distributions have the right spread.
+    """
+
+    base_hours: float = 0.05
+    hours_per_gb: float = 0.1
+    jitter_sigma: float = 0.2
+    cpu_percent: float = 150.0
+    cpu_sigma: float = 0.4
+    io_read_factor: float = 1.0
+    io_write_factor: float = 0.5
+
+    def sample(
+        self, input_mb: float, rng: np.random.Generator
+    ) -> tuple[float, float, float, float]:
+        """Return (runtime_hours, cpu_percent, io_read_mb, io_write_mb)."""
+        runtime = (self.base_hours + self.hours_per_gb * input_mb / 1024.0) * np.exp(
+            rng.normal(0.0, self.jitter_sigma)
+        )
+        cpu = self.cpu_percent * np.exp(rng.normal(0.0, self.cpu_sigma))
+        io_read = input_mb * self.io_read_factor * np.exp(rng.normal(0.0, 0.3))
+        io_write = input_mb * self.io_write_factor * np.exp(rng.normal(0.0, 0.3))
+        return max(runtime, 1e-4), max(cpu, 1.0), max(io_read, 0.0), max(io_write, 0.0)
+
+
+#: Name -> constructor map so workflow specs can be declared as plain data.
+ARCHETYPE_REGISTRY: dict[str, type[MemoryArchetype]] = {
+    "linear": LinearMemory,
+    "sublinear": SublinearMemory,
+    "polynomial": PolynomialMemory,
+    "bimodal": BimodalMemory,
+    "constant_heavy_tail": ConstantHeavyTailMemory,
+    "saturating": SaturatingMemory,
+}

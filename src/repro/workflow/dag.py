@@ -1,0 +1,124 @@
+"""Workflow DAG: task types as nodes, dataflow dependencies as edges.
+
+Workflows are "often defined as a directed acyclic graph, consisting of a
+set of black-box task types B and a set of directed edges E" (paper §I).
+The DAG fixes the submission order of task instances in the generated
+traces: instances of a task type are only submitted after instances of
+all its predecessors, mirroring how an SWMS releases ready tasks.
+
+Implemented from scratch (Kahn's algorithm) rather than on networkx so
+the substrate has no optional dependencies.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+__all__ = ["WorkflowDAG", "CycleError"]
+
+
+class CycleError(ValueError):
+    """Raised when the declared edges contain a dependency cycle."""
+
+
+class WorkflowDAG:
+    """A directed acyclic graph over task-type names.
+
+    Parameters
+    ----------
+    nodes:
+        Task-type names.
+    edges:
+        ``(upstream, downstream)`` pairs: the downstream task consumes
+        output of the upstream task.
+    """
+
+    def __init__(
+        self,
+        nodes: list[str],
+        edges: list[tuple[str, str]] | None = None,
+    ) -> None:
+        if len(set(nodes)) != len(nodes):
+            dupes = sorted({n for n in nodes if nodes.count(n) > 1})
+            raise ValueError(f"duplicate task-type names: {dupes}")
+        self._nodes = list(nodes)
+        self._succ: dict[str, list[str]] = defaultdict(list)
+        self._pred: dict[str, list[str]] = defaultdict(list)
+        node_set = set(nodes)
+        for up, down in edges or []:
+            if up not in node_set or down not in node_set:
+                raise ValueError(f"edge ({up!r}, {down!r}) references unknown node")
+            if up == down:
+                raise CycleError(f"self-loop on {up!r}")
+            self._succ[up].append(down)
+            self._pred[down].append(up)
+        self._stages = self._compute_stages()
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self._nodes)
+
+    @property
+    def edges(self) -> list[tuple[str, str]]:
+        return [(u, v) for u in self._nodes for v in self._succ.get(u, [])]
+
+    def predecessors(self, node: str) -> list[str]:
+        if node not in set(self._nodes):
+            raise KeyError(node)
+        return list(self._pred.get(node, []))
+
+    def successors(self, node: str) -> list[str]:
+        if node not in set(self._nodes):
+            raise KeyError(node)
+        return list(self._succ.get(node, []))
+
+    def _compute_stages(self) -> list[list[str]]:
+        """Kahn's algorithm, grouping nodes into parallel stages.
+
+        Stage ``k`` contains all nodes whose longest path from any source
+        has length ``k``; the concatenation of stages is a topological
+        order.  Raises :class:`CycleError` if edges form a cycle.
+        """
+        indegree = {n: len(self._pred.get(n, [])) for n in self._nodes}
+        queue = deque(n for n in self._nodes if indegree[n] == 0)
+        stages: list[list[str]] = []
+        processed = 0
+        current = list(queue)
+        while current:
+            stages.append(sorted(current))
+            processed += len(current)
+            nxt: list[str] = []
+            for n in current:
+                for s in self._succ.get(n, []):
+                    indegree[s] -= 1
+                    if indegree[s] == 0:
+                        nxt.append(s)
+            current = nxt
+        if processed != len(self._nodes):
+            remaining = sorted(n for n in self._nodes if indegree[n] > 0)
+            raise CycleError(f"dependency cycle involving {remaining}")
+        return stages
+
+    @property
+    def stages(self) -> list[list[str]]:
+        """Topological stages: all tasks in a stage can run in parallel."""
+        return [list(s) for s in self._stages]
+
+    def topological_order(self) -> list[str]:
+        """A deterministic topological ordering of all nodes."""
+        return [n for stage in self._stages for n in stage]
+
+    @classmethod
+    def linear_pipeline(cls, nodes: list[str]) -> "WorkflowDAG":
+        """Convenience constructor: a simple chain ``n0 -> n1 -> ...``."""
+        edges = list(zip(nodes[:-1], nodes[1:]))
+        return cls(nodes, edges)
+
+    @classmethod
+    def fan_out_fan_in(
+        cls, source: str, parallel: list[str], sink: str
+    ) -> "WorkflowDAG":
+        """Convenience constructor: source -> each parallel node -> sink."""
+        nodes = [source, *parallel, sink]
+        edges = [(source, p) for p in parallel] + [(p, sink) for p in parallel]
+        return cls(nodes, edges)

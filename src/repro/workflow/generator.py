@@ -1,0 +1,190 @@
+"""Deterministic synthetic workflow-trace generation.
+
+The paper's evaluation replays measured traces of six nf-core workflow
+executions.  Those traces are not public, so this module generates
+synthetic equivalents: each task type is declared with a memory
+archetype (see :mod:`repro.workflow.archetypes`), an input-size
+distribution, and a runtime model; the generator draws every instance's
+ground truth from a seeded RNG.  The same (spec, seed) pair always
+produces an identical trace.
+
+Submission order follows the workflow DAG stage by stage — instances of
+downstream task types are only submitted after upstream stages, matching
+how an SWMS releases ready tasks and therefore how much history an
+online predictor has accumulated when each task arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workflow.archetypes import MemoryArchetype, RuntimeModel
+from repro.workflow.dag import WorkflowDAG
+from repro.workflow.task import TaskInstance, TaskType, WorkflowTrace
+
+__all__ = ["TaskTypeSpec", "WorkflowSpec", "generate_trace"]
+
+
+@dataclass
+class TaskTypeSpec:
+    """Declarative description of one task type's behaviour.
+
+    Attributes
+    ----------
+    name:
+        Task-type name (e.g. ``"MarkDuplicates"``).
+    archetype:
+        Memory behaviour model.
+    n_instances:
+        Number of physical instances to generate.
+    input_median_mb / input_sigma:
+        Log-normal input-size distribution parameters (median in MB and
+        log-scale sigma).
+    input_min_mb / input_max_mb:
+        Hard clip range for input sizes.
+    runtime:
+        Runtime/CPU/IO model; defaults to a generic short task.
+    preset_factor:
+        The user preset is ``ceil_to_gb(max_peak * preset_factor)``, with
+        a 4 GB floor — matching the conservative round-number defaults
+        workflow developers ship (nf-core processes typically request
+        4-72 GB regardless of input); presets never fail, as in the paper.
+    """
+
+    name: str
+    archetype: MemoryArchetype
+    n_instances: int
+    input_median_mb: float = 1024.0
+    input_sigma: float = 0.6
+    input_min_mb: float = 1.0
+    input_max_mb: float = 1024.0 * 64
+    runtime: RuntimeModel = field(default_factory=RuntimeModel)
+    preset_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n_instances < 1:
+            raise ValueError(f"n_instances must be >= 1 for {self.name!r}")
+        if self.input_median_mb <= 0 or self.input_sigma < 0:
+            raise ValueError(f"invalid input distribution for {self.name!r}")
+        if self.preset_factor < 1.0:
+            raise ValueError(
+                f"preset_factor must be >= 1 so presets never fail "
+                f"(got {self.preset_factor} for {self.name!r})"
+            )
+
+
+@dataclass
+class WorkflowSpec:
+    """A workflow: its task-type specs, DAG, and machine pool."""
+
+    name: str
+    task_types: list[TaskTypeSpec]
+    dag: WorkflowDAG | None = None
+    machines: list[str] = field(default_factory=lambda: ["epyc-7282-128g"])
+    max_memory_mb: float = 128.0 * 1024
+
+    def __post_init__(self) -> None:
+        names = [t.name for t in self.task_types]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate task types in {self.name!r}: {dupes}")
+        if self.dag is None:
+            # Default DAG: a linear pipeline in declaration order.
+            self.dag = WorkflowDAG.linear_pipeline(names)
+        else:
+            missing = set(names) ^ set(self.dag.nodes)
+            if missing:
+                raise ValueError(
+                    f"DAG nodes and task types disagree in {self.name!r}: {missing}"
+                )
+        if not self.machines:
+            raise ValueError("at least one machine is required")
+
+    def spec_of(self, task_name: str) -> TaskTypeSpec:
+        for spec in self.task_types:
+            if spec.name == task_name:
+                return spec
+        raise KeyError(task_name)
+
+
+def _ceil_to_gb(mb: float) -> float:
+    return float(np.ceil(mb / 1024.0) * 1024.0)
+
+
+def generate_trace(spec: WorkflowSpec, seed: int = 0) -> WorkflowTrace:
+    """Generate the full execution trace of ``spec``.
+
+    Ground-truth peaks are capped just below the machine capacity so that
+    every task is schedulable (the paper's traces are from successful
+    workflow runs).
+    """
+    rng = np.random.default_rng(seed)
+    peak_cap = spec.max_memory_mb * 0.85
+
+    # Pass 1: draw raw per-type arrays.
+    per_type: dict[str, dict[str, np.ndarray]] = {}
+    for t in spec.task_types:
+        mu = np.log(t.input_median_mb)
+        inputs = np.exp(rng.normal(mu, t.input_sigma, size=t.n_instances))
+        inputs = np.clip(inputs, t.input_min_mb, t.input_max_mb)
+        peaks = np.array(
+            [t.archetype.sample(float(x), rng) for x in inputs], dtype=np.float64
+        )
+        peaks = np.minimum(peaks, peak_cap)
+        rt = np.empty(t.n_instances)
+        cpu = np.empty(t.n_instances)
+        io_r = np.empty(t.n_instances)
+        io_w = np.empty(t.n_instances)
+        for i, x in enumerate(inputs):
+            rt[i], cpu[i], io_r[i], io_w[i] = t.runtime.sample(float(x), rng)
+        per_type[t.name] = {
+            "inputs": inputs,
+            "peaks": peaks,
+            "runtime": rt,
+            "cpu": cpu,
+            "io_read": io_r,
+            "io_write": io_w,
+        }
+
+    # Pass 2: build TaskType objects with presets derived from true peaks.
+    task_types: dict[str, TaskType] = {}
+    for t in spec.task_types:
+        preset = _ceil_to_gb(float(per_type[t.name]["peaks"].max()) * t.preset_factor)
+        preset = min(max(preset, 4096.0), spec.max_memory_mb)
+        task_types[t.name] = TaskType(
+            name=t.name, workflow=spec.name, preset_memory_mb=preset
+        )
+
+    # Pass 3: emit instances stage by stage; shuffle within a stage so
+    # different task types interleave as they would on a busy cluster.
+    instances: list[TaskInstance] = []
+    instance_id = 0
+    assert spec.dag is not None
+    for stage in spec.dag.stages:
+        stage_slots: list[tuple[str, int]] = []
+        for name in stage:
+            n = spec.spec_of(name).n_instances
+            stage_slots.extend((name, i) for i in range(n))
+        order = rng.permutation(len(stage_slots))
+        for k in order:
+            name, i = stage_slots[k]
+            data = per_type[name]
+            machine = spec.machines[int(rng.integers(0, len(spec.machines)))]
+            instances.append(
+                TaskInstance(
+                    task_type=task_types[name],
+                    instance_id=instance_id,
+                    input_size_mb=float(data["inputs"][i]),
+                    peak_memory_mb=float(data["peaks"][i]),
+                    runtime_hours=float(data["runtime"][i]),
+                    cpu_percent=float(data["cpu"][i]),
+                    io_read_mb=float(data["io_read"][i]),
+                    io_write_mb=float(data["io_write"][i]),
+                    machine=machine,
+                )
+            )
+            instance_id += 1
+
+    return WorkflowTrace(spec.name, instances)

@@ -1,0 +1,118 @@
+"""Trace serialisation: JSON round-trips and CSV export.
+
+Lets users persist generated traces, load externally recorded traces
+(e.g. converted from Nextflow trace files or WfCommons JSON), and feed
+them to the simulator — the substrate-level equivalent of the paper's
+provenance import.
+
+The JSON schema is deliberately flat and versioned::
+
+    {"format": "repro-trace", "version": 1, "workflow": "rnaseq",
+     "task_types": [{"name": ..., "preset_memory_mb": ...}, ...],
+     "instances": [{"task_type": ..., "instance_id": ..., ...}, ...]}
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.workflow.task import TaskInstance, TaskType, WorkflowTrace
+
+__all__ = ["trace_to_dict", "trace_from_dict", "save_trace", "load_trace",
+           "export_csv"]
+
+_FORMAT = "repro-trace"
+_VERSION = 1
+
+_INSTANCE_FIELDS = (
+    "instance_id",
+    "input_size_mb",
+    "peak_memory_mb",
+    "runtime_hours",
+    "cpu_percent",
+    "io_read_mb",
+    "io_write_mb",
+    "machine",
+)
+
+
+def trace_to_dict(trace: WorkflowTrace) -> dict:
+    """Serialise a trace to a JSON-compatible dict."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "workflow": trace.workflow,
+        "task_types": [
+            {"name": t.name, "preset_memory_mb": t.preset_memory_mb}
+            for t in trace.task_types
+        ],
+        "instances": [
+            {
+                "task_type": inst.task_type.name,
+                **{f: getattr(inst, f) for f in _INSTANCE_FIELDS},
+            }
+            for inst in trace
+        ],
+    }
+
+
+def trace_from_dict(data: dict) -> WorkflowTrace:
+    """Deserialise a trace; validates format, version, and references."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} document: format={data.get('format')!r}")
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported trace version {data.get('version')!r} "
+            f"(supported: {_VERSION})"
+        )
+    workflow = data["workflow"]
+    types = {
+        t["name"]: TaskType(
+            name=t["name"],
+            workflow=workflow,
+            preset_memory_mb=float(t["preset_memory_mb"]),
+        )
+        for t in data["task_types"]
+    }
+    instances = []
+    for row in data["instances"]:
+        name = row["task_type"]
+        if name not in types:
+            raise ValueError(f"instance references unknown task type {name!r}")
+        instances.append(
+            TaskInstance(
+                task_type=types[name],
+                **{
+                    f: (row[f] if f in ("instance_id", "machine") else float(row[f]))
+                    for f in _INSTANCE_FIELDS
+                },
+            )
+        )
+    return WorkflowTrace(workflow, instances)
+
+
+def save_trace(trace: WorkflowTrace, path: str | Path) -> None:
+    """Write a trace as JSON."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path: str | Path) -> WorkflowTrace:
+    """Read a trace from JSON."""
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+def export_csv(trace: WorkflowTrace, path: str | Path) -> None:
+    """Write the per-instance table as CSV (for external analysis)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(("workflow", "task_type", *_INSTANCE_FIELDS))
+        for inst in trace:
+            writer.writerow(
+                (
+                    trace.workflow,
+                    inst.task_type.name,
+                    *(getattr(inst, f) for f in _INSTANCE_FIELDS),
+                )
+            )

@@ -1,0 +1,89 @@
+"""Tests for the adaptive-alpha extension (paper future work, §III-E)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import DEFAULT_ALPHA_CANDIDATES, AdaptiveAlphaSizey
+from repro.core.config import SizeyConfig
+from repro.provenance.records import TaskRecord
+from repro.sim.engine import OnlineSimulator
+from repro.sim.interface import TaskSubmission
+from repro.workflow.nfcore import build_workflow_trace
+
+
+def sub(iid=0, x=100.0, task="t", preset=4096.0):
+    return TaskSubmission(
+        task_type=task,
+        workflow="wf",
+        machine="m1",
+        instance_id=iid,
+        input_size_mb=x,
+        preset_memory_mb=preset,
+        timestamp=iid,
+    )
+
+
+def rec(iid=0, x=100.0, y=500.0, task="t", success=True):
+    return TaskRecord(
+        task_type=task,
+        workflow="wf",
+        machine="m1",
+        timestamp=iid,
+        input_size_mb=x,
+        peak_memory_mb=y,
+        runtime_hours=0.1,
+        success=success,
+        instance_id=iid,
+    )
+
+
+def make_adaptive(**cfg):
+    defaults = dict(training_mode="incremental", model_classes=("linear", "knn"))
+    defaults.update(cfg)
+    return AdaptiveAlphaSizey(SizeyConfig(**defaults))
+
+
+class TestAdaptiveAlpha:
+    def test_rejects_bad_candidates(self):
+        with pytest.raises(ValueError, match="alpha candidates"):
+            AdaptiveAlphaSizey(alpha_candidates=(0.0, 1.5))
+        with pytest.raises(ValueError, match="alpha candidates"):
+            AdaptiveAlphaSizey(alpha_candidates=())
+
+    def test_default_candidates(self):
+        assert AdaptiveAlphaSizey().alpha_candidates == DEFAULT_ALPHA_CANDIDATES
+
+    def test_unknown_task_uses_preset(self):
+        a = make_adaptive()
+        assert a.predict(sub(preset=2048.0)) == 2048.0
+
+    def test_tracks_per_candidate_waste(self):
+        a = make_adaptive()
+        for i in range(10):
+            a.predict(sub(iid=i, x=100.0 + i))
+            a.observe(rec(iid=i, x=100.0 + i, y=500.0))
+        key = ("t", "m1")
+        waste = a._alpha_waste[key]
+        assert waste.shape == (len(DEFAULT_ALPHA_CANDIDATES),)
+        assert np.all(waste >= 0.0)
+
+    def test_alpha_choice_recorded(self):
+        a = make_adaptive()
+        for i in range(6):
+            a.predict(sub(iid=i))
+            a.observe(rec(iid=i))
+        assert len(a.alpha_choices["t"]) >= 5
+        assert all(c in DEFAULT_ALPHA_CANDIDATES for c in a.alpha_choices["t"])
+
+    def test_current_alpha_minimises_accumulated_waste(self):
+        a = make_adaptive()
+        key = ("t", "m1")
+        a._alpha_waste[key] = np.array([5.0, 1.0, 9.0, 9.0, 9.0])
+        assert a.current_alpha(key) == DEFAULT_ALPHA_CANDIDATES[1]
+
+    def test_end_to_end_on_trace(self):
+        trace = build_workflow_trace("iwd", seed=2, scale=0.15)
+        res = OnlineSimulator(trace).run(AdaptiveAlphaSizey())
+        assert res.method == "Sizey-AdaptiveAlpha"
+        assert res.total_wastage_gbh > 0
+        assert res.num_tasks == len(trace)

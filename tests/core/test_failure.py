@@ -1,0 +1,75 @@
+"""Tests for the max-observed-then-double failure handler (paper §II-E)."""
+
+import pytest
+
+from repro.core.failure import FailureHandler
+
+
+class TestFailureHandler:
+    def test_first_failure_jumps_to_max_observed(self):
+        fh = FailureHandler()
+        got = fh.next_allocation(
+            failed_allocation_mb=1000.0,
+            attempt=1,
+            max_observed_mb=5000.0,
+            preset_mb=2000.0,
+        )
+        assert got == 5000.0
+
+    def test_first_failure_without_history_uses_preset(self):
+        fh = FailureHandler()
+        got = fh.next_allocation(
+            failed_allocation_mb=1000.0,
+            attempt=1,
+            max_observed_mb=None,
+            preset_mb=3000.0,
+        )
+        assert got == 3000.0
+
+    def test_first_failure_doubles_when_max_observed_not_above(self):
+        # The failed attempt already exceeded all history: escalate.
+        fh = FailureHandler()
+        got = fh.next_allocation(
+            failed_allocation_mb=6000.0,
+            attempt=1,
+            max_observed_mb=5000.0,
+            preset_mb=2000.0,
+        )
+        assert got == 12000.0
+
+    def test_subsequent_failures_double(self):
+        fh = FailureHandler()
+        got = fh.next_allocation(
+            failed_allocation_mb=5000.0,
+            attempt=2,
+            max_observed_mb=99999.0,
+            preset_mb=2000.0,
+        )
+        assert got == 10000.0
+
+    def test_custom_doubling_factor(self):
+        fh = FailureHandler(doubling_factor=3.0)
+        assert (
+            fh.next_allocation(100.0, attempt=2, max_observed_mb=None, preset_mb=1.0)
+            == 300.0
+        )
+
+    def test_growth_guaranteed(self):
+        # Whatever the inputs, the next allocation strictly exceeds the
+        # failed one — the retry loop terminates.
+        fh = FailureHandler()
+        for attempt in (1, 2, 5):
+            for max_obs in (None, 1.0, 500.0, 10000.0):
+                nxt = fh.next_allocation(
+                    1000.0, attempt=attempt, max_observed_mb=max_obs, preset_mb=1.0
+                )
+                assert nxt > 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="doubling_factor"):
+            FailureHandler(doubling_factor=1.0)
+        fh = FailureHandler()
+        with pytest.raises(ValueError, match="attempt"):
+            fh.next_allocation(1.0, attempt=0, max_observed_mb=None, preset_mb=1.0)
+        with pytest.raises(ValueError, match="failed_allocation_mb"):
+            fh.next_allocation(0.0, attempt=1, max_observed_mb=None, preset_mb=1.0)

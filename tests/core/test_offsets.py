@@ -1,0 +1,141 @@
+"""Tests for the fault-tolerance offset strategies (paper §II-E)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.offsets import OFFSET_STRATEGIES, OffsetTracker, compute_offset
+
+
+class TestComputeOffset:
+    PREDS = np.array([100.0, 100.0, 100.0, 100.0])
+    ACTS = np.array([90.0, 110.0, 130.0, 80.0])  # errors: -10, 10, 30, -20
+
+    def test_std(self):
+        errors = self.ACTS - self.PREDS
+        assert compute_offset("std", self.PREDS, self.ACTS) == pytest.approx(
+            float(np.std(errors))
+        )
+
+    def test_std_under_uses_only_underpredictions(self):
+        # underprediction errors: 10, 30
+        assert compute_offset("std_under", self.PREDS, self.ACTS) == pytest.approx(
+            float(np.std([10.0, 30.0]))
+        )
+
+    def test_median(self):
+        assert compute_offset("median", self.PREDS, self.ACTS) == pytest.approx(
+            float(np.median([10.0, 10.0, 30.0, 20.0]))
+        )
+
+    def test_median_under(self):
+        assert compute_offset(
+            "median_under", self.PREDS, self.ACTS
+        ) == pytest.approx(20.0)
+
+    def test_no_underpredictions_gives_zero(self):
+        preds = np.array([100.0, 100.0])
+        acts = np.array([50.0, 60.0])
+        assert compute_offset("std_under", preds, acts) == 0.0
+        assert compute_offset("median_under", preds, acts) == 0.0
+
+    def test_empty_history_gives_zero(self):
+        assert compute_offset("std", np.array([]), np.array([])) == 0.0
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown offset"):
+            compute_offset("bogus", self.PREDS, self.ACTS)
+
+    @given(st.lists(st.floats(min_value=1, max_value=1e5), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_property_nonnegative(self, acts):
+        acts_arr = np.array(acts)
+        preds = np.full_like(acts_arr, float(np.mean(acts_arr)))
+        for s in OFFSET_STRATEGIES:
+            assert compute_offset(s, preds, acts_arr) >= 0.0
+
+
+class TestOffsetTracker:
+    def test_empty_tracker_offsets_zero(self):
+        tr = OffsetTracker("dynamic")
+        assert tr.current_offset() == (0.0, "none")
+
+    def test_none_strategy(self):
+        tr = OffsetTracker("none")
+        tr.record(100.0, 120.0, 1.0)
+        assert tr.current_offset() == (0.0, "none")
+
+    def test_fixed_strategy_returns_its_statistic(self):
+        tr = OffsetTracker("median_under")
+        tr.record(100.0, 120.0, 1.0)
+        tr.record(100.0, 90.0, 1.0)
+        off, name = tr.current_offset()
+        assert name == "median_under"
+        assert off == pytest.approx(20.0)
+
+    def test_dynamic_selects_among_strategies(self):
+        tr = OffsetTracker("dynamic", time_to_failure=1.0)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            actual = 1000.0 + rng.normal(0, 50.0)
+            tr.record(1000.0, actual, 0.1)
+        off, name = tr.current_offset()
+        assert name in OFFSET_STRATEGIES
+        assert off > 0.0
+
+    def test_dynamic_prefers_padding_when_failures_expensive(self):
+        # Noisy history around the prediction: the zero-ish offsets lose
+        # because every underprediction costs a full failed run plus a
+        # retry, so dynamic must pick one of the larger statistics.
+        tr = OffsetTracker("dynamic", time_to_failure=1.0, window=500)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            tr.record(1000.0, 1000.0 + rng.normal(0, 100.0), 1.0)
+        off, _ = tr.current_offset()
+        candidates = {
+            s: compute_offset(
+                s, np.full(200, 1000.0), np.array(tr._acts)
+            )
+            for s in OFFSET_STRATEGIES
+        }
+        assert off >= np.median(sorted(candidates.values()))
+
+    def test_window_drops_old_entries(self):
+        tr = OffsetTracker("std", window=10)
+        for _ in range(5):
+            tr.record(1000.0, 3000.0, 1.0)  # huge early errors
+        for _ in range(10):
+            tr.record(1000.0, 1001.0, 1.0)  # converged phase
+        assert len(tr) == 10
+        off, _ = tr.current_offset()
+        assert off < 10.0  # early transient no longer inflates the offset
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            OffsetTracker("std", window=0)
+
+    def test_record_validation(self):
+        tr = OffsetTracker()
+        with pytest.raises(ValueError):
+            tr.record(100.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            tr.record(100.0, 100.0, -0.5)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="unknown offset"):
+            OffsetTracker("nope")
+        with pytest.raises(ValueError, match="time_to_failure"):
+            OffsetTracker("dynamic", time_to_failure=0.0)
+
+    def test_len(self):
+        tr = OffsetTracker()
+        tr.record(1.0, 1.0, 0.0)
+        assert len(tr) == 1
+
+    def test_perfect_predictions_need_no_offset(self):
+        tr = OffsetTracker("dynamic")
+        for _ in range(20):
+            tr.record(500.0, 500.0, 0.5)
+        off, _ = tr.current_offset()
+        assert off == pytest.approx(0.0)

@@ -1,0 +1,126 @@
+"""Integration tests for the experiment regenerators (small scales)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    METHOD_ORDER,
+    fig1_distributions,
+    fig2_input_relation,
+    fig7_utilization,
+    fig9_training_time,
+    fig11_model_selection,
+    fig12_error_trend,
+    method_factories,
+    table1_workflow_stats,
+)
+from repro.experiments.fig8_main_results import run_main_grid
+from repro.experiments.table2_per_workflow import winners
+
+
+class TestFactories:
+    def test_factories_cover_method_order(self):
+        assert tuple(method_factories()) == METHOD_ORDER
+
+    def test_factories_produce_fresh_instances(self):
+        f = method_factories()["Sizey"]
+        a, b = f(), f()
+        assert a is not b
+        assert a.name == "Sizey"
+
+    def test_factories_are_picklable(self):
+        import pickle
+
+        for factory in method_factories().values():
+            pickle.loads(pickle.dumps(factory))
+
+
+class TestStaticArtifacts:
+    def test_fig1(self, capsys):
+        dists = fig1_distributions.run(seed=0, scale=0.5, verbose=True)
+        out = capsys.readouterr().out
+        assert "lcextrap" in out
+        assert all(len(v) > 0 for v in dists.values())
+
+    def test_fig2(self):
+        out = fig2_input_relation.run(seed=0, scale=1.0, verbose=False)
+        assert out["MarkDuplicates"].r2 > 0.9
+        assert out["BaseRecalibrator"].r2 < out["MarkDuplicates"].r2
+
+    def test_table1(self):
+        stats = table1_workflow_stats.run(seed=0, scale=1.0, verbose=False)
+        assert stats["mag"][0] == 8
+        assert stats["rnaseq"][0] == 30
+
+    def test_fig7(self):
+        med = fig7_utilization.medians(seed=0, scale=0.25)
+        assert set(med) == set(table1_workflow_stats.PAPER_TABLE_I)
+        assert med["iwd"]["peak_memory_mb"] < med["methylseq"]["peak_memory_mb"]
+
+
+class TestGridArtifacts:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        # Two small workflows keep this an integration test, not a bench.
+        return run_main_grid(1.0, seed=0, scale=0.1, workflows=("iwd", "chipseq"))
+
+    def test_grid_complete(self, grid):
+        assert set(grid.results) == set(METHOD_ORDER)
+        for per_wf in grid.results.values():
+            assert set(per_wf) == {"iwd", "chipseq"}
+
+    def test_presets_never_fail_and_waste_heavily(self, grid):
+        assert grid.failures["Workflow-Presets"] == 0
+        # On the light workflows Tovar's node-max retries can exceed the
+        # presets (the paper's iwd column shows the same flip), so assert
+        # presets are among the two most wasteful, not strictly the worst.
+        ranked = sorted(grid.totals, key=grid.totals.get, reverse=True)
+        assert "Workflow-Presets" in ranked[:2]
+
+    def test_sizey_beats_presets(self, grid):
+        assert grid.totals["Sizey"] < grid.totals["Workflow-Presets"]
+
+    def test_reduction_metric_consistent(self, grid):
+        best, best_w = grid.best_baseline()
+        assert best != "Sizey"
+        red = grid.sizey_reduction_vs_best_baseline()
+        assert red == pytest.approx(1.0 - grid.totals["Sizey"] / best_w)
+
+    def test_winners_helper(self, grid):
+        won = winners(grid.per_workflow())
+        assert set(won) == {"iwd", "chipseq"}
+        assert all(m in METHOD_ORDER for m in won.values())
+
+    def test_failure_distribution_lengths(self, grid):
+        # iwd has 5 task types, chipseq 30 -> 35 entries per method.
+        for m, dist in grid.failure_distributions.items():
+            assert dist.shape == (35,), m
+
+
+class TestSizeyAnalysisArtifacts:
+    def test_fig9_training_time(self):
+        out = fig9_training_time.run(
+            workflows=("iwd",), seed=0, scale=0.1, verbose=False
+        )
+        r = out["iwd"]
+        assert r.median_full_ms > r.median_incremental_ms > 0
+
+    def test_fig11_selection_shares(self):
+        shares = fig11_model_selection.run(
+            workflow="iwd", seed=0, scale=0.3, verbose=False
+        )
+        assert shares
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_fig12_error_trend(self):
+        trend = fig12_error_trend.run(
+            task="Prokka", workflow="mag", seed=0, scale=0.15, verbose=False
+        )
+        assert trend.n >= 10
+        assert np.all(np.isfinite(trend.errors_percent))
+
+    def test_fig12_requires_history(self):
+        with pytest.raises(RuntimeError, match="raw predictions"):
+            fig12_error_trend.run(
+                task="quast", workflow="mag", seed=0, scale=0.01, verbose=False
+            )

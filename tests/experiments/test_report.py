@@ -1,0 +1,61 @@
+"""Tests for the ASCII report rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import fmt, render_distribution, render_table
+
+
+class TestFmt:
+    def test_int_passthrough(self):
+        assert fmt(42) == "42"
+
+    def test_float_formatting(self):
+        assert fmt(1234.5678) == "1,234.57"
+        assert fmt(1234.5678, ndigits=1) == "1,234.6"
+
+    def test_nan_dash(self):
+        assert fmt(float("nan")) == "-"
+
+    def test_string_passthrough(self):
+        assert fmt("Sizey") == "Sizey"
+
+    def test_numpy_scalars(self):
+        assert fmt(np.int64(7)) == "7"
+        assert fmt(np.float64(1.5)) == "1.50"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        out = render_table(
+            ["method", "wastage"],
+            [["Sizey", 1684.21], ["Presets", 28370.77]],
+            title="Fig 8a",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Fig 8a"
+        assert "method" in lines[1] and "wastage" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert "1,684.21" in out and "28,370.77" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_numeric_right_aligned(self):
+        out = render_table(["name", "v"], [["x", 1.0], ["longername", 100.0]])
+        rows = out.splitlines()[2:]
+        # Numeric column right-aligned: the shorter number is padded left.
+        assert rows[0].endswith("  1.00")
+
+
+class TestRenderDistribution:
+    def test_five_number_summary(self):
+        out = render_distribution(np.array([1.0, 2.0, 3.0, 4.0, 100.0]))
+        assert "min=1.0" in out
+        assert "median=3.0" in out
+        assert "max=100.0" in out
+        assert "n=5" in out
+
+    def test_empty(self):
+        assert render_distribution(np.array([])) == "(empty)"

@@ -1,0 +1,161 @@
+"""Tests for gradient boosting, Huber regression, and pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.linear import LinearRegression
+from repro.ml.pipeline import Pipeline, make_pipeline
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.robust import HuberRegressor
+from repro.ml.sgd import SGDRegressor
+
+
+def make_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 4, size=(n, 2))
+    y = np.sin(X[:, 0]) * 2 + X[:, 1] + rng.normal(0, 0.1, n)
+    return X, y
+
+
+class TestGradientBoosting:
+    def test_fits_nonlinear_signal(self):
+        X, y = make_data()
+        m = GradientBoostingRegressor(n_estimators=150, random_state=0).fit(X, y)
+        assert m.score(X, y) > 0.95
+
+    def test_training_loss_decreases(self):
+        X, y = make_data()
+        m = GradientBoostingRegressor(n_estimators=60, random_state=0).fit(X, y)
+        assert m.train_score_[-1] < m.train_score_[0]
+        assert len(m.train_score_) == 60
+
+    def test_single_stage_is_shrunk_tree_plus_mean(self):
+        X, y = make_data(n=50)
+        m = GradientBoostingRegressor(
+            n_estimators=1, learning_rate=0.5, random_state=0
+        ).fit(X, y)
+        p = m.predict(X)
+        assert np.allclose(p.mean(), y.mean(), rtol=0.1)
+
+    def test_staged_predict_converges_to_predict(self):
+        X, y = make_data(n=80)
+        m = GradientBoostingRegressor(n_estimators=20, random_state=0).fit(X, y)
+        *_, last = m.staged_predict(X)
+        assert np.allclose(last, m.predict(X))
+
+    def test_huber_loss_resists_outlier(self):
+        X, y = make_data(n=100, seed=1)
+        y_out = y.copy()
+        y_out[0] += 1000.0
+        sq = GradientBoostingRegressor(
+            n_estimators=50, loss="squared", random_state=0
+        ).fit(X, y_out)
+        hu = GradientBoostingRegressor(
+            n_estimators=50, loss="huber", random_state=0
+        ).fit(X, y_out)
+        clean = ~np.eye(1, 100, 0, dtype=bool)[0]
+        err_sq = np.mean((sq.predict(X[clean]) - y[clean]) ** 2)
+        err_hu = np.mean((hu.predict(X[clean]) - y[clean]) ** 2)
+        assert err_hu < err_sq
+
+    def test_subsample_stochastic(self):
+        X, y = make_data(n=120)
+        m = GradientBoostingRegressor(
+            n_estimators=30, subsample=0.5, random_state=0
+        ).fit(X, y)
+        assert m.score(X, y) > 0.8
+
+    def test_validation(self):
+        X, y = make_data(n=10)
+        with pytest.raises(ValueError, match="n_estimators"):
+            GradientBoostingRegressor(n_estimators=0).fit(X, y)
+        with pytest.raises(ValueError, match="learning_rate"):
+            GradientBoostingRegressor(learning_rate=0.0).fit(X, y)
+        with pytest.raises(ValueError, match="loss"):
+            GradientBoostingRegressor(loss="absolute").fit(X, y)
+        with pytest.raises(ValueError, match="subsample"):
+            GradientBoostingRegressor(subsample=0.0).fit(X, y)
+
+    def test_deterministic(self):
+        X, y = make_data(n=60)
+        a = GradientBoostingRegressor(n_estimators=10, random_state=3).fit(X, y)
+        b = GradientBoostingRegressor(n_estimators=10, random_state=3).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+
+class TestHuberRegressor:
+    def test_matches_ols_on_clean_data(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 10, size=(100, 1))
+        y = 3.0 * X[:, 0] + 5.0 + rng.normal(0, 0.1, 100)
+        hub = HuberRegressor().fit(X, y)
+        ols = LinearRegression().fit(X, y)
+        assert hub.coef_[0] == pytest.approx(ols.coef_[0], abs=0.05)
+
+    def test_resists_outliers_better_than_ols(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 10, size=(100, 1))
+        y = 3.0 * X[:, 0] + 5.0
+        y[:5] += 500.0  # gross outliers
+        hub = HuberRegressor().fit(X, y)
+        ols = LinearRegression().fit(X, y)
+        assert abs(hub.coef_[0] - 3.0) < abs(ols.coef_[0] - 3.0)
+        assert hub.coef_[0] == pytest.approx(3.0, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="delta"):
+            HuberRegressor(delta=0.0).fit([[1.0], [2.0]], [1.0, 2.0])
+
+    def test_no_intercept(self):
+        X = np.linspace(1, 10, 30).reshape(-1, 1)
+        y = 2.0 * X[:, 0]
+        m = HuberRegressor(fit_intercept=False).fit(X, y)
+        assert m.intercept_ == 0.0
+        assert m.coef_[0] == pytest.approx(2.0, abs=0.01)
+
+
+class TestPipeline:
+    def test_scaler_plus_linear(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1e6, size=(80, 1))
+        y = X[:, 0] * 1e-3 + 7.0
+        pipe = make_pipeline(StandardScaler(), LinearRegression()).fit(X, y)
+        assert pipe.score(X, y) > 0.999
+
+    def test_named_steps(self):
+        pipe = Pipeline([("sc", StandardScaler()), ("lr", LinearRegression())])
+        assert set(pipe.named_steps) == {"sc", "lr"}
+
+    def test_original_steps_not_mutated(self):
+        sc = StandardScaler()
+        pipe = Pipeline([("sc", sc), ("lr", LinearRegression())])
+        X = np.array([[1.0], [2.0], [3.0]])
+        pipe.fit(X, np.array([1.0, 2.0, 3.0]))
+        assert not hasattr(sc, "mean_")  # pipeline fitted a clone
+
+    def test_partial_fit_chain(self):
+        pipe = make_pipeline(StandardScaler(), SGDRegressor(learning_rate=0.1))
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            x = rng.uniform(0, 100)
+            pipe.partial_fit(np.array([[x]]), [2.0 * x])
+        pred = pipe.predict(np.array([[50.0]]))
+        assert pred[0] == pytest.approx(100.0, rel=0.2)
+
+    def test_partial_fit_requires_support(self):
+        pipe = make_pipeline(StandardScaler(), LinearRegression())
+        with pytest.raises(TypeError, match="partial_fit"):
+            pipe.partial_fit(np.array([[1.0]]), [1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one step"):
+            Pipeline([]).fit([[1.0]], [1.0])
+        with pytest.raises(ValueError, match="duplicate"):
+            Pipeline(
+                [("a", StandardScaler()), ("a", LinearRegression())]
+            ).fit([[1.0]], [1.0])
+        with pytest.raises(TypeError, match="transform"):
+            Pipeline(
+                [("bad", LinearRegression()), ("lr", LinearRegression())]
+            ).fit([[1.0], [2.0]], [1.0, 2.0])

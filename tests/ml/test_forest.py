@@ -1,0 +1,89 @@
+"""Tests for the random-forest regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.tree import DecisionTreeRegressor
+
+
+def make_data(n=150, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 4, size=(n, 2))
+    y = np.sin(X[:, 0]) * 3 + X[:, 1] ** 2 + rng.normal(0, 0.2, n)
+    return X, y
+
+
+class TestRandomForest:
+    def test_fits_nonlinear_signal(self):
+        X, y = make_data()
+        m = RandomForestRegressor(n_estimators=30, random_state=0).fit(X, y)
+        assert m.score(X, y) > 0.9
+
+    def test_prediction_is_mean_of_trees(self):
+        X, y = make_data(n=60)
+        m = RandomForestRegressor(n_estimators=7, random_state=1).fit(X, y)
+        per_tree = np.stack([t.predict(X[:10]) for t in m.estimators_])
+        assert np.allclose(m.predict(X[:10]), per_tree.mean(axis=0))
+
+    def test_deterministic_given_seed(self):
+        X, y = make_data(n=80)
+        a = RandomForestRegressor(n_estimators=10, random_state=5).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=10, random_state=5).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_model(self):
+        X, y = make_data(n=80)
+        a = RandomForestRegressor(n_estimators=10, random_state=1).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=10, random_state=2).fit(X, y).predict(X)
+        assert not np.array_equal(a, b)
+
+    def test_predictions_within_target_range(self):
+        X, y = make_data(n=100)
+        m = RandomForestRegressor(n_estimators=15, random_state=0).fit(X, y)
+        rng = np.random.default_rng(9)
+        p = m.predict(rng.uniform(0, 4, size=(30, 2)))
+        assert p.min() >= y.min() - 1e-9 and p.max() <= y.max() + 1e-9
+
+    def test_no_bootstrap_full_features_equals_single_tree_average(self):
+        # Without bootstrap and without feature subsampling every tree is
+        # identical, so the forest must equal a single tree.
+        X, y = make_data(n=60)
+        forest = RandomForestRegressor(
+            n_estimators=5, bootstrap=False, max_features=None, random_state=0
+        ).fit(X, y)
+        tree = DecisionTreeRegressor(random_state=0).fit(X, y)
+        assert np.allclose(forest.predict(X), tree.predict(X))
+
+    def test_oob_score_reasonable(self):
+        X, y = make_data(n=200)
+        m = RandomForestRegressor(
+            n_estimators=40, oob_score=True, random_state=0
+        ).fit(X, y)
+        assert 0.5 < m.oob_score_ <= 1.0
+
+    def test_thread_parallel_fit_matches_serial(self):
+        X, y = make_data(n=100)
+        serial = RandomForestRegressor(n_estimators=12, random_state=3, n_jobs=1).fit(X, y)
+        parallel = RandomForestRegressor(n_estimators=12, random_state=3, n_jobs=4).fit(X, y)
+        assert np.allclose(serial.predict(X), parallel.predict(X))
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError, match="n_estimators"):
+            RandomForestRegressor(n_estimators=0).fit([[1.0]], [1.0])
+
+    def test_more_trees_reduce_oob_variance(self):
+        X, y = make_data(n=150, seed=4)
+        scores_small = [
+            RandomForestRegressor(n_estimators=3, oob_score=True, random_state=s)
+            .fit(X, y)
+            .oob_score_
+            for s in range(5)
+        ]
+        scores_big = [
+            RandomForestRegressor(n_estimators=40, oob_score=True, random_state=s)
+            .fit(X, y)
+            .oob_score_
+            for s in range(5)
+        ]
+        assert np.var(scores_big) < np.var(scores_small)

@@ -1,0 +1,145 @@
+"""Tests for regression metrics, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    median_absolute_error,
+    pinball_loss,
+    r2_score,
+    relative_error,
+    root_mean_squared_error,
+    under_prediction_rate,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+vectors = st.lists(finite_floats, min_size=1, max_size=50)
+
+
+class TestPointValues:
+    def test_mae_known_value(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 0.0]) == pytest.approx(1.5)
+
+    def test_mse_known_value(self):
+        assert mean_squared_error([1.0, 2.0], [2.0, 0.0]) == pytest.approx(2.5)
+
+    def test_rmse_is_sqrt_mse(self):
+        y, p = [1.0, 5.0, -2.0], [0.0, 7.0, 1.0]
+        assert root_mean_squared_error(y, p) == pytest.approx(
+            np.sqrt(mean_squared_error(y, p))
+        )
+
+    def test_mape_known_value(self):
+        assert mean_absolute_percentage_error([2.0, 4.0], [1.0, 5.0]) == pytest.approx(
+            (0.5 + 0.25) / 2
+        )
+
+    def test_median_ae_robust_to_one_outlier(self):
+        y = [1.0, 1.0, 1.0, 1.0, 1.0]
+        p = [1.1, 0.9, 1.0, 1.1, 100.0]
+        assert median_absolute_error(y, p) == pytest.approx(0.1)
+
+    def test_r2_perfect(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_r2_mean_predictor_is_zero(self):
+        y = [1.0, 2.0, 3.0]
+        assert r2_score(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_r2_constant_target_conventions(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_pinball_median_is_half_mae(self):
+        y = [1.0, 4.0, 2.0]
+        p = [2.0, 1.0, 2.0]
+        assert pinball_loss(y, p, 0.5) == pytest.approx(
+            0.5 * mean_absolute_error(y, p)
+        )
+
+    def test_pinball_asymmetry(self):
+        # Underprediction (y > p) is penalised by q, overprediction by 1-q.
+        assert pinball_loss([1.0], [0.0], 0.9) == pytest.approx(0.9)
+        assert pinball_loss([0.0], [1.0], 0.9) == pytest.approx(0.1)
+
+    def test_relative_error_fig12_semantics(self):
+        out = relative_error([10.0, 20.0], [11.0, 15.0])
+        assert out == pytest.approx([0.1, 0.25])
+
+    def test_relative_error_rejects_nonpositive_targets(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            relative_error([0.0], [1.0])
+
+    def test_under_prediction_rate(self):
+        assert under_prediction_rate([2.0, 2.0, 2.0, 2.0], [1.0, 3.0, 2.0, 0.0]) == 0.5
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            mean_absolute_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            mean_squared_error([], [])
+
+    @pytest.mark.parametrize("q", [0.0, 1.0, -0.1, 1.5])
+    def test_pinball_quantile_domain(self, q):
+        with pytest.raises(ValueError, match="quantile"):
+            pinball_loss([1.0], [1.0], q)
+
+
+class TestProperties:
+    @given(vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_zero_error_on_identical_inputs(self, v):
+        assert mean_absolute_error(v, v) == 0.0
+        assert mean_squared_error(v, v) == 0.0
+        assert median_absolute_error(v, v) == 0.0
+
+    @given(vectors, vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_metrics_nonnegative(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert mean_absolute_error(a, b) >= 0.0
+        assert mean_squared_error(a, b) >= 0.0
+        assert pinball_loss(a, b, 0.3) >= 0.0
+
+    @given(vectors, vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_mae_symmetric(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert mean_absolute_error(a, b) == pytest.approx(
+            mean_absolute_error(b, a)
+        )
+
+    @given(vectors, finite_floats)
+    @settings(max_examples=50, deadline=None)
+    def test_mae_shift_invariance(self, v, c):
+        shifted_true = [x + c for x in v]
+        shifted_pred = [x + c for x in v]
+        assert mean_absolute_error(shifted_true, shifted_pred) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e5), min_size=2, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_r2_upper_bound(self, v):
+        rng = np.random.default_rng(0)
+        noisy = np.asarray(v) + rng.normal(0, 0.1, len(v))
+        assert r2_score(v, noisy) <= 1.0 + 1e-12
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=30),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pinball_zero_iff_exact(self, v, q):
+        assert pinball_loss(v, v, q) == 0.0

@@ -1,0 +1,100 @@
+"""Tests for the MLP regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml.mlp import MLPRegressor
+from repro.ml.preprocessing import StandardScaler
+
+
+def make_quadratic(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 1))
+    y = 2.0 * x[:, 0] ** 2 + 0.5
+    return x, y
+
+
+class TestMLPRegressor:
+    def test_learns_linear_map(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(150, 2))
+        y = 0.7 * X[:, 0] - 0.3 * X[:, 1]
+        m = MLPRegressor(hidden_layer_sizes=(16,), max_iter=400, random_state=0)
+        m.fit(X, y)
+        assert m.score(X, y) > 0.98
+
+    def test_learns_quadratic_the_papers_motivating_case(self):
+        # §II-B: "memory usage that grows as the square of the amount of
+        # input data" is why the MLP is in the pool.
+        X, y = make_quadratic()
+        m = MLPRegressor(hidden_layer_sizes=(32, 16), max_iter=600, random_state=1)
+        m.fit(X, y)
+        assert m.score(X, y) > 0.95
+
+    def test_loss_curve_decreases_overall(self):
+        X, y = make_quadratic(n=100)
+        m = MLPRegressor(hidden_layer_sizes=(8,), max_iter=100, random_state=2).fit(X, y)
+        assert m.loss_curve_[-1] < m.loss_curve_[0]
+
+    def test_early_stopping_respects_max_iter(self):
+        X, y = make_quadratic(n=50)
+        m = MLPRegressor(max_iter=30, random_state=0).fit(X, y)
+        assert m.n_iter_ <= 30
+
+    def test_partial_fit_improves_on_new_data(self):
+        X, y = make_quadratic(n=100)
+        m = MLPRegressor(hidden_layer_sizes=(16,), max_iter=150, random_state=0).fit(
+            X[:50], y[:50]
+        )
+        before = float(np.mean((m.predict(X[50:]) - y[50:]) ** 2))
+        for _ in range(10):
+            m.partial_fit(X[50:], y[50:])
+        after = float(np.mean((m.predict(X[50:]) - y[50:]) ** 2))
+        assert after <= before
+
+    def test_partial_fit_initialises_when_unfitted(self):
+        m = MLPRegressor(hidden_layer_sizes=(4,), random_state=0)
+        m.partial_fit([[0.5]], [1.0])
+        assert np.isfinite(m.predict([[0.5]]))[0]
+
+    def test_partial_fit_dimension_guard(self):
+        m = MLPRegressor(random_state=0)
+        m.partial_fit([[1.0, 2.0]], [1.0])
+        with pytest.raises(ValueError, match="dimension"):
+            m.partial_fit([[1.0]], [1.0])
+
+    def test_deterministic_given_seed(self):
+        X, y = make_quadratic(n=80)
+        a = MLPRegressor(max_iter=50, random_state=7).fit(X, y).predict(X)
+        b = MLPRegressor(max_iter=50, random_state=7).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_activations_all_work(self):
+        X, y = make_quadratic(n=60)
+        for act in ("relu", "tanh", "logistic", "identity"):
+            m = MLPRegressor(
+                hidden_layer_sizes=(8,), activation=act, max_iter=50, random_state=0
+            ).fit(X, y)
+            assert np.isfinite(m.predict(X)).all()
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError, match="activation"):
+            MLPRegressor(activation="swish").fit([[1.0], [2.0]], [1.0, 2.0])
+
+    def test_deep_network_shapes(self):
+        X, y = make_quadratic(n=60)
+        m = MLPRegressor(hidden_layer_sizes=(8, 4, 2), max_iter=20, random_state=0)
+        m.fit(X, y)
+        shapes = [w.shape for w in m.coefs_]
+        assert shapes == [(1, 8), (8, 4), (4, 2), (2, 1)]
+
+    def test_scaled_inputs_improve_fit_on_wide_range(self):
+        # MLPs need scaling for wide-range inputs (e.g. bytes); the pool
+        # wraps them in a scaler — verify the combination works.
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1e9, size=(150, 1))
+        y = X[:, 0] / 1e9 * 5.0
+        Xs = StandardScaler().fit_transform(X)
+        m = MLPRegressor(hidden_layer_sizes=(16,), max_iter=300, random_state=0)
+        m.fit(Xs, y)
+        assert m.score(Xs, y) > 0.95

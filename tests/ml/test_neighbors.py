@@ -1,0 +1,118 @@
+"""Tests for k-nearest-neighbours regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.neighbors import KNeighborsRegressor, _pairwise_distances
+
+
+class TestPairwiseDistances:
+    def test_euclidean_known_values(self):
+        A = np.array([[0.0, 0.0]])
+        B = np.array([[3.0, 4.0], [0.0, 0.0]])
+        d = _pairwise_distances(A, B, 2.0)
+        assert np.allclose(d, [[5.0, 0.0]])
+
+    def test_manhattan_known_values(self):
+        A = np.array([[1.0, 1.0]])
+        B = np.array([[4.0, 5.0]])
+        assert np.allclose(_pairwise_distances(A, B, 1.0), [[7.0]])
+
+    def test_euclidean_matches_generic_minkowski(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(5, 3))
+        B = rng.normal(size=(7, 3))
+        fast = _pairwise_distances(A, B, 2.0)
+        # p=2 via the generic branch
+        generic = (np.abs(A[:, None, :] - B[None, :, :]) ** 2).sum(axis=2) ** 0.5
+        assert np.allclose(fast, generic)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_self_distance_zero(self, n):
+        rng = np.random.default_rng(n)
+        A = rng.normal(size=(n, 2))
+        d = _pairwise_distances(A, A, 2.0)
+        # The expansion ||a||^2 - 2ab + ||b||^2 cancels imperfectly; after
+        # sqrt the residual is ~1e-8 at unit scale.
+        assert np.allclose(np.diag(d), 0.0, atol=1e-6)
+
+
+class TestKNeighborsRegressor:
+    def test_k1_memorises(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([10.0, 20.0, 30.0])
+        m = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        assert np.array_equal(m.predict(X), y)
+
+    def test_uniform_average_of_k(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        y = np.array([0.0, 2.0, 100.0])
+        m = KNeighborsRegressor(n_neighbors=2).fit(X, y)
+        # Query at 0.4: neighbours are x=0 and x=1.
+        assert m.predict([[0.4]])[0] == pytest.approx(1.0)
+
+    def test_k_clipped_to_history_size(self):
+        # Online safety: k larger than the training set must not crash.
+        m = KNeighborsRegressor(n_neighbors=10).fit([[1.0], [2.0]], [1.0, 3.0])
+        assert m.predict([[1.5]])[0] == pytest.approx(2.0)
+
+    def test_distance_weights_exact_match_dominates(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([5.0, 50.0])
+        m = KNeighborsRegressor(n_neighbors=2, weights="distance").fit(X, y)
+        assert m.predict([[0.0]])[0] == pytest.approx(5.0)
+
+    def test_distance_weights_interpolate(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        m = KNeighborsRegressor(n_neighbors=2, weights="distance").fit(X, y)
+        # Query at 2/3: distances 2/3 and 1/3, so weights 1.5 and 3.0.
+        got = m.predict([[2.0 / 3.0]])[0]
+        assert got == pytest.approx((1.5 * 0.0 + 3.0 * 10.0) / 4.5, rel=1e-6)
+
+    def test_partial_fit_appends(self):
+        m = KNeighborsRegressor(n_neighbors=1).fit([[0.0]], [1.0])
+        m.partial_fit([[5.0]], [9.0])
+        assert m.predict([[4.9]])[0] == pytest.approx(9.0)
+
+    def test_partial_fit_dimension_guard(self):
+        m = KNeighborsRegressor().fit([[0.0, 1.0]], [1.0])
+        with pytest.raises(ValueError, match="dimension"):
+            m.partial_fit([[0.0]], [1.0])
+
+    def test_kneighbors_returns_sorted_distances(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(30, 2))
+        y = rng.normal(size=30)
+        m = KNeighborsRegressor(n_neighbors=5).fit(X, y)
+        d, idx = m.kneighbors(rng.normal(size=(4, 2)))
+        assert np.all(np.diff(d, axis=1) >= -1e-12)
+        assert idx.shape == (4, 5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="n_neighbors"):
+            KNeighborsRegressor(n_neighbors=0).fit([[1.0]], [1.0])
+        with pytest.raises(ValueError, match="weights"):
+            KNeighborsRegressor(weights="bogus").fit([[1.0]], [1.0])
+        with pytest.raises(ValueError, match="p must be positive"):
+            KNeighborsRegressor(p=0.0).fit([[1.0]], [1.0])
+
+    def test_fit_copies_training_data(self):
+        X = np.array([[1.0], [2.0]])
+        y = np.array([1.0, 2.0])
+        m = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        X[0, 0] = 999.0  # mutating caller data must not corrupt the model
+        assert m.predict([[1.0]])[0] == pytest.approx(1.0)
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_predictions_within_target_range(self, k):
+        rng = np.random.default_rng(k)
+        X = rng.uniform(0, 1, size=(40, 2))
+        y = rng.uniform(10, 20, size=40)
+        m = KNeighborsRegressor(n_neighbors=k).fit(X, y)
+        p = m.predict(rng.uniform(0, 1, size=(10, 2)))
+        assert np.all(p >= 10.0 - 1e-9) and np.all(p <= 20.0 + 1e-9)

@@ -1,0 +1,127 @@
+"""Tests for feature scalers, including online (partial_fit) behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.preprocessing import MinMaxScaler, RobustScaler, StandardScaler
+
+
+def batches(seed=0, n=120, d=3):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(loc=5.0, scale=2.0, size=(n, d))
+    return X
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        X = batches()
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_inverse_roundtrip(self):
+        X = batches(1)
+        sc = StandardScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X)
+
+    def test_constant_feature_noop(self):
+        X = np.hstack([batches(2, d=1), np.full((120, 1), 3.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 1], 0.0)  # centered, scale left at 1
+
+    def test_partial_fit_matches_batch(self):
+        X = batches(3, n=90)
+        inc = StandardScaler()
+        for chunk in np.array_split(X, 7):
+            inc.partial_fit(chunk)
+        ref = StandardScaler().fit(X)
+        assert np.allclose(inc.mean_, ref.mean_)
+        assert np.allclose(inc.var_, ref.var_, rtol=1e-10)
+
+    def test_partial_fit_single_rows(self):
+        X = batches(4, n=25)
+        inc = StandardScaler()
+        for i in range(X.shape[0]):
+            inc.partial_fit(X[i : i + 1])
+        ref = StandardScaler().fit(X)
+        assert np.allclose(inc.mean_, ref.mean_)
+        assert np.allclose(inc.var_, ref.var_, rtol=1e-8)
+
+    def test_with_mean_false(self):
+        X = batches(5)
+        sc = StandardScaler(with_mean=False).fit(X)
+        Z = sc.transform(X)
+        assert not np.allclose(Z.mean(axis=0), 0.0)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-12)
+
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=25, deadline=None)
+    def test_property_roundtrip(self, n):
+        rng = np.random.default_rng(n)
+        X = rng.normal(size=(n, 2)) * rng.uniform(0.5, 10)
+        sc = StandardScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X, atol=1e-9)
+
+
+class TestMinMaxScaler:
+    def test_range_default(self):
+        X = batches(6)
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() == pytest.approx(0.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    def test_custom_range(self):
+        X = batches(7)
+        Z = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(X)
+        assert Z.min() == pytest.approx(-1.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError, match="feature_range"):
+            MinMaxScaler(feature_range=(1.0, 0.0)).fit(batches())
+
+    def test_partial_fit_extends_bounds(self):
+        sc = MinMaxScaler().fit(np.array([[0.0], [1.0]]))
+        sc.partial_fit(np.array([[2.0]]))
+        assert sc.transform([[2.0]])[0, 0] == pytest.approx(1.0)
+        assert sc.transform([[1.0]])[0, 0] == pytest.approx(0.5)
+
+    def test_inverse_roundtrip(self):
+        X = batches(8)
+        sc = MinMaxScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X)
+
+    def test_constant_feature_noop(self):
+        X = np.full((10, 1), 4.0)
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.allclose(Z, 0.0)
+
+
+class TestRobustScaler:
+    def test_median_centred(self):
+        X = batches(9)
+        Z = RobustScaler().fit_transform(X)
+        assert np.allclose(np.median(Z, axis=0), 0.0, atol=1e-12)
+
+    def test_outlier_insensitivity_vs_standard(self):
+        X = batches(10, n=100, d=1)
+        X_out = X.copy()
+        X_out[0, 0] = 1e6  # a single wild peak-memory outlier
+        rob_clean = RobustScaler().fit(X)
+        rob_dirty = RobustScaler().fit(X_out)
+        std_clean = StandardScaler().fit(X)
+        std_dirty = StandardScaler().fit(X_out)
+        rob_shift = abs(rob_dirty.center_[0] - rob_clean.center_[0])
+        std_shift = abs(std_dirty.mean_[0] - std_clean.mean_[0])
+        assert rob_shift < std_shift
+
+    def test_invalid_quantile_range(self):
+        with pytest.raises(ValueError, match="quantile_range"):
+            RobustScaler(quantile_range=(75.0, 25.0)).fit(batches())
+
+    def test_inverse_roundtrip(self):
+        X = batches(11)
+        sc = RobustScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X)

@@ -1,0 +1,135 @@
+"""Tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.tree import DecisionTreeRegressor, _best_split
+
+
+class TestBestSplit:
+    def test_obvious_split(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([0.0, 0.0, 10.0, 10.0])
+        f, thr, gain = _best_split(X, y, np.array([0]), 1)
+        assert f == 0
+        assert 1.0 < thr < 10.0
+        assert gain == pytest.approx(100.0)  # SSE drops from 100 to 0
+
+    def test_no_split_on_constant_feature(self):
+        X = np.ones((4, 1))
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        f, _, _ = _best_split(X, y, np.array([0]), 1)
+        assert f == -1
+
+    def test_min_samples_leaf_respected(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 0.0, 100.0])
+        # With min_samples_leaf=2 the best cut (isolating the outlier) is
+        # forbidden; only the middle cut remains legal.
+        f, thr, _ = _best_split(X, y, np.array([0]), 2)
+        assert f == 0
+        assert thr == pytest.approx(1.5)
+
+
+class TestDecisionTree:
+    def test_memorises_distinct_points(self):
+        X = np.arange(8, dtype=float).reshape(-1, 1)
+        y = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+        m = DecisionTreeRegressor().fit(X, y)
+        assert np.allclose(m.predict(X), y)
+
+    def test_single_leaf_for_constant_target(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.full(10, 7.0)
+        m = DecisionTreeRegressor().fit(X, y)
+        assert m.n_leaves_ == 1
+        assert m.predict([[100.0]])[0] == pytest.approx(7.0)
+
+    def test_max_depth_limits_depth(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(200, 3))
+        y = rng.normal(size=200)
+        for depth in (1, 2, 4):
+            m = DecisionTreeRegressor(max_depth=depth).fit(X, y)
+            assert m.depth_ <= depth
+
+    def test_stump_is_piecewise_two_values(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(100, 1))
+        y = (X[:, 0] > 0.5).astype(float)
+        m = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        assert len(np.unique(m.predict(X))) <= 2
+
+    def test_step_function_learned_exactly(self):
+        X = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = np.where(X[:, 0] < 0.5, 2.0, 8.0)
+        m = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        assert m.predict([[0.1]])[0] == pytest.approx(2.0)
+        assert m.predict([[0.9]])[0] == pytest.approx(8.0)
+
+    def test_min_samples_leaf_enforced_in_tree(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(size=(64, 2))
+        y = rng.normal(size=64)
+        m = DecisionTreeRegressor(min_samples_leaf=8).fit(X, y)
+        leaf_sizes = [n.n_samples for n in m.nodes_ if n.is_leaf]
+        assert min(leaf_sizes) >= 8
+
+    def test_predictions_are_leaf_means(self):
+        # Every prediction must equal the mean of some training subset, so
+        # predictions lie within [min(y), max(y)].
+        rng = np.random.default_rng(3)
+        X = rng.uniform(size=(100, 2))
+        y = rng.uniform(5, 6, size=100)
+        m = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        p = m.predict(rng.uniform(size=(50, 2)))
+        assert p.min() >= 5.0 - 1e-9 and p.max() <= 6.0 + 1e-9
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="min_samples_split"):
+            DecisionTreeRegressor(min_samples_split=1).fit([[1.0]], [1.0])
+        with pytest.raises(ValueError, match="min_samples_leaf"):
+            DecisionTreeRegressor(min_samples_leaf=0).fit([[1.0]], [1.0])
+        with pytest.raises(ValueError, match="max_depth"):
+            DecisionTreeRegressor(max_depth=0).fit([[1.0]], [1.0])
+        with pytest.raises(ValueError, match="max_features"):
+            DecisionTreeRegressor(max_features="bogus").fit([[1.0], [2.0]], [1.0, 2.0])
+
+    def test_max_features_variants(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(size=(50, 4))
+        y = X @ np.array([1.0, 2.0, 3.0, 4.0])
+        for mf in (None, "sqrt", "log2", 2, 0.5):
+            m = DecisionTreeRegressor(max_features=mf, random_state=0).fit(X, y)
+            assert np.isfinite(m.predict(X)).all()
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(size=(80, 3))
+        y = rng.normal(size=80)
+        p1 = DecisionTreeRegressor(max_features="sqrt", random_state=9).fit(X, y).predict(X)
+        p2 = DecisionTreeRegressor(max_features="sqrt", random_state=9).fit(X, y).predict(X)
+        assert np.array_equal(p1, p2)
+
+    @given(st.integers(min_value=2, max_value=30))
+    @settings(max_examples=25, deadline=None)
+    def test_fitting_never_exceeds_target_range(self, n):
+        rng = np.random.default_rng(n)
+        X = rng.uniform(size=(n, 2))
+        y = rng.normal(size=n)
+        m = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        p = m.predict(X)
+        assert p.min() >= y.min() - 1e-9
+        assert p.max() <= y.max() + 1e-9
+
+    def test_deeper_trees_fit_no_worse_in_sample(self):
+        rng = np.random.default_rng(6)
+        X = rng.uniform(size=(120, 2))
+        y = np.sin(4 * X[:, 0]) + rng.normal(0, 0.1, 120)
+        errs = []
+        for depth in (1, 3, 6, None):
+            m = DecisionTreeRegressor(max_depth=depth).fit(X, y)
+            errs.append(float(np.mean((m.predict(X) - y) ** 2)))
+        assert errs == sorted(errs, reverse=True)

@@ -1,0 +1,121 @@
+"""Tests for the provenance record schema and database."""
+
+import numpy as np
+import pytest
+
+from repro.provenance.database import ProvenanceDatabase
+from repro.provenance.records import TaskRecord
+
+
+def rec(task="align", machine="m1", ts=0, x=100.0, y=500.0, rt=0.1,
+        success=True, attempt=1, iid=0):
+    return TaskRecord(
+        task_type=task,
+        workflow="wf",
+        machine=machine,
+        timestamp=ts,
+        input_size_mb=x,
+        peak_memory_mb=y,
+        runtime_hours=rt,
+        success=success,
+        attempt=attempt,
+        instance_id=iid,
+    )
+
+
+class TestTaskRecord:
+    def test_features(self):
+        r = rec(x=42.0)
+        assert r.features.shape == (1, 1)
+        assert r.features[0, 0] == 42.0
+
+    def test_pool_key(self):
+        assert rec(task="a", machine="m2").pool_key == ("a", "m2")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="peak_memory_mb"):
+            rec(y=0.0)
+        with pytest.raises(ValueError, match="runtime_hours"):
+            rec(rt=-1.0)
+        with pytest.raises(ValueError, match="attempt"):
+            rec(attempt=0)
+
+
+class TestProvenanceDatabase:
+    def test_insert_and_count(self):
+        db = ProvenanceDatabase()
+        db.insert(rec(ts=0))
+        db.insert(rec(ts=1, machine="m2"))
+        assert len(db) == 2
+        assert db.count("align") == 2
+        assert db.count("align", machine="m1") == 1
+        assert db.count("other") == 0
+
+    def test_training_arrays_shapes(self):
+        db = ProvenanceDatabase()
+        for i in range(5):
+            db.insert(rec(ts=i, x=float(i), y=100.0 + i, iid=i))
+        X, y = db.training_arrays("align")
+        assert X.shape == (5, 1)
+        assert np.array_equal(X[:, 0], np.arange(5.0))
+        assert np.array_equal(y, 100.0 + np.arange(5.0))
+
+    def test_training_arrays_exclude_failures_by_default(self):
+        db = ProvenanceDatabase()
+        db.insert(rec(ts=0, y=100.0))
+        db.insert(rec(ts=1, y=50.0, success=False))
+        X, y = db.training_arrays("align")
+        assert y.tolist() == [100.0]
+        X2, y2 = db.training_arrays("align", include_failures=True)
+        assert sorted(y2.tolist()) == [50.0, 100.0]
+
+    def test_training_arrays_empty_for_unknown(self):
+        db = ProvenanceDatabase()
+        X, y = db.training_arrays("ghost")
+        assert X.shape == (0, 1) and y.shape == (0,)
+
+    def test_machine_filter(self):
+        db = ProvenanceDatabase()
+        db.insert(rec(ts=0, machine="m1", y=100.0))
+        db.insert(rec(ts=1, machine="m2", y=200.0))
+        _, y1 = db.training_arrays("align", machine="m1")
+        assert y1.tolist() == [100.0]
+        _, y_all = db.training_arrays("align")
+        assert sorted(y_all.tolist()) == [100.0, 200.0]
+
+    def test_max_observed_peak_tracks_successes_only(self):
+        db = ProvenanceDatabase()
+        assert db.max_observed_peak("align") is None
+        db.insert(rec(ts=0, y=100.0))
+        db.insert(rec(ts=1, y=900.0, success=False))  # failure: ignored
+        db.insert(rec(ts=2, y=300.0))
+        assert db.max_observed_peak("align") == 300.0
+
+    def test_known_task_types(self):
+        db = ProvenanceDatabase()
+        db.insert(rec(task="a", y=10.0))
+        db.insert(rec(task="b", y=20.0, success=False))
+        assert db.known_task_types() == {"a"}
+
+    def test_growth_beyond_initial_capacity(self):
+        db = ProvenanceDatabase()
+        n = 200  # initial partition capacity is 32; force several regrows
+        for i in range(n):
+            db.insert(rec(ts=i, x=float(i), y=float(i + 1), iid=i))
+        X, y = db.training_arrays("align")
+        assert X.shape == (n, 1)
+        assert y[-1] == float(n)
+
+    def test_peaks_and_runtimes(self):
+        db = ProvenanceDatabase()
+        db.insert(rec(ts=0, y=100.0, rt=0.5))
+        db.insert(rec(ts=1, y=200.0, rt=1.5))
+        assert sorted(db.peaks("align").tolist()) == [100.0, 200.0]
+        assert sorted(db.runtimes("align").tolist()) == [0.5, 1.5]
+        assert db.runtimes("ghost").shape == (0,)
+
+    def test_partitions_listing(self):
+        db = ProvenanceDatabase()
+        db.insert(rec(task="b", machine="m2"))
+        db.insert(rec(task="a", machine="m1"))
+        assert db.partitions() == [("a", "m1"), ("b", "m2")]

@@ -1,0 +1,179 @@
+"""Tests for the online replay simulator."""
+
+import numpy as np
+import pytest
+
+from repro.provenance.records import TaskRecord
+from repro.sim.engine import OnlineSimulator
+from repro.sim.interface import MemoryPredictor, TaskSubmission
+from repro.sim.results import aggregate_results
+from repro.workflow.task import TaskInstance, TaskType, WorkflowTrace
+
+
+def make_trace(peaks, runtimes=None, workflow="wf", preset=4096.0):
+    tt = TaskType(name="t", workflow=workflow, preset_memory_mb=preset)
+    runtimes = runtimes or [1.0] * len(peaks)
+    insts = [
+        TaskInstance(
+            task_type=tt,
+            instance_id=i,
+            input_size_mb=100.0,
+            peak_memory_mb=p,
+            runtime_hours=r,
+        )
+        for i, (p, r) in enumerate(zip(peaks, runtimes))
+    ]
+    return WorkflowTrace(workflow, insts)
+
+
+class FixedPredictor(MemoryPredictor):
+    """Allocates a fixed amount; doubles on failure; records observations."""
+
+    name = "Fixed"
+
+    def __init__(self, allocation_mb: float):
+        self.allocation_mb = allocation_mb
+        self.seen: list[TaskRecord] = []
+
+    def predict(self, task: TaskSubmission) -> float:
+        return self.allocation_mb
+
+    def observe(self, record: TaskRecord) -> None:
+        self.seen.append(record)
+
+
+class TestSuccessPath:
+    def test_no_failures_when_allocation_covers(self):
+        trace = make_trace([1000.0, 1500.0])
+        res = OnlineSimulator(trace).run(FixedPredictor(2048.0))
+        assert res.num_failures == 0
+        assert res.num_tasks == 2
+        # wastage: (2048-1000)/1024*1 + (2048-1500)/1024*1
+        assert res.total_wastage_gbh == pytest.approx(
+            (2048 - 1000) / 1024 + (2048 - 1500) / 1024
+        )
+
+    def test_observe_called_with_truth(self):
+        trace = make_trace([1000.0])
+        pred = FixedPredictor(2048.0)
+        OnlineSimulator(trace).run(pred)
+        assert len(pred.seen) == 1
+        rec = pred.seen[0]
+        assert rec.success and rec.peak_memory_mb == 1000.0
+        assert rec.allocated_mb == 2048.0
+
+    def test_runtime_accounted(self):
+        trace = make_trace([100.0, 100.0], runtimes=[0.5, 2.0])
+        res = OnlineSimulator(trace).run(FixedPredictor(1024.0))
+        assert res.total_runtime_hours == pytest.approx(2.5)
+
+
+class TestFailurePath:
+    def test_failure_then_doubling_succeeds(self):
+        trace = make_trace([3000.0])
+        pred = FixedPredictor(1000.0)
+        res = OnlineSimulator(trace).run(pred)
+        assert res.num_failures == 2  # 1000 -> 2000 -> 4000 ok
+        assert res.predictions[0].n_attempts == 3
+        assert res.predictions[0].final_allocation_mb == pytest.approx(4000.0)
+
+    def test_failure_records_marked(self):
+        trace = make_trace([3000.0])
+        pred = FixedPredictor(2000.0)
+        OnlineSimulator(trace).run(pred)
+        fail_recs = [r for r in pred.seen if not r.success]
+        assert len(fail_recs) == 1
+        # A failure record's "peak" is the exceeded allocation.
+        assert fail_recs[0].peak_memory_mb == 2000.0
+
+    def test_ttf_halves_failure_cost(self):
+        trace = make_trace([3000.0], runtimes=[1.0])
+        full = OnlineSimulator(trace, time_to_failure=1.0).run(FixedPredictor(2000.0))
+        half = OnlineSimulator(trace, time_to_failure=0.5).run(FixedPredictor(2000.0))
+        # Failed attempt: 2000 MB for ttf*1h; success: (4000-3000)*1h.
+        assert full.total_wastage_gbh == pytest.approx(2000 / 1024 + 1000 / 1024)
+        assert half.total_wastage_gbh == pytest.approx(1000 / 1024 + 1000 / 1024)
+        assert half.total_runtime_hours < full.total_runtime_hours
+
+    def test_presets_unaffected_by_ttf(self):
+        # The paper notes preset wastage is identical across ttf values
+        # (no failures ever happen).
+        trace = make_trace([1000.0, 2000.0])
+        a = OnlineSimulator(trace, time_to_failure=1.0).run(FixedPredictor(4096.0))
+        b = OnlineSimulator(trace, time_to_failure=0.5).run(FixedPredictor(4096.0))
+        assert a.total_wastage_gbh == pytest.approx(b.total_wastage_gbh)
+
+    def test_retry_allocations_strictly_grow(self):
+        class StubbornPredictor(FixedPredictor):
+            # Tries to shrink the allocation after failure; the engine
+            # must fall back to doubling to guarantee progress.
+            def on_failure(self, task, failed_allocation_mb, attempt):
+                return failed_allocation_mb * 0.5
+
+        trace = make_trace([3000.0])
+        res = OnlineSimulator(trace).run(StubbornPredictor(1000.0))
+        assert res.predictions[0].n_attempts == 3  # 1000 -> 2000 -> 4000
+        assert res.predictions[0].final_allocation_mb == pytest.approx(4000.0)
+
+    def test_invalid_ttf_rejected(self):
+        with pytest.raises(ValueError, match="time_to_failure"):
+            OnlineSimulator(make_trace([1.0]), time_to_failure=1.5)
+
+
+class TestLogsAndAggregation:
+    def test_prediction_log_fields(self):
+        trace = make_trace([3000.0])
+        res = OnlineSimulator(trace).run(FixedPredictor(2000.0))
+        log = res.predictions[0]
+        assert log.first_allocation_mb == 2000.0
+        assert log.true_peak_mb == 3000.0
+        assert log.failed_attempts == 1
+        assert log.first_attempt_over_mb == -1000.0
+
+    def test_failure_distribution_includes_zero_types(self):
+        tt_ok = TaskType(name="ok", workflow="wf", preset_memory_mb=4096.0)
+        tt_bad = TaskType(name="bad", workflow="wf", preset_memory_mb=4096.0)
+        insts = [
+            TaskInstance(task_type=tt_ok, instance_id=0, input_size_mb=1.0,
+                         peak_memory_mb=100.0, runtime_hours=0.1),
+            TaskInstance(task_type=tt_bad, instance_id=1, input_size_mb=1.0,
+                         peak_memory_mb=3000.0, runtime_hours=0.1),
+        ]
+        res = OnlineSimulator(WorkflowTrace("wf", insts)).run(FixedPredictor(2000.0))
+        dist = res.failure_distribution()
+        assert sorted(dist.tolist()) == [0, 1]
+
+    def test_aggregate_results(self):
+        r1 = OnlineSimulator(make_trace([1000.0], workflow="a")).run(
+            FixedPredictor(2048.0)
+        )
+        r2 = OnlineSimulator(make_trace([3000.0], workflow="b")).run(
+            FixedPredictor(2048.0)
+        )
+        agg = aggregate_results([r1, r2])
+        assert agg["num_tasks"] == 2
+        assert agg["num_failures"] == r2.num_failures
+        assert set(agg["per_workflow_wastage"]) == {"a", "b"}
+        assert agg["total_wastage_gbh"] == pytest.approx(
+            r1.total_wastage_gbh + r2.total_wastage_gbh
+        )
+
+    def test_aggregate_rejects_mixed_methods(self):
+        r1 = OnlineSimulator(make_trace([100.0], workflow="a")).run(
+            FixedPredictor(1024.0)
+        )
+        r2 = OnlineSimulator(make_trace([100.0], workflow="b")).run(
+            FixedPredictor(1024.0)
+        )
+        object.__setattr__
+        r2.method = "Other"
+        with pytest.raises(ValueError, match="methods"):
+            aggregate_results([r1, r2])
+
+    def test_aggregate_empty(self):
+        with pytest.raises(ValueError, match="no results"):
+            aggregate_results([])
+
+    def test_over_allocation_ratio(self):
+        res = OnlineSimulator(make_trace([1024.0])).run(FixedPredictor(2048.0))
+        assert res.over_allocation_ratio() == pytest.approx(2.0)

@@ -1,0 +1,105 @@
+"""Property-based tests of simulator invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import OnlineSimulator
+from repro.sim.interface import MemoryPredictor, TaskSubmission
+from repro.workflow.task import TaskInstance, TaskType, WorkflowTrace
+
+peaks_strategy = st.lists(
+    st.floats(min_value=10.0, max_value=50_000.0), min_size=1, max_size=25
+)
+alloc_strategy = st.floats(min_value=10.0, max_value=80_000.0)
+
+
+def build_trace(peaks):
+    tt = TaskType(name="t", workflow="wf", preset_memory_mb=128.0 * 1024)
+    return WorkflowTrace(
+        "wf",
+        [
+            TaskInstance(
+                task_type=tt,
+                instance_id=i,
+                input_size_mb=1.0,
+                peak_memory_mb=p,
+                runtime_hours=0.5,
+            )
+            for i, p in enumerate(peaks)
+        ],
+    )
+
+
+class Fixed(MemoryPredictor):
+    name = "Fixed"
+
+    def __init__(self, allocation_mb):
+        self.allocation_mb = allocation_mb
+
+    def predict(self, task: TaskSubmission) -> float:
+        return self.allocation_mb
+
+
+class TestSimulatorInvariants:
+    @given(peaks_strategy, alloc_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_every_task_eventually_succeeds(self, peaks, alloc):
+        res = OnlineSimulator(build_trace(peaks)).run(Fixed(alloc))
+        assert res.num_tasks == len(peaks)
+        for log in res.predictions:
+            assert log.final_allocation_mb >= log.true_peak_mb
+
+    @given(peaks_strategy, alloc_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_wastage_non_negative_and_finite(self, peaks, alloc):
+        res = OnlineSimulator(build_trace(peaks)).run(Fixed(alloc))
+        assert res.total_wastage_gbh >= 0.0
+        assert np.isfinite(res.total_wastage_gbh)
+
+    @given(peaks_strategy, alloc_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_runtime_at_least_sum_of_true_runtimes(self, peaks, alloc):
+        # Every task runs to completion at least once; retries only add.
+        res = OnlineSimulator(build_trace(peaks)).run(Fixed(alloc))
+        assert res.total_runtime_hours >= 0.5 * len(peaks) - 1e-9
+
+    @given(peaks_strategy, alloc_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_failures_equal_extra_attempts(self, peaks, alloc):
+        res = OnlineSimulator(build_trace(peaks)).run(Fixed(alloc))
+        extra = sum(log.n_attempts - 1 for log in res.predictions)
+        assert res.num_failures == extra
+
+    @given(peaks_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_exact_allocation_wastes_nothing(self, peaks):
+        # An oracle allocating the exact peak never fails, never wastes.
+        class Oracle(MemoryPredictor):
+            name = "Oracle"
+
+            def __init__(self, trace):
+                self._peaks = {i.instance_id: i.peak_memory_mb for i in trace}
+
+            def predict(self, task):
+                return self._peaks[task.instance_id]
+
+        trace = build_trace(peaks)
+        res = OnlineSimulator(trace).run(Oracle(trace))
+        assert res.num_failures == 0
+        assert res.total_wastage_gbh == pytest.approx(0.0, abs=1e-9)
+
+    @given(
+        peaks_strategy,
+        alloc_strategy,
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lower_ttf_never_increases_wastage(self, peaks, alloc, ttf):
+        # Earlier failures strictly reduce lost work (Fig. 8a vs 8b).
+        trace = build_trace(peaks)
+        full = OnlineSimulator(trace, time_to_failure=1.0).run(Fixed(alloc))
+        early = OnlineSimulator(trace, time_to_failure=ttf).run(Fixed(alloc))
+        assert early.total_wastage_gbh <= full.total_wastage_gbh + 1e-9
+        assert early.total_runtime_hours <= full.total_runtime_hours + 1e-9

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--workflow", "iwd"])
+        args_d = vars(args)
+        assert args_d["method"] == "Sizey"
+        assert args_d["scale"] == 1.0
+        assert args_d["ttf"] == 1.0
+
+    def test_rejects_unknown_workflow(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--workflow", "nope"])
+
+    def test_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--only", "fig99"])
+
+
+class TestCommands:
+    def test_simulate_prints_metrics(self, capsys):
+        rc = main(
+            ["simulate", "--workflow", "iwd", "--method", "Workflow-Presets",
+             "--scale", "0.05"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wastage GBh" in out
+        assert "failures" in out
+
+    def test_trace_writes_json_and_csv(self, tmp_path, capsys):
+        out_json = tmp_path / "t.json"
+        out_csv = tmp_path / "t.csv"
+        rc = main(
+            ["trace", "--workflow", "iwd", "--scale", "0.05",
+             "--out", str(out_json), "--csv", str(out_csv)]
+        )
+        assert rc == 0
+        data = json.loads(out_json.read_text())
+        assert data["workflow"] == "iwd"
+        assert out_csv.exists()
+        assert "wrote JSON trace" in capsys.readouterr().out
+
+    def test_compare_renders_all_methods(self, capsys):
+        rc = main(
+            ["compare", "--workflows", "iwd", "--scale", "0.05"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        for m in ("Sizey", "Witt-Wastage", "Workflow-Presets"):
+            assert m in out
+
+    def test_figures_single_artifact(self, capsys):
+        rc = main(["figures", "--only", "table1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table I" in out

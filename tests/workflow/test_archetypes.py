@@ -1,0 +1,150 @@
+"""Tests for the memory/runtime behaviour archetypes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workflow.archetypes import (
+    ARCHETYPE_REGISTRY,
+    BimodalMemory,
+    ConstantHeavyTailMemory,
+    LinearMemory,
+    PolynomialMemory,
+    RuntimeModel,
+    SaturatingMemory,
+    SublinearMemory,
+)
+
+RNG = lambda: np.random.default_rng(0)  # noqa: E731
+
+
+def sample_many(arch, input_mb, n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.array([arch.sample(input_mb, rng) for _ in range(n)])
+
+
+class TestLinearMemory:
+    def test_mean_follows_line(self):
+        arch = LinearMemory(slope=4.0, intercept_mb=512.0, noise_frac=0.02)
+        for x in (100.0, 1000.0, 5000.0):
+            got = sample_many(arch, x).mean()
+            assert got == pytest.approx(4.0 * x + 512.0, rel=0.02)
+
+    def test_noise_scales_with_level(self):
+        arch = LinearMemory(slope=1.0, intercept_mb=0.0, noise_frac=0.05)
+        small = sample_many(arch, 100.0).std()
+        large = sample_many(arch, 10000.0).std()
+        assert large > 10 * small
+
+    def test_positive_floor(self):
+        arch = LinearMemory(slope=0.0, intercept_mb=1.0, noise_frac=3.0)
+        assert sample_many(arch, 1.0).min() >= 16.0
+
+
+class TestSublinearAndPolynomial:
+    def test_sublinear_grows_slower_than_linear(self):
+        arch = SublinearMemory(coef=10.0, exponent=0.5, intercept_mb=0.0, noise_frac=0.0)
+        m1 = arch.sample(100.0, RNG())
+        m2 = arch.sample(400.0, RNG())
+        assert m2 == pytest.approx(2.0 * m1, rel=0.01)  # sqrt(4) = 2
+
+    def test_polynomial_grows_faster_than_linear(self):
+        arch = PolynomialMemory(coef=1.0, exponent=2.0, intercept_mb=0.0, noise_frac=0.0)
+        m1 = arch.sample(10.0, RNG())
+        m2 = arch.sample(20.0, RNG())
+        assert m2 == pytest.approx(4.0 * m1, rel=0.01)
+
+
+class TestBimodalMemory:
+    def test_two_regimes(self):
+        arch = BimodalMemory(
+            threshold_mb=600.0, low_mb=800.0, high_mb=3000.0, slope=0.0, noise_frac=0.0
+        )
+        low = arch.sample(100.0, RNG())
+        high = arch.sample(700.0, RNG())
+        assert low == pytest.approx(800.0, rel=0.05)
+        assert high == pytest.approx(3000.0, rel=0.05)
+
+    def test_regime_gap_visible_in_distribution(self):
+        # This is the BaseRecalibrator pathology (Fig. 2): a single linear
+        # fit must misestimate one of the regimes.
+        arch = BimodalMemory(threshold_mb=600.0, low_mb=800.0, high_mb=3000.0)
+        rng = np.random.default_rng(1)
+        inputs = rng.uniform(100, 1100, size=300)
+        mems = np.array([arch.sample(x, rng) for x in inputs])
+        assert (mems < 1500).any() and (mems > 2500).any()
+        assert not ((mems > 1700) & (mems < 2300)).any()  # gap between modes
+
+
+class TestConstantHeavyTail:
+    def test_input_independent(self):
+        arch = ConstantHeavyTailMemory(median_mb=550.0, sigma=0.35)
+        a = sample_many(arch, 10.0, seed=3)
+        b = sample_many(arch, 10000.0, seed=3)
+        assert np.allclose(a, b)  # same RNG stream, input ignored
+
+    def test_median_matches(self):
+        arch = ConstantHeavyTailMemory(median_mb=550.0, sigma=0.35)
+        med = np.median(sample_many(arch, 1.0, n=3000))
+        assert med == pytest.approx(550.0, rel=0.05)
+
+    def test_cap_enforced(self):
+        arch = ConstantHeavyTailMemory(median_mb=500.0, sigma=2.0, cap_mb=1000.0)
+        assert sample_many(arch, 1.0, n=1000).max() <= 1000.0
+
+
+class TestSaturatingMemory:
+    def test_monotone_towards_plateau(self):
+        arch = SaturatingMemory(
+            plateau_mb=5500.0, scale_mb=1500.0, half_input_mb=300.0, noise_frac=0.0
+        )
+        small = arch.sample(10.0, RNG())
+        large = arch.sample(100000.0, RNG())
+        assert small < large <= 5500.0 * 1.001
+
+    def test_genomecov_band(self):
+        # Fig. 1: genomecov sits in the 4-7 GB band.
+        arch = SaturatingMemory()
+        mems = sample_many(arch, 700.0, n=500)
+        assert 3500.0 < np.percentile(mems, 5)
+        assert np.percentile(mems, 95) < 7000.0
+
+
+class TestRuntimeModel:
+    def test_runtime_grows_with_input(self):
+        rt = RuntimeModel(base_hours=0.01, hours_per_gb=0.5, jitter_sigma=0.0)
+        r1, *_ = rt.sample(1024.0, RNG())
+        r2, *_ = rt.sample(4096.0, RNG())
+        assert r2 > r1
+
+    def test_all_outputs_positive(self):
+        rt = RuntimeModel()
+        rng = np.random.default_rng(5)
+        for _ in range(100):
+            r, cpu, ior, iow = rt.sample(rng.uniform(1, 1e5), rng)
+            assert r > 0 and cpu >= 1.0 and ior >= 0 and iow >= 0
+
+    @given(st.floats(min_value=1.0, max_value=1e6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_positive_for_any_input(self, x):
+        r, cpu, ior, iow = RuntimeModel().sample(x, np.random.default_rng(1))
+        assert r > 0 and cpu > 0
+
+
+class TestRegistry:
+    def test_registry_complete(self):
+        assert set(ARCHETYPE_REGISTRY) == {
+            "linear",
+            "sublinear",
+            "polynomial",
+            "bimodal",
+            "constant_heavy_tail",
+            "saturating",
+        }
+
+    def test_registry_constructs(self):
+        for cls in ARCHETYPE_REGISTRY.values():
+            arch = cls()
+            v = arch.sample(100.0, np.random.default_rng(0))
+            assert v > 0

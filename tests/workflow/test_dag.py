@@ -1,0 +1,70 @@
+"""Tests for the workflow DAG."""
+
+import pytest
+
+from repro.workflow.dag import CycleError, WorkflowDAG
+
+
+class TestConstruction:
+    def test_rejects_duplicate_nodes(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            WorkflowDAG(["a", "a"])
+
+    def test_rejects_unknown_edge_endpoint(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            WorkflowDAG(["a"], [("a", "b")])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(CycleError, match="self-loop"):
+            WorkflowDAG(["a"], [("a", "a")])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(CycleError, match="cycle"):
+            WorkflowDAG(["a", "b", "c"], [("a", "b"), ("b", "c"), ("c", "a")])
+
+    def test_edges_roundtrip(self):
+        dag = WorkflowDAG(["a", "b", "c"], [("a", "b"), ("a", "c")])
+        assert sorted(dag.edges) == [("a", "b"), ("a", "c")]
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self):
+        dag = WorkflowDAG(
+            ["fetch", "align", "sort", "report"],
+            [("fetch", "align"), ("align", "sort"), ("sort", "report")],
+        )
+        order = dag.topological_order()
+        for u, v in dag.edges:
+            assert order.index(u) < order.index(v)
+
+    def test_stages_group_parallel_nodes(self):
+        dag = WorkflowDAG.fan_out_fan_in("src", ["p1", "p2", "p3"], "sink")
+        assert dag.stages == [["src"], ["p1", "p2", "p3"], ["sink"]]
+
+    def test_linear_pipeline(self):
+        dag = WorkflowDAG.linear_pipeline(["a", "b", "c"])
+        assert dag.stages == [["a"], ["b"], ["c"]]
+        assert dag.predecessors("b") == ["a"]
+        assert dag.successors("b") == ["c"]
+
+    def test_isolated_nodes_in_first_stage(self):
+        dag = WorkflowDAG(["a", "b", "c"], [("a", "b")])
+        assert sorted(dag.stages[0]) == ["a", "c"]
+
+    def test_predecessors_unknown_node(self):
+        dag = WorkflowDAG(["a"])
+        with pytest.raises(KeyError):
+            dag.predecessors("zzz")
+
+    def test_stage_count_is_longest_path(self):
+        # Diamond with a long tail: a->b->d, a->c->d, d->e
+        dag = WorkflowDAG(
+            ["a", "b", "c", "d", "e"],
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"), ("d", "e")],
+        )
+        assert len(dag.stages) == 4
+
+    def test_all_nodes_appear_exactly_once_in_stages(self):
+        dag = WorkflowDAG.fan_out_fan_in("s", ["x", "y"], "t")
+        flattened = [n for stage in dag.stages for n in stage]
+        assert sorted(flattened) == sorted(dag.nodes)

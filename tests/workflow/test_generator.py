@@ -1,0 +1,167 @@
+"""Tests for trace generation and the nf-core workflow definitions."""
+
+import numpy as np
+import pytest
+
+from repro.workflow.archetypes import ConstantHeavyTailMemory, LinearMemory
+from repro.workflow.dag import WorkflowDAG
+from repro.workflow.generator import TaskTypeSpec, WorkflowSpec, generate_trace
+from repro.workflow.nfcore import (
+    WORKFLOW_NAMES,
+    build_all_traces,
+    build_workflow_spec,
+    build_workflow_trace,
+)
+
+
+def small_spec():
+    return WorkflowSpec(
+        "toy",
+        [
+            TaskTypeSpec("a", LinearMemory(slope=1.0, intercept_mb=100.0), 10,
+                         input_median_mb=500.0),
+            TaskTypeSpec("b", ConstantHeavyTailMemory(median_mb=300.0), 5,
+                         input_median_mb=200.0),
+        ],
+    )
+
+
+class TestSpecValidation:
+    def test_rejects_duplicate_task_types(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            WorkflowSpec(
+                "w",
+                [
+                    TaskTypeSpec("a", LinearMemory(), 1),
+                    TaskTypeSpec("a", LinearMemory(), 1),
+                ],
+            )
+
+    def test_default_dag_is_pipeline(self):
+        spec = small_spec()
+        assert spec.dag.stages == [["a"], ["b"]]
+
+    def test_dag_nodes_must_match_task_types(self):
+        with pytest.raises(ValueError, match="disagree"):
+            WorkflowSpec(
+                "w",
+                [TaskTypeSpec("a", LinearMemory(), 1)],
+                dag=WorkflowDAG(["a", "ghost"]),
+            )
+
+    def test_invalid_instance_count(self):
+        with pytest.raises(ValueError, match="n_instances"):
+            TaskTypeSpec("a", LinearMemory(), 0)
+
+    def test_preset_factor_must_cover(self):
+        with pytest.raises(ValueError, match="preset_factor"):
+            TaskTypeSpec("a", LinearMemory(), 1, preset_factor=0.5)
+
+
+class TestGeneration:
+    def test_counts_and_order(self):
+        trace = generate_trace(small_spec(), seed=0)
+        assert len(trace) == 15
+        # Stage ordering: all of a before any of b (pipeline DAG).
+        kinds = [i.task_type.name for i in trace]
+        assert kinds.index("b") >= 10 or "b" not in kinds[:10]
+        first_b = kinds.index("b")
+        assert all(k == "a" for k in kinds[:first_b])
+
+    def test_deterministic(self):
+        t1 = generate_trace(small_spec(), seed=42)
+        t2 = generate_trace(small_spec(), seed=42)
+        assert [i.peak_memory_mb for i in t1] == [i.peak_memory_mb for i in t2]
+        assert [i.instance_id for i in t1] == [i.instance_id for i in t2]
+
+    def test_seed_changes_trace(self):
+        t1 = generate_trace(small_spec(), seed=1)
+        t2 = generate_trace(small_spec(), seed=2)
+        assert [i.peak_memory_mb for i in t1] != [i.peak_memory_mb for i in t2]
+
+    def test_presets_cover_all_peaks(self):
+        trace = generate_trace(small_spec(), seed=3)
+        for inst in trace:
+            assert inst.task_type.preset_memory_mb >= inst.peak_memory_mb
+
+    def test_presets_are_gb_multiples_with_floor(self):
+        trace = generate_trace(small_spec(), seed=4)
+        for t in trace.task_types:
+            assert t.preset_memory_mb % 1024 == 0
+            assert t.preset_memory_mb >= 4096.0
+
+    def test_peaks_capped_below_machine(self):
+        spec = small_spec()
+        spec.max_memory_mb = 2048.0
+        trace = generate_trace(spec, seed=5)
+        assert max(i.peak_memory_mb for i in trace) <= 2048.0 * 0.85 + 1e-9
+
+    def test_instance_ids_sequential(self):
+        trace = generate_trace(small_spec(), seed=6)
+        assert [i.instance_id for i in trace] == list(range(15))
+
+    def test_machines_assigned_from_pool(self):
+        spec = small_spec()
+        spec.machines = ["m1", "m2"]
+        trace = generate_trace(spec, seed=7)
+        assert {i.machine for i in trace} <= {"m1", "m2"}
+
+
+class TestNfcoreWorkflows:
+    # Table I of the paper.
+    TABLE_I = {
+        "eager": (13, 121),
+        "methylseq": (9, 100),
+        "chipseq": (30, 82),
+        "rnaseq": (30, 39),
+        "mag": (8, 720),
+        "iwd": (5, 332),
+    }
+
+    @pytest.mark.parametrize("name", WORKFLOW_NAMES)
+    def test_table1_statistics(self, name):
+        trace = build_workflow_trace(name, seed=0)
+        stats = trace.stats()
+        n_types, avg = self.TABLE_I[name]
+        assert stats["n_task_types"] == n_types
+        assert stats["avg_instances_per_type"] == pytest.approx(avg, rel=0.02)
+
+    def test_unknown_workflow(self):
+        with pytest.raises(ValueError, match="unknown workflow"):
+            build_workflow_spec("nope")
+
+    def test_prokka_instance_count_fig12(self):
+        trace = build_workflow_trace("mag", seed=0)
+        assert len(trace.instances_of("Prokka")) == 1171
+
+    def test_markduplicates_linear_band_fig2(self):
+        trace = build_workflow_trace("rnaseq", seed=0)
+        md = trace.instances_of("MarkDuplicates")
+        mems = np.array([i.peak_memory_mb for i in md]) / 1024.0
+        assert 16.0 < np.percentile(mems, 5)
+        assert np.percentile(mems, 95) < 24.0
+
+    def test_baserecalibrator_bimodal_fig2(self):
+        trace = build_workflow_trace("rnaseq", seed=0)
+        br = np.array(
+            [i.peak_memory_mb for i in trace.instances_of("BaseRecalibrator")]
+        )
+        assert (br < 1500).any() and (br > 2500).any()
+
+    def test_lcextrap_band_fig1(self):
+        trace = build_workflow_trace("eager", seed=0)
+        lc = np.array([i.peak_memory_mb for i in trace.instances_of("lcextrap")])
+        assert 150.0 < np.percentile(lc, 2)
+        assert np.percentile(lc, 98) < 1500.0
+
+    def test_scale_subsampling(self):
+        full = build_workflow_trace("iwd", seed=0)
+        small = build_workflow_trace("iwd", seed=0, scale=0.25)
+        assert len(small) == pytest.approx(len(full) * 0.25, rel=0.1)
+        assert {t.name for t in small.task_types} == {
+            t.name for t in full.task_types
+        }
+
+    def test_build_all(self):
+        traces = build_all_traces(seed=0, scale=0.05)
+        assert set(traces) == set(WORKFLOW_NAMES)

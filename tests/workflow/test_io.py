@@ -1,0 +1,105 @@
+"""Tests for trace serialisation (JSON round-trip, CSV export)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.workflow.io import (
+    export_csv,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.workflow.nfcore import build_workflow_trace
+from repro.workflow.task import TaskInstance, TaskType, WorkflowTrace
+
+
+@pytest.fixture
+def small_trace():
+    return build_workflow_trace("iwd", seed=1, scale=0.05)
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_everything(self, small_trace):
+        restored = trace_from_dict(trace_to_dict(small_trace))
+        assert restored.workflow == small_trace.workflow
+        assert len(restored) == len(small_trace)
+        for a, b in zip(small_trace, restored):
+            assert a.task_type.name == b.task_type.name
+            assert a.task_type.preset_memory_mb == b.task_type.preset_memory_mb
+            assert a.instance_id == b.instance_id
+            assert a.peak_memory_mb == b.peak_memory_mb
+            assert a.runtime_hours == b.runtime_hours
+            assert a.machine == b.machine
+
+    def test_file_roundtrip(self, small_trace, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(small_trace, path)
+        restored = load_trace(path)
+        assert len(restored) == len(small_trace)
+        # The file is valid JSON with the declared schema header.
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-trace"
+        assert data["version"] == 1
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="not a repro-trace"):
+            trace_from_dict({"format": "something-else"})
+
+    def test_rejects_wrong_version(self, small_trace):
+        doc = trace_to_dict(small_trace)
+        doc["version"] = 99
+        with pytest.raises(ValueError, match="unsupported trace version"):
+            trace_from_dict(doc)
+
+    def test_rejects_dangling_task_type(self, small_trace):
+        doc = trace_to_dict(small_trace)
+        doc["instances"][0]["task_type"] = "ghost"
+        with pytest.raises(ValueError, match="unknown task type"):
+            trace_from_dict(doc)
+
+    def test_restored_trace_simulates(self, small_trace, tmp_path):
+        from repro.baselines import WorkflowPresets
+        from repro.sim import OnlineSimulator
+
+        path = tmp_path / "t.json"
+        save_trace(small_trace, path)
+        res = OnlineSimulator(load_trace(path)).run(WorkflowPresets())
+        assert res.num_tasks == len(small_trace)
+        assert res.num_failures == 0
+
+
+class TestCsvExport:
+    def test_csv_rows_and_header(self, small_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        export_csv(small_trace, path)
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][:3] == ["workflow", "task_type", "instance_id"]
+        assert len(rows) == len(small_trace) + 1
+        assert rows[1][0] == "iwd"
+
+    def test_csv_values_match(self, tmp_path):
+        tt = TaskType(name="x", workflow="wf", preset_memory_mb=4096.0)
+        trace = WorkflowTrace(
+            "wf",
+            [
+                TaskInstance(
+                    task_type=tt,
+                    instance_id=0,
+                    input_size_mb=10.0,
+                    peak_memory_mb=100.0,
+                    runtime_hours=0.5,
+                    machine="m1",
+                )
+            ],
+        )
+        path = tmp_path / "one.csv"
+        export_csv(trace, path)
+        with open(path) as fh:
+            row = list(csv.DictReader(fh))[0]
+        assert row["task_type"] == "x"
+        assert float(row["peak_memory_mb"]) == 100.0
+        assert row["machine"] == "m1"

@@ -1,0 +1,121 @@
+"""Tests for the task-type / task-instance / trace data model."""
+
+import numpy as np
+import pytest
+
+from repro.workflow.task import TaskInstance, TaskType, WorkflowTrace
+
+
+def make_type(name="fastqc", workflow="rnaseq", preset=4096.0):
+    return TaskType(name=name, workflow=workflow, preset_memory_mb=preset)
+
+
+def make_instance(tt=None, iid=0, input_mb=100.0, peak=500.0, rt=0.1):
+    return TaskInstance(
+        task_type=tt or make_type(),
+        instance_id=iid,
+        input_size_mb=input_mb,
+        peak_memory_mb=peak,
+        runtime_hours=rt,
+    )
+
+
+class TestTaskType:
+    def test_key_is_workflow_qualified(self):
+        assert make_type().key == "rnaseq/fastqc"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            TaskType(name="", workflow="x", preset_memory_mb=1.0)
+
+    def test_rejects_nonpositive_preset(self):
+        with pytest.raises(ValueError, match="preset_memory_mb"):
+            TaskType(name="a", workflow="x", preset_memory_mb=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_type().name = "other"
+
+
+class TestTaskInstance:
+    def test_features_shape_and_value(self):
+        inst = make_instance(input_mb=123.0)
+        assert inst.features.shape == (1, 1)
+        assert inst.features[0, 0] == 123.0
+
+    def test_rejects_negative_input(self):
+        with pytest.raises(ValueError, match="input_size_mb"):
+            make_instance(input_mb=-1.0)
+
+    def test_rejects_nonpositive_peak(self):
+        with pytest.raises(ValueError, match="peak_memory_mb"):
+            make_instance(peak=0.0)
+
+    def test_rejects_nonpositive_runtime(self):
+        with pytest.raises(ValueError, match="runtime_hours"):
+            make_instance(rt=0.0)
+
+
+class TestWorkflowTrace:
+    def _trace(self):
+        a = make_type("align")
+        b = make_type("sort")
+        insts = [make_instance(a, 0), make_instance(b, 1), make_instance(a, 2)]
+        return WorkflowTrace("rnaseq", insts)
+
+    def test_len_and_iter(self):
+        tr = self._trace()
+        assert len(tr) == 3
+        assert [i.instance_id for i in tr] == [0, 1, 2]
+
+    def test_task_types_first_appearance_order(self):
+        tr = self._trace()
+        assert [t.name for t in tr.task_types] == ["align", "sort"]
+
+    def test_instances_of(self):
+        tr = self._trace()
+        assert len(tr.instances_of("align")) == 2
+        assert len(tr.instances_of("sort")) == 1
+        assert tr.instances_of("nope") == []
+
+    def test_rejects_foreign_workflow_instance(self):
+        alien = make_instance(make_type("x", workflow="other"), 5)
+        with pytest.raises(ValueError, match="belongs to workflow"):
+            WorkflowTrace("rnaseq", [alien])
+
+    def test_stats(self):
+        s = self._trace().stats()
+        assert s["n_task_types"] == 2
+        assert s["n_instances"] == 3
+        assert s["avg_instances_per_type"] == pytest.approx(1.5)
+
+    def test_subsample_preserves_order_and_types(self):
+        tt = make_type("only")
+        insts = [make_instance(tt, i) for i in range(40)]
+        tr = WorkflowTrace("rnaseq", insts)
+        sub = tr.subsample(0.25, seed=1)
+        ids = [i.instance_id for i in sub]
+        assert ids == sorted(ids)
+        assert len(sub) == 10
+        assert {t.name for t in sub.task_types} == {"only"}
+
+    def test_subsample_keeps_minimum_two_per_type(self):
+        tt = make_type("rare")
+        tr = WorkflowTrace("rnaseq", [make_instance(tt, i) for i in range(3)])
+        sub = tr.subsample(0.01, seed=0)
+        assert len(sub) == 2
+
+    def test_subsample_identity_at_one(self):
+        tr = self._trace()
+        assert tr.subsample(1.0) is tr
+
+    def test_subsample_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="fraction"):
+            self._trace().subsample(0.0)
+
+    def test_subsample_deterministic(self):
+        tt = make_type("t")
+        tr = WorkflowTrace("rnaseq", [make_instance(tt, i) for i in range(50)])
+        a = [i.instance_id for i in tr.subsample(0.3, seed=7)]
+        b = [i.instance_id for i in tr.subsample(0.3, seed=7)]
+        assert a == b
