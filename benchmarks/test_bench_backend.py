@@ -1,0 +1,96 @@
+"""Bench: replay vs event backend wall-clock, and the batch-predict path.
+
+Pins the cost of the two simulation backends on the same trace and
+predictor (the event engine adds heap + placement bookkeeping per
+attempt, so it must stay within a small constant factor of replay), and
+shows the speedup of the vectorized ``predict_batch`` path over the
+equivalent loop of single ``predict`` calls.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments.factories import make_sizey, make_witt_percentile
+from repro.sim.runner import run_cell
+from repro.workflow.nfcore import build_workflow_trace
+
+SCALE = 0.1
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_workflow_trace("rnaseq", seed=SEED, scale=SCALE)
+
+
+def test_bench_replay_backend(trace, once):
+    res = once(run_cell, trace, make_sizey, backend="replay")
+    assert res.num_tasks == len(trace)
+    assert res.cluster is None
+
+
+def test_bench_event_backend(trace, once):
+    res = once(run_cell, trace, make_sizey, backend="event")
+    assert res.num_tasks == len(trace)
+    assert res.cluster is not None
+    assert res.cluster.makespan_hours > 0.0
+    # Concurrency must compress the schedule below the serialized sum of
+    # all occupied hours (8 nodes are available).
+    assert res.cluster.makespan_hours < res.total_runtime_hours
+
+
+def test_bench_backend_relative_cost(trace):
+    """Event-driven bookkeeping stays within a small factor of replay."""
+
+    def wall(backend):
+        t0 = time.perf_counter()
+        run_cell(trace, make_witt_percentile, backend=backend)
+        return time.perf_counter() - t0
+
+    wall("replay")  # warm-up (imports, caches)
+    replay_s = min(wall("replay") for _ in range(3))
+    event_s = min(wall("event") for _ in range(3))
+    print(f"\nreplay {replay_s * 1e3:.1f} ms, event {event_s * 1e3:.1f} ms "
+          f"({event_s / replay_s:.2f}x)")
+    # Generous bound: the event engine must not be an order of magnitude
+    # slower than replay on the same workload.
+    assert event_s < replay_s * 10 + 0.05
+
+
+def test_bench_predict_batch_speedup(trace, benchmark):
+    """The vectorized batch path beats the loop of single predicts."""
+    predictor = make_sizey()
+    # Train on a full replay so every pool is warm.
+    run_cell(trace, lambda: predictor)
+    from repro.sim.interface import TaskSubmission
+
+    subs = [
+        TaskSubmission.from_instance(inst, i)
+        for i, inst in enumerate(trace)
+    ]
+
+    def loop():
+        return np.array([predictor.predict(s) for s in subs])
+
+    def batched():
+        return predictor.predict_batch(subs)
+
+    loop()  # warm-up
+    t0 = time.perf_counter()
+    expected = loop()
+    loop_s = time.perf_counter() - t0
+
+    got = benchmark.pedantic(batched, rounds=1, iterations=1)
+    t0 = time.perf_counter()
+    batched()
+    batch_s = time.perf_counter() - t0
+
+    np.testing.assert_allclose(got, expected, rtol=1e-9)
+    print(f"\nloop {loop_s * 1e3:.1f} ms, batch {batch_s * 1e3:.1f} ms "
+          f"({loop_s / max(batch_s, 1e-9):.1f}x speedup on "
+          f"{len(subs)} submissions)")
+    # The batch path must never be slower than the loop by more than
+    # measurement noise; in practice it is several times faster.
+    assert batch_s < loop_s * 1.5 + 0.02

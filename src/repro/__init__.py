@@ -17,7 +17,13 @@ with every substrate the evaluation depends on:
   failure handling, and online learning.
 - :mod:`repro.baselines` -- the four state-of-the-art baselines plus the
   Workflow-Presets sanity baseline.
-- :mod:`repro.sim` -- the online replay simulator used by the evaluation.
+- :mod:`repro.sim` -- the online simulator used by the evaluation, with
+  pluggable execution backends behind the ``SimulatorBackend`` seam: the
+  paper-faithful serialized ``"replay"`` loop and a concurrent
+  discrete-``"event"`` engine that measures queueing wait, makespan, and
+  per-node utilization.  Predictors speak the v2 contract: per-task
+  ``predict``, vectorized ``predict_batch``, and the
+  ``begin_trace``/``end_trace`` lifecycle hooks.
 - :mod:`repro.experiments` -- regenerators for every table and figure.
 
 Quickstart::
@@ -30,9 +36,15 @@ Quickstart::
     sizey = SizeyPredictor(SizeyConfig(alpha=0.0, gating="interpolation"))
     result = OnlineSimulator(trace).run(sizey)
     print(result.total_wastage_gbh, result.num_failures)
+
+    # Cluster-level view: same trace, concurrent event-driven execution.
+    result = OnlineSimulator(trace, backend="event").run(
+        SizeyPredictor(SizeyConfig())
+    )
+    print(result.cluster.makespan_hours, result.cluster.mean_utilization)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["SizeyPredictor", "SizeyConfig", "__version__"]
 

@@ -9,6 +9,8 @@ default every time.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.provenance.records import TaskRecord
 from repro.sim.interface import MemoryPredictor, TaskSubmission
 
@@ -22,6 +24,9 @@ class WorkflowPresets(MemoryPredictor):
 
     def predict(self, task: TaskSubmission) -> float:
         return task.preset_memory_mb
+
+    def predict_batch(self, tasks) -> np.ndarray:
+        return np.array([t.preset_memory_mb for t in tasks], dtype=np.float64)
 
     def observe(self, record: TaskRecord) -> None:
         # Presets are static by definition; nothing to learn.

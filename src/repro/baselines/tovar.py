@@ -27,7 +27,7 @@ from collections import defaultdict
 import numpy as np
 
 from repro.provenance.records import TaskRecord
-from repro.sim.interface import MemoryPredictor, TaskSubmission
+from repro.sim.interface import MemoryPredictor, TaskSubmission, batch_by_group
 
 __all__ = ["TovarPPM"]
 
@@ -59,8 +59,26 @@ class TovarPPM(MemoryPredictor):
         peaks = self._peaks.get(task.task_type, [])
         if len(peaks) < self.min_history:
             return task.preset_memory_mb
-        y = np.asarray(peaks)
-        rt = np.asarray(self._runtimes[task.task_type])
+        return self._best_allocation(task.task_type)
+
+    def predict_batch(self, tasks) -> np.ndarray:
+        """Batch sizing: the candidate sweep runs once per task type.
+
+        The history is frozen for the duration of a batch, so every
+        submission of one task type shares one O(c*n) sweep instead of
+        re-running it per task.
+        """
+        def sizer(task_type, group):
+            if len(self._peaks.get(task_type, [])) < self.min_history:
+                return None
+            return self._best_allocation(task_type)
+
+        return batch_by_group(tasks, lambda t: t.task_type, sizer)
+
+    def _best_allocation(self, task_type: str) -> float:
+        """The expected-waste-minimising candidate for one task type."""
+        y = np.asarray(self._peaks[task_type])
+        rt = np.asarray(self._runtimes[task_type])
         candidates = np.unique(y)
         if candidates.shape[0] > self.max_candidates:
             # Thin to an evenly spaced quantile subset, always keeping the max.

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.ml.linear import LinearRegression
 from repro.provenance.records import TaskRecord
-from repro.sim.interface import MemoryPredictor, TaskSubmission
+from repro.sim.interface import MemoryPredictor, TaskSubmission, batch_by_group
 
 __all__ = ["WittLR"]
 
@@ -51,6 +51,18 @@ class WittLR(MemoryPredictor):
             return task.preset_memory_mb
         raw = float(model.predict(task.features)[0])
         return max(raw + self._offsets[task.task_type], 1.0)
+
+    def predict_batch(self, tasks) -> np.ndarray:
+        """Batch sizing: one stacked OLS query per task type."""
+
+        def sizer(task_type, group):
+            model = self._models.get(task_type)
+            if model is None:
+                return None
+            X = np.array([[t.input_size_mb] for t in group], dtype=np.float64)
+            return np.maximum(model.predict(X) + self._offsets[task_type], 1.0)
+
+        return batch_by_group(tasks, lambda t: t.task_type, sizer)
 
     def observe(self, record: TaskRecord) -> None:
         if not record.success:

@@ -15,7 +15,7 @@ from collections import defaultdict
 import numpy as np
 
 from repro.provenance.records import TaskRecord
-from repro.sim.interface import MemoryPredictor, TaskSubmission
+from repro.sim.interface import MemoryPredictor, TaskSubmission, batch_by_group
 
 __all__ = ["WittPercentile"]
 
@@ -39,6 +39,17 @@ class WittPercentile(MemoryPredictor):
         if len(peaks) < self.min_history:
             return task.preset_memory_mb
         return float(np.percentile(np.asarray(peaks), self.percentile))
+
+    def predict_batch(self, tasks) -> np.ndarray:
+        """Batch sizing: the percentile is computed once per task type."""
+
+        def sizer(task_type, group):
+            peaks = self._peaks.get(task_type, [])
+            if len(peaks) < self.min_history:
+                return None
+            return float(np.percentile(np.asarray(peaks), self.percentile))
+
+        return batch_by_group(tasks, lambda t: t.task_type, sizer)
 
     def observe(self, record: TaskRecord) -> None:
         if record.success:

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.ml.linear import QuantileRegressor
 from repro.provenance.records import TaskRecord
-from repro.sim.interface import MemoryPredictor, TaskSubmission
+from repro.sim.interface import MemoryPredictor, TaskSubmission, batch_by_group
 
 __all__ = ["WittWastage"]
 
@@ -70,6 +70,18 @@ class WittWastage(MemoryPredictor):
         if line is None:
             return task.preset_memory_mb
         return max(float(line.predict(task.features)[0]), 1.0)
+
+    def predict_batch(self, tasks) -> np.ndarray:
+        """Batch sizing: one stacked query per task type's selected line."""
+
+        def sizer(task_type, group):
+            line = self._best_line.get(task_type)
+            if line is None:
+                return None
+            X = np.array([[t.input_size_mb] for t in group], dtype=np.float64)
+            return np.maximum(line.predict(X), 1.0)
+
+        return batch_by_group(tasks, lambda t: t.task_type, sizer)
 
     def observe(self, record: TaskRecord) -> None:
         if not record.success:

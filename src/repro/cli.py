@@ -10,9 +10,10 @@ compare       run the full method grid on selected workflows
 Examples::
 
     python -m repro simulate --workflow rnaseq --method Sizey --scale 0.3
+    python -m repro simulate --workflow rnaseq --backend event --scale 0.3
     python -m repro figures --only fig11 fig12
     python -m repro trace --workflow mag --scale 0.1 --out mag.json --csv mag.csv
-    python -m repro compare --workflows chipseq iwd --scale 0.2
+    python -m repro compare --workflows chipseq iwd --scale 0.2 --backend event
 """
 
 from __future__ import annotations
@@ -20,8 +21,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+import repro
 from repro.experiments.factories import METHOD_ORDER, method_factories
 from repro.experiments.report import render_table
+from repro.sim.backends import backend_names
 from repro.sim.engine import OnlineSimulator
 from repro.sim.runner import run_grid
 from repro.workflow.io import export_csv, save_trace
@@ -44,10 +47,20 @@ _ARTIFACTS = (
 )
 
 
+def _nonnegative_hours(value: str) -> float:
+    hours = float(value)
+    if hours < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0 hours, got {hours}")
+    return hours
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Sizey reproduction (CLUSTER 2024) command-line tools",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -58,6 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--ttf", type=float, default=1.0,
                      help="time-to-failure fraction (paper parameter)")
+    sim.add_argument("--backend", choices=backend_names(), default="replay",
+                     help="simulation backend (replay = paper-faithful "
+                          "serial loop; event = concurrent discrete-event "
+                          "engine with cluster metrics)")
+    sim.add_argument("--arrival-interval", type=_nonnegative_hours, default=0.0,
+                     help="hours between submissions (event backend only; "
+                          "0 = submit the whole trace at once)")
 
     fig = sub.add_parser("figures", help="regenerate paper artifacts")
     fig.add_argument("--only", nargs="*", choices=_ARTIFACTS, default=None)
@@ -78,27 +98,47 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--seed", type=int, default=0)
     cmp_.add_argument("--ttf", type=float, default=1.0)
     cmp_.add_argument("--workers", type=int, default=1)
+    cmp_.add_argument("--backend", choices=backend_names(), default="replay",
+                      help="simulation backend used for every grid cell")
+    cmp_.add_argument("--arrival-interval", type=_nonnegative_hours,
+                      default=0.0,
+                      help="hours between submissions (event backend only)")
     return parser
+
+
+def _resolve_cli_backend(args: argparse.Namespace):
+    """Backend name, or a configured instance when options require one."""
+    if args.backend == "event" and args.arrival_interval > 0.0:
+        from repro.sim.backends import EventDrivenBackend
+
+        return EventDrivenBackend(arrival_interval_hours=args.arrival_interval)
+    return args.backend
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = build_workflow_trace(args.workflow, seed=args.seed, scale=args.scale)
     predictor = method_factories()[args.method]()
-    res = OnlineSimulator(trace, time_to_failure=args.ttf).run(predictor)
-    print(
-        render_table(
-            ["metric", "value"],
-            [
-                ["workflow", args.workflow],
-                ["method", args.method],
-                ["tasks", res.num_tasks],
-                ["wastage GBh", res.total_wastage_gbh],
-                ["failures", res.num_failures],
-                ["runtime h", res.total_runtime_hours],
-                ["mean over-allocation ratio", res.over_allocation_ratio()],
-            ],
-        )
-    )
+    res = OnlineSimulator(
+        trace, time_to_failure=args.ttf, backend=_resolve_cli_backend(args)
+    ).run(predictor)
+    rows = [
+        ["workflow", args.workflow],
+        ["method", args.method],
+        ["backend", args.backend],
+        ["tasks", res.num_tasks],
+        ["wastage GBh", res.total_wastage_gbh],
+        ["failures", res.num_failures],
+        ["runtime h", res.total_runtime_hours],
+        ["mean over-allocation ratio", res.over_allocation_ratio()],
+    ]
+    if res.cluster is not None:
+        rows += [
+            ["makespan h", res.cluster.makespan_hours],
+            ["mean queue wait h", res.cluster.mean_queue_wait_hours],
+            ["max queue wait h", res.cluster.max_queue_wait_hours],
+            ["mean node utilization", res.cluster.mean_utilization],
+        ]
+    print(render_table(["metric", "value"], rows))
     return 0
 
 
@@ -174,24 +214,45 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         method_factories(),
         time_to_failure=args.ttf,
         n_workers=args.workers,
+        backend=_resolve_cli_backend(args),
     )
+    with_cluster = args.backend == "event"
+    header = ["method", "wastage GBh", "failures", "runtime h"]
+    if with_cluster:
+        # Each workflow simulates on its own fresh cluster, so the only
+        # honest aggregates are the back-to-back wall-clock (sum of
+        # makespans) and the task-weighted mean queue wait.
+        header += ["makespan h", "mean wait h"]
     rows = []
     for method in METHOD_ORDER:
         per_wf = results[method]
-        rows.append(
-            [
-                method,
-                sum(r.total_wastage_gbh for r in per_wf.values()),
-                sum(r.num_failures for r in per_wf.values()),
-                sum(r.total_runtime_hours for r in per_wf.values()),
+        row = [
+            method,
+            sum(r.total_wastage_gbh for r in per_wf.values()),
+            sum(r.num_failures for r in per_wf.values()),
+            sum(r.total_runtime_hours for r in per_wf.values()),
+        ]
+        if with_cluster:
+            clustered = [
+                r for r in per_wf.values() if r.cluster is not None
             ]
-        )
+            n_tasks = sum(r.num_tasks for r in clustered)
+            row += [
+                sum(r.cluster.makespan_hours for r in clustered),
+                (
+                    sum(r.cluster.total_queue_wait_hours for r in clustered)
+                    / n_tasks
+                    if n_tasks
+                    else 0.0
+                ),
+            ]
+        rows.append(row)
     print(
         render_table(
-            ["method", "wastage GBh", "failures", "runtime h"],
+            header,
             rows,
             title=f"workflows: {', '.join(args.workflows)} "
-            f"(scale={args.scale}, ttf={args.ttf})",
+            f"(scale={args.scale}, ttf={args.ttf}, backend={args.backend})",
         )
     )
     return 0

@@ -63,6 +63,35 @@ class ResourceManager:
         """Clamp a request to (0, node capacity]."""
         return float(min(max(request_mb, 1.0), self.max_allocation_mb))
 
+    def next_task_id(self) -> int:
+        """Hand out a fresh cluster-unique task id (monotonic per run)."""
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        return task_id
+
+    def release_all(self) -> None:
+        """Reset all allocation bookkeeping to a pristine state.
+
+        Drops every live reservation and restarts the task-id counter, so
+        one manager can back repeated ``run()`` calls without leaking
+        state (or unbounded task ids) between simulations.
+        """
+        for node in self.nodes:
+            node.running.clear()
+            node.allocated_mb = 0.0
+        self._next_task_id = 0
+
+    def try_place(self, memory_mb: float) -> Machine | None:
+        """First-fit placement that returns ``None`` instead of raising.
+
+        Used by the event-driven backend, where a request that does not
+        currently fit simply stays queued until capacity frees up.
+        """
+        for node in self.nodes:
+            if node.can_fit(memory_mb):
+                return node
+        return None
+
     def place(self, memory_mb: float) -> Machine:
         """First-fit placement; frees are logical so capacity always returns.
 
@@ -99,8 +128,7 @@ class ResourceManager:
             )
         allocated_mb = self.clamp_allocation(allocated_mb)
         node = self.place(allocated_mb)
-        task_id = self._next_task_id
-        self._next_task_id += 1
+        task_id = self.next_task_id()
         node.allocate(task_id, allocated_mb)
         try:
             success = allocated_mb >= true_peak_mb

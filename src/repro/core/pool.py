@@ -202,3 +202,44 @@ class ModelPool:
             estimate=decision.estimate,
             selected_index=decision.selected_index,
         )
+
+    def predict_batch(self, X: np.ndarray) -> list[PoolPrediction]:
+        """Gated predictions for a feature matrix ``X`` (shape ``(n, d)``).
+
+        Equivalent to ``[self.predict(x) for x in X]`` but issues exactly
+        one query per fitted model slot (the expensive part — e.g. the
+        whole random forest traverses once for all ``n`` rows) instead of
+        ``n`` queries per slot.  Scoring and gating stay per-row because
+        efficiency scores compare the models within one submission.
+        """
+        if not self.is_ready:
+            raise RuntimeError("pool has no fitted models; call update() first")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must have shape (n, d), got {X.shape}")
+        active = [
+            (slot, acc) for slot, acc in zip(self.slots, self._accuracy) if slot.fitted
+        ]
+        names = tuple(slot.class_name for slot, _ in active)
+        # (n_models, n_rows): the single vectorized query per slot.
+        pred_matrix = np.stack([slot.predict(X) for slot, _ in active])
+        acc = np.array([a.score for _, a in active])
+        out: list[PoolPrediction] = []
+        for j in range(X.shape[0]):
+            preds = pred_matrix[:, j]
+            eff = efficiency_scores(preds)
+            raq = raq_scores(acc, eff, self.alpha)
+            decision = gate(preds, raq, self.gating, self.beta)
+            out.append(
+                PoolPrediction(
+                    model_names=names,
+                    predictions=preds,
+                    accuracy=acc,
+                    efficiency=eff,
+                    raq=raq,
+                    weights=decision.weights,
+                    estimate=decision.estimate,
+                    selected_index=decision.selected_index,
+                )
+            )
+        return out

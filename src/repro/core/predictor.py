@@ -20,13 +20,20 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 
+import numpy as np
+
 from repro.core.config import SizeyConfig
 from repro.core.failure import FailureHandler
 from repro.core.offsets import OffsetTracker
 from repro.core.pool import ModelPool
 from repro.provenance.database import ProvenanceDatabase
 from repro.provenance.records import TaskRecord
-from repro.sim.interface import MemoryPredictor, TaskSubmission
+from repro.sim.interface import (
+    MemoryPredictor,
+    TaskSubmission,
+    TraceContext,
+    batch_by_group,
+)
 
 __all__ = ["SizeyPredictor"]
 
@@ -51,6 +58,8 @@ class SizeyPredictor(MemoryPredictor):
         )
         self.training_times_s: list[float] = []
         self.preset_fallbacks = 0
+        #: Last TraceContext received via begin_trace (API v2 lifecycle).
+        self.trace_context: TraceContext | None = None
 
     # ------------------------------------------------------------------
     # key handling
@@ -99,6 +108,44 @@ class SizeyPredictor(MemoryPredictor):
         tracker = self.offsets.get(key)
         offset = tracker.current_offset()[0] if tracker is not None else 0.0
         return max(raw + offset, 1.0)
+
+    def predict_batch(self, tasks) -> np.ndarray:
+        """Vectorized batch sizing, grouped by (task type, machine) pool.
+
+        Submissions sharing a pool key are stacked into one feature
+        matrix and answered by a single :meth:`ModelPool.predict_batch`
+        call — one model query per slot instead of one per task.  All
+        per-task bookkeeping (selection counts, pending raw estimates,
+        preset fallbacks) matches the loop-of-singles semantics exactly.
+        """
+        def sizer(key, group):
+            pool = self.pools.get(key)
+            if pool is None or not pool.is_ready or (
+                pool.n_observations < self.config.min_history
+            ):
+                self.preset_fallbacks += len(group)
+                return None
+            X = np.vstack([task.features for task in group])
+            tracker = self.offsets.get(key)
+            offset = tracker.current_offset()[0] if tracker is not None else 0.0
+            estimates = np.empty(len(group), dtype=np.float64)
+            for j, (task, pp) in enumerate(zip(group, pool.predict_batch(X))):
+                self.selection_counts[pp.selected_model] += 1
+                self._pending[task.instance_id] = (key, pp.estimate)
+                estimates[j] = max(pp.estimate + offset, 1.0)
+            return estimates
+
+        return batch_by_group(
+            tasks, lambda t: self._key(t.task_type, t.machine), sizer
+        )
+
+    # ------------------------------------------------------------------
+    # API v2 lifecycle
+    # ------------------------------------------------------------------
+    def begin_trace(self, context: TraceContext | None = None) -> None:
+        """Record the trace context; per-trace caches start clean."""
+        self.trace_context = context
+        self._pending.clear()
 
     # ------------------------------------------------------------------
     # Phase 3: online learning
@@ -162,6 +209,4 @@ class SizeyPredictor(MemoryPredictor):
         """Median per-update training time in milliseconds (Fig. 9)."""
         if not self.training_times_s:
             return float("nan")
-        import numpy as np
-
         return float(np.median(self.training_times_s) * 1e3)

@@ -3,6 +3,11 @@
 Factories (rather than instances) guarantee every (workflow, method)
 cell starts untrained, and module-level functions are picklable so the
 grid runner can fan out over processes.
+
+Every factory returns a predictor speaking the v2 contract
+(:mod:`repro.sim.interface`): per-task ``predict``, vectorized
+``predict_batch``, and the trace lifecycle hooks — so any of them can be
+run under either simulation backend (``run_grid(..., backend="event")``).
 """
 
 from __future__ import annotations

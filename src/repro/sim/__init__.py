@@ -6,25 +6,56 @@ be incorporated into the learning process" (§III-A).  This package is
 that environment:
 
 - :mod:`repro.sim.interface` -- the predictor contract every method
-  (Sizey and all baselines) implements, and the task-submission view
+  (Sizey and all baselines) implements — including the API v2 batch
+  prediction and trace-lifecycle hooks — and the task-submission view
   that hides ground truth from predictors.
-- :mod:`repro.sim.engine` -- the replay loop: predict, allocate, execute
-  under strict limits, retry on failure, learn online.
-- :mod:`repro.sim.results` -- per-run results and aggregation.
+- :mod:`repro.sim.backends` -- pluggable execution semantics behind the
+  :class:`SimulatorBackend` protocol: the paper-faithful serialized
+  ``"replay"`` loop and the concurrent discrete-``"event"`` engine that
+  measures queueing wait, makespan, and node utilization.
+- :mod:`repro.sim.engine` -- the :class:`OnlineSimulator` facade that
+  pairs a trace with a cluster and a backend.
+- :mod:`repro.sim.results` -- per-run results (plus
+  :class:`ClusterMetrics` from the event backend) and aggregation.
 - :mod:`repro.sim.runner` -- the (workflow x method) experiment grid with
-  optional process parallelism.
+  optional process parallelism and backend selection.
+- :mod:`repro.sim.errors` -- typed simulator errors such as
+  :class:`UnschedulableTaskError`.
 """
 
+from repro.sim.backends import (
+    EventDrivenBackend,
+    ReplayBackend,
+    SimulatorBackend,
+    backend_names,
+    register_backend,
+    resolve_backend,
+)
 from repro.sim.engine import OnlineSimulator
-from repro.sim.interface import MemoryPredictor, TaskSubmission
-from repro.sim.results import SimulationResult, aggregate_results
-from repro.sim.runner import run_grid
+from repro.sim.errors import UnschedulableTaskError
+from repro.sim.interface import MemoryPredictor, TaskSubmission, TraceContext
+from repro.sim.results import (
+    ClusterMetrics,
+    SimulationResult,
+    aggregate_results,
+)
+from repro.sim.runner import run_cell, run_grid
 
 __all__ = [
     "MemoryPredictor",
     "TaskSubmission",
+    "TraceContext",
     "OnlineSimulator",
+    "SimulatorBackend",
+    "ReplayBackend",
+    "EventDrivenBackend",
+    "register_backend",
+    "backend_names",
+    "resolve_backend",
     "SimulationResult",
+    "ClusterMetrics",
+    "UnschedulableTaskError",
     "aggregate_results",
+    "run_cell",
     "run_grid",
 ]

@@ -1,0 +1,32 @@
+"""Pluggable simulation backends.
+
+- :mod:`repro.sim.backends.base` -- the :class:`SimulatorBackend`
+  protocol, the backend registry, and shared helpers (attempt cap,
+  checked allocation clamping).
+- :mod:`repro.sim.backends.replay` -- the paper's serialized per-task
+  replay loop (``backend="replay"``, the default).
+- :mod:`repro.sim.backends.event` -- the discrete-event engine with real
+  node concurrency, FCFS queueing, and cluster metrics
+  (``backend="event"``).
+"""
+
+from repro.sim.backends.base import (
+    SimulatorBackend,
+    backend_names,
+    register_backend,
+    resolve_backend,
+)
+from repro.sim.backends.event import EventDrivenBackend
+from repro.sim.backends.replay import ReplayBackend
+
+register_backend("replay", ReplayBackend)
+register_backend("event", EventDrivenBackend)
+
+__all__ = [
+    "SimulatorBackend",
+    "ReplayBackend",
+    "EventDrivenBackend",
+    "register_backend",
+    "backend_names",
+    "resolve_backend",
+]

@@ -1,0 +1,119 @@
+"""The simulation-backend seam: protocol, registry, shared helpers.
+
+A backend owns the execution semantics of one trace replay — how tasks
+move through time and occupy the cluster — while the predictor contract,
+wastage accounting, and result schema stay identical across backends.
+Two implementations ship:
+
+- :class:`~repro.sim.backends.replay.ReplayBackend` (``"replay"``): the
+  paper's serialized per-task loop, bit-for-bit faithful to the original
+  engine.
+- :class:`~repro.sim.backends.event.EventDrivenBackend` (``"event"``): a
+  discrete-event engine where tasks concurrently occupy nodes, exposing
+  queueing wait, makespan, and per-node utilization.
+
+Third-party backends register via :func:`register_backend` and are then
+addressable by name from :class:`~repro.sim.engine.OnlineSimulator`,
+``run_grid``, and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.cluster.manager import ResourceManager
+from repro.sim.errors import UnschedulableTaskError
+from repro.sim.interface import MemoryPredictor
+from repro.sim.results import SimulationResult
+from repro.workflow.task import TaskInstance, WorkflowTrace
+
+__all__ = [
+    "SimulatorBackend",
+    "register_backend",
+    "backend_names",
+    "resolve_backend",
+    "clamp_allocation_checked",
+    "MAX_ATTEMPTS",
+]
+
+#: Hard cap on attempts per task; doubling from 1 MB exceeds any node
+#: capacity well before this, so hitting it indicates a predictor bug
+#: (genuinely impossible tasks are caught earlier and raise the typed
+#: :class:`UnschedulableTaskError` instead).
+MAX_ATTEMPTS = 30
+
+
+@runtime_checkable
+class SimulatorBackend(Protocol):
+    """What :class:`~repro.sim.engine.OnlineSimulator` delegates to.
+
+    A backend replays ``trace`` against ``predictor`` on ``manager``
+    under the given ``time_to_failure`` and returns a fully populated
+    :class:`~repro.sim.results.SimulationResult`.  Implementations must
+    call the predictor's ``begin_trace``/``end_trace`` lifecycle hooks
+    and reset the manager's bookkeeping at the start of each run.
+    """
+
+    #: Registry / CLI name of the backend.
+    name: str
+
+    def run(
+        self,
+        trace: WorkflowTrace,
+        predictor: MemoryPredictor,
+        manager: ResourceManager,
+        time_to_failure: float,
+    ) -> SimulationResult:
+        ...
+
+
+_REGISTRY: dict[str, Callable[[], SimulatorBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], SimulatorBackend]) -> None:
+    """Make ``factory()`` addressable as ``backend=name`` everywhere."""
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names (CLI choices), in registration order."""
+    return tuple(_REGISTRY)
+
+
+def resolve_backend(backend: str | SimulatorBackend) -> SimulatorBackend:
+    """Turn a registry name or a ready-made backend into an instance."""
+    if isinstance(backend, str):
+        try:
+            return _REGISTRY[backend]()
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {backend!r}; "
+                f"registered: {sorted(_REGISTRY)}"
+            ) from None
+    if not isinstance(backend, SimulatorBackend):
+        raise TypeError(
+            f"backend must be a name or SimulatorBackend, got {type(backend)!r}"
+        )
+    return backend
+
+
+def clamp_allocation_checked(
+    manager: ResourceManager, inst: TaskInstance, request_mb: float
+) -> float:
+    """Clamp a request to node capacity, rejecting impossible tasks.
+
+    A task whose *true* peak exceeds node capacity can never succeed no
+    matter how the retry policy grows the allocation; detecting that at
+    clamp time turns a futile doubling loop into an immediate, typed
+    :class:`UnschedulableTaskError`.
+    """
+    if inst.peak_memory_mb > manager.max_allocation_mb:
+        raise UnschedulableTaskError(
+            task_type=inst.task_type.key,
+            instance_id=inst.instance_id,
+            peak_memory_mb=inst.peak_memory_mb,
+            capacity_mb=manager.max_allocation_mb,
+        )
+    return manager.clamp_allocation(request_mb)

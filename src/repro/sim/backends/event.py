@@ -1,0 +1,363 @@
+"""Discrete-event simulation backend: tasks genuinely overlap on nodes.
+
+The replay backend executes one task at a time, which makes cluster-level
+quantities — queueing delay, makespan, node utilization — unobservable.
+This backend runs the same predictor contract through a discrete-event
+engine instead:
+
+- every task *arrives* at ``timestamp * arrival_interval_hours`` (the
+  default of 0 models a batch submission of the whole trace);
+- arrived tasks wait in a FCFS queue ordered by submission index;
+- a scheduling pass after each event batch sizes waiting tasks via
+  :meth:`~repro.sim.interface.MemoryPredictor.predict_batch` (in chunks
+  of ``prediction_chunk``, so later tasks still benefit from online
+  learning) and first-fit places them onto
+  :class:`~repro.cluster.manager.ResourceManager` nodes, where they
+  occupy their allocation for their whole runtime;
+- an under-allocated task is killed at ``time_to_failure`` of its
+  runtime, charged to the wastage ledger exactly like in replay mode,
+  re-sized via ``on_failure``, and re-queued at its original priority;
+- queue waits, per-node allocation timelines, and the makespan are
+  recorded into :class:`~repro.sim.results.ClusterMetrics`.
+
+Wastage accounting is attempt-for-attempt identical to the replay
+backend; for a predictor that does not learn online the two backends
+produce the same ledger totals, while the event backend additionally
+reports the cluster-level metrics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.cluster.accounting import WastageLedger
+from repro.cluster.machine import Machine
+from repro.cluster.manager import ResourceManager
+from repro.provenance.records import TaskRecord
+from repro.sim.backends.base import MAX_ATTEMPTS, clamp_allocation_checked
+from repro.sim.interface import MemoryPredictor, TaskSubmission, TraceContext
+from repro.sim.results import ClusterMetrics, PredictionLog, SimulationResult
+from repro.workflow.task import TaskInstance, WorkflowTrace
+
+__all__ = ["EventDrivenBackend"]
+
+#: Event kinds, ordered so that completions at time t free their memory
+#: before arrivals at t are queued and the scheduling pass runs.
+_COMPLETION = 0
+_ARRIVAL = 1
+
+
+@dataclass
+class _TaskState:
+    """Mutable per-task bookkeeping of the event engine."""
+
+    inst: TaskInstance
+    submission: TaskSubmission
+    index: int
+    arrival: float
+    allocation: float | None = None
+    first_allocation: float | None = None
+    attempt: int = 0
+    first_start: float | None = None
+    #: (node, task_id, allocated_mb, start_time) while executing.
+    running: tuple[Machine, int, float, float] | None = None
+
+    def __lt__(self, other: "_TaskState") -> bool:  # heap tie-breaker
+        return self.index < other.index
+
+
+class EventDrivenBackend:
+    """Concurrent execution on a shared cluster with FCFS queueing.
+
+    Parameters
+    ----------
+    arrival_interval_hours:
+        Gap between consecutive submissions.  0 (default) submits the
+        whole trace at once — a batch workload whose concurrency is
+        limited purely by cluster memory.
+    prediction_chunk:
+        How many queued tasks are sized per ``predict_batch`` call.  The
+        scheduler only requests predictions as its dispatch window
+        reaches unsized tasks, so tasks deep in the queue are predicted
+        *after* earlier completions were observed — preserving online
+        learning while still batching model queries.
+    """
+
+    name = "event"
+
+    def __init__(
+        self,
+        arrival_interval_hours: float = 0.0,
+        prediction_chunk: int = 32,
+    ) -> None:
+        if arrival_interval_hours < 0:
+            raise ValueError(
+                f"arrival_interval_hours must be >= 0, got {arrival_interval_hours}"
+            )
+        if prediction_chunk < 1:
+            raise ValueError(
+                f"prediction_chunk must be >= 1, got {prediction_chunk}"
+            )
+        self.arrival_interval_hours = arrival_interval_hours
+        self.prediction_chunk = prediction_chunk
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: WorkflowTrace,
+        predictor: MemoryPredictor,
+        manager: ResourceManager,
+        time_to_failure: float,
+    ) -> SimulationResult:
+        manager.release_all()
+        predictor.begin_trace(
+            TraceContext(
+                workflow=trace.workflow,
+                n_tasks=len(trace),
+                time_to_failure=time_to_failure,
+                backend=self.name,
+            )
+        )
+        ledger = WastageLedger()
+        logs: list[PredictionLog] = []
+
+        states = [
+            _TaskState(
+                inst=inst,
+                submission=TaskSubmission.from_instance(inst, timestamp),
+                index=timestamp,
+                arrival=timestamp * self.arrival_interval_hours,
+            )
+            for timestamp, inst in enumerate(trace)
+        ]
+
+        # Event heap entries: (time, kind, seq, state).  ``seq`` keeps
+        # ordering deterministic for identical (time, kind) pairs.
+        events: list[tuple[float, int, int, _TaskState]] = []
+        seq = 0
+        for st in states:
+            events.append((st.arrival, _ARRIVAL, seq, st))
+            seq += 1
+        heapq.heapify(events)
+
+        ready: list[tuple[int, _TaskState]] = []  # heap keyed by index
+        queue_waits: list[float] = []
+        makespan = 0.0
+        busy_mbh = {node.node_id: 0.0 for node in manager.nodes}
+        timelines: dict[int, list[tuple[float, float]]] = {
+            node.node_id: [(0.0, 0.0)] for node in manager.nodes
+        }
+
+        def release(st: _TaskState, now: float) -> tuple[float, float]:
+            """Free the task's node slice; returns (allocated, occupied h)."""
+            assert st.running is not None
+            node, task_id, allocated, start = st.running
+            st.running = None
+            node.release(task_id)
+            occupied = now - start
+            busy_mbh[node.node_id] += allocated * occupied
+            timelines[node.node_id].append((now, node.allocated_mb))
+            return allocated, occupied
+
+        def handle_finish(st: _TaskState, now: float) -> None:
+            inst = st.inst
+            allocated, _ = release(st, now)
+            ledger.record_success(
+                task_type=inst.task_type.name,
+                workflow=inst.task_type.workflow,
+                instance_id=inst.instance_id,
+                attempt=st.attempt,
+                allocated_mb=allocated,
+                peak_memory_mb=inst.peak_memory_mb,
+                runtime_hours=inst.runtime_hours,
+            )
+            predictor.observe(
+                TaskRecord(
+                    task_type=inst.task_type.name,
+                    workflow=inst.task_type.workflow,
+                    machine=inst.machine,
+                    timestamp=st.index,
+                    input_size_mb=inst.input_size_mb,
+                    peak_memory_mb=inst.peak_memory_mb,
+                    runtime_hours=inst.runtime_hours,
+                    success=True,
+                    attempt=st.attempt,
+                    allocated_mb=allocated,
+                    instance_id=inst.instance_id,
+                )
+            )
+            logs.append(
+                PredictionLog(
+                    instance_id=inst.instance_id,
+                    task_type=inst.task_type.name,
+                    workflow=inst.task_type.workflow,
+                    timestamp=st.index,
+                    input_size_mb=inst.input_size_mb,
+                    true_peak_mb=inst.peak_memory_mb,
+                    true_runtime_hours=inst.runtime_hours,
+                    first_allocation_mb=st.first_allocation,
+                    final_allocation_mb=st.allocation,
+                    n_attempts=st.attempt,
+                )
+            )
+
+        def handle_kill(st: _TaskState, now: float) -> None:
+            inst = st.inst
+            allocated, occupied = release(st, now)
+            ledger.record_failure(
+                task_type=inst.task_type.name,
+                workflow=inst.task_type.workflow,
+                instance_id=inst.instance_id,
+                attempt=st.attempt,
+                allocated_mb=allocated,
+                peak_memory_mb=inst.peak_memory_mb,
+                time_to_failure_hours=occupied,
+            )
+            # The failure record's "peak" is the exceeded limit — a lower
+            # bound, flagged via success=False (same as replay).
+            predictor.observe(
+                TaskRecord(
+                    task_type=inst.task_type.name,
+                    workflow=inst.task_type.workflow,
+                    machine=inst.machine,
+                    timestamp=st.index,
+                    input_size_mb=inst.input_size_mb,
+                    peak_memory_mb=allocated,
+                    runtime_hours=occupied,
+                    success=False,
+                    attempt=st.attempt,
+                    allocated_mb=allocated,
+                    instance_id=inst.instance_id,
+                )
+            )
+            next_allocation = float(
+                predictor.on_failure(st.submission, allocated, st.attempt)
+            )
+            # Retries must strictly grow or the task can never finish.
+            if next_allocation <= allocated:
+                next_allocation = allocated * 2.0
+            st.allocation = clamp_allocation_checked(
+                manager, inst, next_allocation
+            )
+            heapq.heappush(ready, (st.index, st))
+
+        def schedule(now: float) -> None:
+            nonlocal seq
+            while ready:
+                _, head = ready[0]
+                if head.allocation is None:
+                    self._predict_chunk(predictor, manager, ready)
+                node = manager.try_place(head.allocation)
+                if node is None:
+                    # Strict FCFS: the head blocks until memory frees up.
+                    break
+                heapq.heappop(ready)
+                if head.attempt + 1 > MAX_ATTEMPTS:
+                    raise RuntimeError(
+                        f"task {head.inst.instance_id} "
+                        f"({head.inst.task_type.key}) did not finish within "
+                        f"{MAX_ATTEMPTS} attempts; last allocation "
+                        f"{head.allocation:.0f} MB, "
+                        f"peak {head.inst.peak_memory_mb:.0f} MB"
+                    )
+                task_id = manager.next_task_id()
+                node.allocate(task_id, head.allocation)
+                timelines[node.node_id].append((now, node.allocated_mb))
+                head.attempt += 1
+                if head.first_start is None:
+                    head.first_start = now
+                    queue_waits.append(now - head.arrival)
+                head.running = (node, task_id, head.allocation, now)
+                success = head.allocation >= head.inst.peak_memory_mb
+                duration = (
+                    head.inst.runtime_hours
+                    if success
+                    else head.inst.runtime_hours * time_to_failure
+                )
+                heapq.heappush(
+                    events, (now + duration, _COMPLETION, seq, head)
+                )
+                seq += 1
+
+        while events:
+            now = events[0][0]
+            while events and events[0][0] == now:
+                _, kind, _, st = heapq.heappop(events)
+                if kind == _ARRIVAL:
+                    heapq.heappush(ready, (st.index, st))
+                elif st.running is not None and (
+                    st.running[2] >= st.inst.peak_memory_mb
+                ):
+                    handle_finish(st, now)
+                else:
+                    handle_kill(st, now)
+                makespan = max(makespan, now)
+            schedule(now)
+
+        predictor.end_trace()
+        logs.sort(key=lambda log: log.timestamp)
+        return SimulationResult(
+            workflow=trace.workflow,
+            method=predictor.name,
+            time_to_failure=time_to_failure,
+            ledger=ledger,
+            predictions=logs,
+            cluster=self._cluster_metrics(
+                manager, makespan, queue_waits, busy_mbh, timelines
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _predict_chunk(
+        self,
+        predictor: MemoryPredictor,
+        manager: ResourceManager,
+        ready: list[tuple[int, _TaskState]],
+    ) -> None:
+        """Size the first ``prediction_chunk`` unsized queued tasks.
+
+        One ``predict_batch`` call covers the chunk; chunking (rather
+        than sizing the whole queue up front) keeps predictions close to
+        dispatch time so online learning from earlier completions still
+        reaches later tasks.
+        """
+        chunk = heapq.nsmallest(
+            self.prediction_chunk,
+            (st for _, st in ready if st.allocation is None),
+        )
+        allocations = predictor.predict_batch([st.submission for st in chunk])
+        for st, allocation in zip(chunk, allocations):
+            st.allocation = clamp_allocation_checked(
+                manager, st.inst, float(allocation)
+            )
+            st.first_allocation = st.allocation
+
+    @staticmethod
+    def _cluster_metrics(
+        manager: ResourceManager,
+        makespan: float,
+        queue_waits: list[float],
+        busy_mbh: dict[int, float],
+        timelines: dict[int, list[tuple[float, float]]],
+    ) -> ClusterMetrics:
+        mb_per_gb = 1024.0
+        busy_gbh = {n: v / mb_per_gb for n, v in busy_mbh.items()}
+        capacity_gb = manager.max_allocation_mb / mb_per_gb
+        denom = capacity_gb * makespan
+        utilization = {
+            n: (v / denom if denom > 0 else 0.0) for n, v in busy_gbh.items()
+        }
+        return ClusterMetrics(
+            makespan_hours=makespan,
+            total_queue_wait_hours=float(sum(queue_waits)),
+            mean_queue_wait_hours=(
+                float(sum(queue_waits) / len(queue_waits)) if queue_waits else 0.0
+            ),
+            max_queue_wait_hours=(
+                float(max(queue_waits)) if queue_waits else 0.0
+            ),
+            node_busy_memory_gbh=busy_gbh,
+            node_utilization=utilization,
+            node_timelines=timelines,
+        )

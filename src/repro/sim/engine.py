@@ -1,33 +1,30 @@
-"""The online replay loop.
+"""The online simulator facade.
 
-Replays a workflow trace in submission order against one predictor:
+:class:`OnlineSimulator` pairs a workflow trace with a cluster model and
+delegates the actual execution semantics to a pluggable
+:class:`~repro.sim.backends.base.SimulatorBackend`:
 
-1. Build the predictor-visible :class:`TaskSubmission` (Phase 1).
-2. Ask the predictor for an allocation (Phase 2).
-3. Execute under strict limits (assumption A3) with the configured
-   time-to-failure; on failure, record wastage, inform the predictor,
-   get a retry allocation, repeat.
-4. On success, record wastage and feed the completion record back for
-   online learning (Phase 3).
+- ``backend="replay"`` (default) — the paper's serialized per-task
+  replay loop, bit-for-bit identical to the original engine.
+- ``backend="event"`` — a discrete-event engine where tasks genuinely
+  overlap on nodes, adding queueing wait, makespan, and per-node
+  utilization to the result.
 
-The retry loop is owned by the simulator so all methods are charged
-identically for failures.
+Any object satisfying the backend protocol can be passed directly, and
+new backends registered via
+:func:`repro.sim.backends.register_backend` become addressable by name.
 """
 
 from __future__ import annotations
 
-from repro.cluster.accounting import WastageLedger
 from repro.cluster.manager import ResourceManager
-from repro.provenance.records import TaskRecord
-from repro.sim.interface import MemoryPredictor, TaskSubmission
-from repro.sim.results import PredictionLog, SimulationResult
+from repro.sim.backends import SimulatorBackend, resolve_backend
+from repro.sim.backends.base import MAX_ATTEMPTS as _MAX_ATTEMPTS  # noqa: F401
+from repro.sim.interface import MemoryPredictor
+from repro.sim.results import SimulationResult
 from repro.workflow.task import WorkflowTrace
 
 __all__ = ["OnlineSimulator"]
-
-#: Hard cap on attempts per task; doubling from 1 MB exceeds any node
-#: capacity well before this, so hitting it indicates a predictor bug.
-_MAX_ATTEMPTS = 30
 
 
 class OnlineSimulator:
@@ -42,6 +39,9 @@ class OnlineSimulator:
     time_to_failure:
         Fraction of a task's runtime after which an under-allocated task
         is killed (paper parameter; 1.0 in Fig. 8a, 0.5 in Fig. 8b).
+    backend:
+        Execution semantics: a registered backend name (``"replay"`` or
+        ``"event"``) or a ready-made backend instance.
     """
 
     def __init__(
@@ -49,6 +49,7 @@ class OnlineSimulator:
         trace: WorkflowTrace,
         manager: ResourceManager | None = None,
         time_to_failure: float = 1.0,
+        backend: str | SimulatorBackend = "replay",
     ) -> None:
         if not 0.0 < time_to_failure <= 1.0:
             raise ValueError(
@@ -57,115 +58,10 @@ class OnlineSimulator:
         self.trace = trace
         self.manager = manager if manager is not None else ResourceManager()
         self.time_to_failure = time_to_failure
+        self.backend = resolve_backend(backend)
 
     def run(self, predictor: MemoryPredictor) -> SimulationResult:
         """Replay the whole trace; returns the filled-in result object."""
-        ledger = WastageLedger()
-        logs: list[PredictionLog] = []
-
-        for timestamp, inst in enumerate(self.trace):
-            submission = TaskSubmission.from_instance(inst, timestamp)
-            allocation = self.manager.clamp_allocation(
-                float(predictor.predict(submission))
-            )
-            first_allocation = allocation
-            attempt = 1
-            while True:
-                if attempt > _MAX_ATTEMPTS:
-                    raise RuntimeError(
-                        f"task {inst.instance_id} ({inst.task_type.key}) did "
-                        f"not finish within {_MAX_ATTEMPTS} attempts; "
-                        f"last allocation {allocation:.0f} MB, "
-                        f"peak {inst.peak_memory_mb:.0f} MB"
-                    )
-                verdict = self.manager.execute_attempt(
-                    allocated_mb=allocation,
-                    true_peak_mb=inst.peak_memory_mb,
-                    runtime_hours=inst.runtime_hours,
-                    time_to_failure=self.time_to_failure,
-                )
-                if verdict.success:
-                    ledger.record_success(
-                        task_type=inst.task_type.name,
-                        workflow=inst.task_type.workflow,
-                        instance_id=inst.instance_id,
-                        attempt=attempt,
-                        allocated_mb=verdict.allocated_mb,
-                        peak_memory_mb=inst.peak_memory_mb,
-                        runtime_hours=inst.runtime_hours,
-                    )
-                    predictor.observe(
-                        TaskRecord(
-                            task_type=inst.task_type.name,
-                            workflow=inst.task_type.workflow,
-                            machine=inst.machine,
-                            timestamp=timestamp,
-                            input_size_mb=inst.input_size_mb,
-                            peak_memory_mb=inst.peak_memory_mb,
-                            runtime_hours=inst.runtime_hours,
-                            success=True,
-                            attempt=attempt,
-                            allocated_mb=verdict.allocated_mb,
-                            instance_id=inst.instance_id,
-                        )
-                    )
-                    break
-
-                ledger.record_failure(
-                    task_type=inst.task_type.name,
-                    workflow=inst.task_type.workflow,
-                    instance_id=inst.instance_id,
-                    attempt=attempt,
-                    allocated_mb=verdict.allocated_mb,
-                    peak_memory_mb=inst.peak_memory_mb,
-                    time_to_failure_hours=verdict.occupied_hours,
-                )
-                # The failure record's "peak" is the exceeded limit — a
-                # lower bound, flagged via success=False.
-                predictor.observe(
-                    TaskRecord(
-                        task_type=inst.task_type.name,
-                        workflow=inst.task_type.workflow,
-                        machine=inst.machine,
-                        timestamp=timestamp,
-                        input_size_mb=inst.input_size_mb,
-                        peak_memory_mb=verdict.allocated_mb,
-                        runtime_hours=verdict.occupied_hours,
-                        success=False,
-                        attempt=attempt,
-                        allocated_mb=verdict.allocated_mb,
-                        instance_id=inst.instance_id,
-                    )
-                )
-                next_allocation = float(
-                    predictor.on_failure(submission, verdict.allocated_mb, attempt)
-                )
-                # Retries must strictly grow or the loop cannot terminate;
-                # a non-growing proposal falls back to doubling.
-                if next_allocation <= verdict.allocated_mb:
-                    next_allocation = verdict.allocated_mb * 2.0
-                allocation = self.manager.clamp_allocation(next_allocation)
-                attempt += 1
-
-            logs.append(
-                PredictionLog(
-                    instance_id=inst.instance_id,
-                    task_type=inst.task_type.name,
-                    workflow=inst.task_type.workflow,
-                    timestamp=timestamp,
-                    input_size_mb=inst.input_size_mb,
-                    true_peak_mb=inst.peak_memory_mb,
-                    true_runtime_hours=inst.runtime_hours,
-                    first_allocation_mb=first_allocation,
-                    final_allocation_mb=allocation,
-                    n_attempts=attempt,
-                )
-            )
-
-        return SimulationResult(
-            workflow=self.trace.workflow,
-            method=predictor.name,
-            time_to_failure=self.time_to_failure,
-            ledger=ledger,
-            predictions=logs,
+        return self.backend.run(
+            self.trace, predictor, self.manager, self.time_to_failure
         )

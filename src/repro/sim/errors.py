@@ -1,0 +1,39 @@
+"""Typed simulator errors.
+
+:class:`UnschedulableTaskError` subclasses :class:`RuntimeError` so
+pre-existing callers that caught the generic retry-exhaustion error keep
+working, while new callers can detect the specific failure mode — a task
+whose true peak memory exceeds every node's capacity, which no amount of
+retry doubling can ever fix.
+"""
+
+from __future__ import annotations
+
+__all__ = ["UnschedulableTaskError"]
+
+
+class UnschedulableTaskError(RuntimeError):
+    """A task's true peak memory exceeds the cluster's node capacity.
+
+    Raised at allocation-clamp time (before any futile retry doubling)
+    by both simulation backends.  Carries the offending task type, its
+    true peak, and the node capacity for programmatic inspection.
+    """
+
+    def __init__(
+        self,
+        *,
+        task_type: str,
+        instance_id: int,
+        peak_memory_mb: float,
+        capacity_mb: float,
+    ) -> None:
+        self.task_type = task_type
+        self.instance_id = instance_id
+        self.peak_memory_mb = peak_memory_mb
+        self.capacity_mb = capacity_mb
+        super().__init__(
+            f"task instance {instance_id} of type {task_type!r} is "
+            f"unschedulable: true peak {peak_memory_mb:.0f} MB exceeds "
+            f"node capacity {capacity_mb:.0f} MB"
+        )

@@ -1,23 +1,81 @@
-"""Predictor contract shared by Sizey and every baseline.
+"""Predictor contract shared by Sizey and every baseline (API v2).
 
 The simulator only ever talks to predictors through this interface, so
 all methods play under identical rules: they see a
 :class:`TaskSubmission` (no ground truth), return an allocation in MB,
 receive a :class:`~repro.provenance.records.TaskRecord` after each
 attempt, and are asked for a new allocation after a failure.
+
+API v2 adds two optional seams on top of the original per-task contract,
+both with backwards-compatible defaults so every existing predictor
+keeps working unchanged:
+
+- **Batch prediction** — :meth:`MemoryPredictor.predict_batch` sizes a
+  whole group of submissions in one call.  The default implementation
+  loops over :meth:`~MemoryPredictor.predict`; predictors with real
+  models (Sizey, the Witt baselines, Tovar) override it with vectorized
+  model queries grouped by pool key, which the event-driven backend
+  exploits when several tasks become schedulable at the same instant.
+- **Trace lifecycle hooks** — the simulator calls
+  :meth:`~MemoryPredictor.begin_trace` with a :class:`TraceContext`
+  before the first submission of a trace and
+  :meth:`~MemoryPredictor.end_trace` after the last completion.
+  Predictors can use these to reset per-trace state, pre-allocate
+  buffers, or flush diagnostics; the defaults are no-ops.
+
+The full v2 lifecycle, driven by the simulator backend::
+
+    predictor.begin_trace(context)
+    for each scheduling round:
+        allocs = predictor.predict_batch(ready_tasks)   # or predict(task)
+        while an attempt fails:
+            predictor.observe(failure_record)
+            alloc = predictor.on_failure(task, alloc, attempt)
+        predictor.observe(success_record)
+    predictor.end_trace()
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.provenance.records import TaskRecord
 from repro.workflow.task import TaskInstance
 
-__all__ = ["TaskSubmission", "MemoryPredictor"]
+__all__ = [
+    "TaskSubmission",
+    "TraceContext",
+    "MemoryPredictor",
+    "batch_by_group",
+]
+
+
+def batch_by_group(tasks, key_fn, group_sizer) -> np.ndarray:
+    """Shared scaffolding for grouped ``predict_batch`` overrides.
+
+    Groups ``tasks`` by ``key_fn(task)`` (preserving submission order
+    within each group) and asks ``group_sizer(key, group_tasks)`` for
+    the group's allocations — a scalar (broadcast over the group), an
+    array of ``len(group_tasks)``, or ``None`` to fall back to each
+    task's user preset (the no-history case).  Returns the allocations
+    re-assembled in the original task order.
+    """
+    out = np.empty(len(tasks), dtype=np.float64)
+    groups: dict = {}
+    for i, task in enumerate(tasks):
+        groups.setdefault(key_fn(task), []).append(i)
+    for key, idxs in groups.items():
+        sized = group_sizer(key, [tasks[i] for i in idxs])
+        if sized is None:
+            for i in idxs:
+                out[i] = tasks[i].preset_memory_mb
+        else:
+            out[idxs] = np.asarray(sized, dtype=np.float64)
+    return out
 
 
 @dataclass(frozen=True)
@@ -59,6 +117,21 @@ class TaskSubmission:
         return (self.task_type, self.machine)
 
 
+@dataclass(frozen=True)
+class TraceContext:
+    """What a predictor is told about a trace before replaying it.
+
+    Passed to :meth:`MemoryPredictor.begin_trace` by every simulation
+    backend.  Contains only simulation-harness facts — never ground
+    truth about individual tasks.
+    """
+
+    workflow: str
+    n_tasks: int
+    time_to_failure: float
+    backend: str = "replay"
+
+
 class MemoryPredictor(ABC):
     """Interface every memory-sizing method implements.
 
@@ -72,6 +145,11 @@ class MemoryPredictor(ABC):
 
     ``observe`` is the online-learning hook (paper Phase 3); predictors
     that do not learn online simply ignore it.
+
+    API v2 additions (all optional to implement):
+    :meth:`predict_batch` for vectorized group sizing, and the
+    :meth:`begin_trace` / :meth:`end_trace` lifecycle pair bracketing
+    each simulated trace.
     """
 
     #: Human-readable method name used in result tables.
@@ -80,6 +158,35 @@ class MemoryPredictor(ABC):
     @abstractmethod
     def predict(self, task: TaskSubmission) -> float:
         """Memory allocation (MB) for the first attempt of ``task``."""
+
+    def predict_batch(self, tasks: Sequence[TaskSubmission]) -> np.ndarray:
+        """First-attempt allocations (MB) for a group of submissions.
+
+        Returns an array of shape ``(len(tasks),)`` whose ``i``-th entry
+        is the allocation for ``tasks[i]``.  The default delegates to
+        :meth:`predict` one task at a time, so overriding is purely an
+        optimisation: a batch call must be equivalent to the loop of
+        single calls (no observations happen between the two).
+        Predictors backed by real models override this with model
+        queries vectorized per pool key.
+        """
+        return np.array(
+            [float(self.predict(t)) for t in tasks], dtype=np.float64
+        )
+
+    def begin_trace(self, context: TraceContext | None = None) -> None:
+        """Lifecycle hook: called once before a trace starts replaying.
+
+        ``context`` describes the upcoming trace (workflow, task count,
+        time-to-failure, backend name).  Default: no-op.
+        """
+
+    def end_trace(self) -> None:
+        """Lifecycle hook: called once after the trace finished.
+
+        Runs after the last completion was observed — a natural point to
+        flush diagnostics or drop per-trace caches.  Default: no-op.
+        """
 
     def observe(self, record: TaskRecord) -> None:
         """Ingest an execution record (success or failure)."""

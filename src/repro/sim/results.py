@@ -8,7 +8,12 @@ import numpy as np
 
 from repro.cluster.accounting import WastageLedger
 
-__all__ = ["PredictionLog", "SimulationResult", "aggregate_results"]
+__all__ = [
+    "PredictionLog",
+    "ClusterMetrics",
+    "SimulationResult",
+    "aggregate_results",
+]
 
 
 @dataclass(frozen=True)
@@ -36,6 +41,47 @@ class PredictionLog:
         return self.first_allocation_mb - self.true_peak_mb
 
 
+@dataclass(frozen=True)
+class ClusterMetrics:
+    """Cluster-level observables of an event-driven simulation.
+
+    Only the event-driven backend can measure these — they require tasks
+    to actually overlap on nodes.  The replay backend leaves
+    :attr:`SimulationResult.cluster` as ``None``.
+
+    Attributes
+    ----------
+    makespan_hours:
+        Wall-clock span from the first submission to the last completion.
+    total_queue_wait_hours / mean_queue_wait_hours / max_queue_wait_hours:
+        Time tasks spent queued before their *first* dispatch (retry
+        waits are part of the retry cost, not admission latency).
+    node_busy_memory_gbh:
+        Per node, the integral of allocated memory over time (GB·h).
+    node_utilization:
+        Per node, busy memory-GBh divided by capacity * makespan
+        (in [0, 1]; 0 when the makespan is zero).
+    node_timelines:
+        Per node, the step function of allocated MB over time as
+        ``(time_hours, allocated_mb_after_change)`` points.
+    """
+
+    makespan_hours: float
+    total_queue_wait_hours: float
+    mean_queue_wait_hours: float
+    max_queue_wait_hours: float
+    node_busy_memory_gbh: dict[int, float]
+    node_utilization: dict[int, float]
+    node_timelines: dict[int, list[tuple[float, float]]]
+
+    @property
+    def mean_utilization(self) -> float:
+        """Cluster-wide mean of the per-node utilization fractions."""
+        if not self.node_utilization:
+            return 0.0
+        return float(np.mean(list(self.node_utilization.values())))
+
+
 @dataclass
 class SimulationResult:
     """Everything measured while one method ran one workflow trace."""
@@ -45,6 +91,8 @@ class SimulationResult:
     time_to_failure: float
     ledger: WastageLedger
     predictions: list[PredictionLog] = field(default_factory=list)
+    #: Cluster-level metrics; filled in by the event-driven backend only.
+    cluster: ClusterMetrics | None = None
 
     @property
     def total_wastage_gbh(self) -> float:

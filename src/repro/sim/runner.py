@@ -13,6 +13,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Mapping
 
 from repro.cluster.manager import ResourceManager
+from repro.sim.backends import SimulatorBackend
 from repro.sim.engine import OnlineSimulator
 from repro.sim.interface import MemoryPredictor
 from repro.sim.results import SimulationResult
@@ -27,16 +28,20 @@ def run_cell(
     trace: WorkflowTrace,
     factory: PredictorFactory,
     time_to_failure: float = 1.0,
+    backend: str | SimulatorBackend = "replay",
 ) -> SimulationResult:
     """Run one (workflow, method) cell with a fresh predictor and cluster."""
     sim = OnlineSimulator(
-        trace, manager=ResourceManager(), time_to_failure=time_to_failure
+        trace,
+        manager=ResourceManager(),
+        time_to_failure=time_to_failure,
+        backend=backend,
     )
     return sim.run(factory())
 
 
 def _run_cell_star(
-    args: tuple[WorkflowTrace, PredictorFactory, float],
+    args: tuple[WorkflowTrace, PredictorFactory, float, str | SimulatorBackend],
 ) -> SimulationResult:
     return run_cell(*args)
 
@@ -46,15 +51,18 @@ def run_grid(
     factories: Mapping[str, PredictorFactory],
     time_to_failure: float = 1.0,
     n_workers: int = 1,
+    backend: str | SimulatorBackend = "replay",
 ) -> dict[str, dict[str, SimulationResult]]:
     """Run every method on every workflow.
 
     Returns ``results[method][workflow]``.  With ``n_workers > 1`` the
     cells run in separate processes; traces and factories must then be
-    picklable (all built-ins here are).
+    picklable (all built-ins here are).  ``backend`` selects the
+    simulation backend for every cell — a registry name, or a backend
+    instance (picklable when fanning out over processes).
     """
     cells = [
-        (method, wf, (trace, factory, time_to_failure))
+        (method, wf, (trace, factory, time_to_failure, backend))
         for method, factory in factories.items()
         for wf, trace in traces.items()
     ]

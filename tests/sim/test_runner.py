@@ -1,0 +1,76 @@
+"""Tests for the experiment grid runner, including the process pool."""
+
+import pytest
+
+from repro.experiments.factories import (
+    make_witt_percentile,
+    make_workflow_presets,
+)
+from repro.sim.runner import run_cell, run_grid
+from repro.workflow.task import TaskInstance, TaskType, WorkflowTrace
+
+
+def make_trace(workflow, peaks):
+    tt = TaskType(name="t", workflow=workflow, preset_memory_mb=4096.0)
+    return WorkflowTrace(
+        workflow,
+        [
+            TaskInstance(
+                task_type=tt,
+                instance_id=i,
+                input_size_mb=10.0 * (i + 1),
+                peak_memory_mb=p,
+                runtime_hours=0.5,
+            )
+            for i, p in enumerate(peaks)
+        ],
+    )
+
+
+TRACES = {
+    "wf_a": make_trace("wf_a", [1000.0, 1500.0, 800.0, 1200.0]),
+    "wf_b": make_trace("wf_b", [2000.0, 2500.0, 2200.0]),
+}
+FACTORIES = {
+    "Workflow-Presets": make_workflow_presets,
+    "Witt-Percentile": make_witt_percentile,
+}
+
+
+class TestRunGrid:
+    def test_serial_grid_shape(self):
+        results = run_grid(TRACES, FACTORIES)
+        assert set(results) == set(FACTORIES)
+        for per_wf in results.values():
+            assert set(per_wf) == set(TRACES)
+
+    def test_process_pool_matches_serial(self):
+        serial = run_grid(TRACES, FACTORIES, n_workers=1)
+        pooled = run_grid(TRACES, FACTORIES, n_workers=2)
+        for method in FACTORIES:
+            for wf in TRACES:
+                a, b = serial[method][wf], pooled[method][wf]
+                assert b.total_wastage_gbh == pytest.approx(a.total_wastage_gbh)
+                assert b.num_failures == a.num_failures
+                assert b.num_tasks == a.num_tasks
+                assert [p.final_allocation_mb for p in b.predictions] == [
+                    p.final_allocation_mb for p in a.predictions
+                ]
+
+    def test_process_pool_event_backend(self):
+        pooled = run_grid(TRACES, FACTORIES, n_workers=2, backend="event")
+        for method in FACTORIES:
+            for wf in TRACES:
+                res = pooled[method][wf]
+                assert res.cluster is not None
+                assert res.cluster.makespan_hours > 0.0
+
+    def test_backend_threaded_through_run_cell(self):
+        replay = run_cell(TRACES["wf_a"], make_workflow_presets)
+        event = run_cell(TRACES["wf_a"], make_workflow_presets, backend="event")
+        assert replay.cluster is None
+        assert event.cluster is not None
+        # Presets never fail and never learn, so wastage is identical.
+        assert event.total_wastage_gbh == pytest.approx(
+            replay.total_wastage_gbh
+        )

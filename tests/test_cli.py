@@ -27,6 +27,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figures", "--only", "fig99"])
 
+    def test_backend_defaults_to_replay(self):
+        args = build_parser().parse_args(["simulate", "--workflow", "iwd"])
+        assert vars(args)["backend"] == "replay"
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--workflow", "iwd", "--backend", "nope"]
+            )
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
 
 class TestCommands:
     def test_simulate_prints_metrics(self, capsys):
@@ -60,6 +78,27 @@ class TestCommands:
         assert rc == 0
         for m in ("Sizey", "Witt-Wastage", "Workflow-Presets"):
             assert m in out
+
+    def test_simulate_event_backend_prints_cluster_metrics(self, capsys):
+        rc = main(
+            ["simulate", "--workflow", "iwd", "--method", "Workflow-Presets",
+             "--scale", "0.05", "--backend", "event"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "makespan h" in out
+        assert "mean queue wait h" in out
+        assert "mean node utilization" in out
+
+    def test_compare_event_backend_end_to_end(self, capsys):
+        rc = main(
+            ["compare", "--workflows", "iwd", "--scale", "0.05",
+             "--backend", "event"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "makespan h" in out
+        assert "backend=event" in out
 
     def test_figures_single_artifact(self, capsys):
         rc = main(["figures", "--only", "table1"])
