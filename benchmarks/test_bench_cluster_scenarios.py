@@ -1,0 +1,49 @@
+"""Bench: the heterogeneous cluster-scenario grid end-to-end.
+
+Pins the cost of one full scenario sweep (cluster shapes x placement
+policies x arrival models) so regressions in the event engine's
+placement or arrival paths show up as wall-clock, and checks the grid's
+invariant: a method's wastage ledger is identical across cluster shapes
+(placement moves tasks, it never changes what an attempt is charged).
+"""
+
+import pytest
+
+from repro.experiments import cluster_scenarios
+
+SCALE = 0.05
+SEED = 0
+
+
+def test_bench_cluster_scenarios_grid(once):
+    data = once(
+        cluster_scenarios.run,
+        seed=SEED,
+        scale=SCALE,
+        methods=("Witt-Percentile", "Workflow-Presets"),
+        verbose=False,
+    )
+    assert set(data) == {s.name for s in cluster_scenarios.SCENARIOS}
+    # For a method that never learns online, wastage depends only on the
+    # attempt sequence — which placement and arrivals never change, and
+    # the cluster shape only enters through the largest node's clamp.
+    # So scenarios sharing a largest-node capacity must charge
+    # identical wastage.  (Online learners may legitimately differ —
+    # completion order feeds back into their predictions.)
+    from repro.cluster.machine import parse_cluster_spec
+
+    by_max_capacity = {}
+    for scenario in cluster_scenarios.SCENARIOS:
+        max_mb = max(
+            cfg.memory_mb for cfg, _ in parse_cluster_spec(scenario.cluster)
+        )
+        wastage = round(
+            float(data[scenario.name]["Workflow-Presets"]["wastage_gbh"]), 9
+        )
+        by_max_capacity.setdefault(max_mb, set()).add(wastage)
+    for max_mb, wastages in by_max_capacity.items():
+        assert len(wastages) == 1, f"max capacity {max_mb}"
+    # Utilization stays a fraction on every scenario.
+    for per_method in data.values():
+        for summary in per_method.values():
+            assert 0.0 <= summary["mean_utilization"] <= 1.0

@@ -44,7 +44,7 @@ Quickstart::
     print(result.cluster.makespan_hours, result.cluster.mean_utilization)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["SizeyPredictor", "SizeyConfig", "__version__"]
 

@@ -11,6 +11,8 @@ Examples::
 
     python -m repro simulate --workflow rnaseq --method Sizey --scale 0.3
     python -m repro simulate --workflow rnaseq --backend event --scale 0.3
+    python -m repro simulate --workflow iwd --backend event \
+        --cluster "128g:4,256g:4" --placement best-fit --arrival poisson:0.5
     python -m repro figures --only fig11 fig12
     python -m repro trace --workflow mag --scale 0.1 --out mag.json --csv mag.csv
     python -m repro compare --workflows chipseq iwd --scale 0.2 --backend event
@@ -22,6 +24,7 @@ import argparse
 import sys
 
 import repro
+from repro.cluster.policies import placement_names
 from repro.experiments.factories import METHOD_ORDER, method_factories
 from repro.experiments.report import render_table
 from repro.sim.backends import backend_names
@@ -44,6 +47,7 @@ _ARTIFACTS = (
     "fig11",
     "fig12",
     "ablations",
+    "cluster",
 )
 
 
@@ -52,6 +56,42 @@ def _nonnegative_hours(value: str) -> float:
     if hours < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0 hours, got {hours}")
     return hours
+
+
+def _cluster_spec(value: str) -> str:
+    """Validate a --cluster spec eagerly so bad specs fail at parse time."""
+    from repro.cluster.machine import parse_cluster_spec
+
+    try:
+        parse_cluster_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
+def _arrival_spec(value: str) -> str:
+    """Validate an --arrival spec eagerly so bad specs fail at parse time."""
+    from repro.sim.arrivals import parse_arrival
+
+    try:
+        parse_arrival(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
+def _add_cluster_options(sub: argparse.ArgumentParser) -> None:
+    """Cluster-scenario options shared by ``simulate`` and ``compare``."""
+    sub.add_argument("--cluster", type=_cluster_spec, default=None,
+                     help="cluster spec as SIZE:COUNT pools, e.g. "
+                          "'128g:4,256g:4' (default: the paper's 8x128g)")
+    sub.add_argument("--placement", choices=placement_names(),
+                     default="first-fit",
+                     help="node-placement policy")
+    sub.add_argument("--arrival", type=_arrival_spec, default=None,
+                     help="arrival model for the event backend: "
+                          "'fixed:0.25', 'poisson:0.5', or 'bursty:8x0.5' "
+                          "(default: batch submission at t=0)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,7 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "engine with cluster metrics)")
     sim.add_argument("--arrival-interval", type=_nonnegative_hours, default=0.0,
                      help="hours between submissions (event backend only; "
-                          "0 = submit the whole trace at once)")
+                          "0 = submit the whole trace at once; shorthand "
+                          "for --arrival fixed:H)")
+    _add_cluster_options(sim)
 
     fig = sub.add_parser("figures", help="regenerate paper artifacts")
     fig.add_argument("--only", nargs="*", choices=_ARTIFACTS, default=None)
@@ -102,16 +144,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="simulation backend used for every grid cell")
     cmp_.add_argument("--arrival-interval", type=_nonnegative_hours,
                       default=0.0,
-                      help="hours between submissions (event backend only)")
+                      help="hours between submissions (event backend only; "
+                           "shorthand for --arrival fixed:H)")
+    _add_cluster_options(cmp_)
     return parser
+
+
+def _validate_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Reject option combinations that would be silently ignored."""
+    has_arrival = getattr(args, "arrival", None) is not None
+    has_interval = getattr(args, "arrival_interval", 0.0) > 0.0
+    if has_arrival and has_interval:
+        parser.error("--arrival and --arrival-interval are mutually "
+                     "exclusive (use --arrival fixed:H)")
+    if (has_arrival or has_interval) and args.backend != "event":
+        parser.error("--arrival/--arrival-interval only shape the event "
+                     "backend; add --backend event")
 
 
 def _resolve_cli_backend(args: argparse.Namespace):
     """Backend name, or a configured instance when options require one."""
-    if args.backend == "event" and args.arrival_interval > 0.0:
+    if args.backend == "event" and (
+        args.arrival is not None or args.arrival_interval > 0.0
+    ):
         from repro.sim.backends import EventDrivenBackend
 
-        return EventDrivenBackend(arrival_interval_hours=args.arrival_interval)
+        if args.arrival is not None:
+            return EventDrivenBackend(arrival=args.arrival, seed=args.seed)
+        return EventDrivenBackend(
+            arrival_interval_hours=args.arrival_interval, seed=args.seed
+        )
     return args.backend
 
 
@@ -119,7 +183,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = build_workflow_trace(args.workflow, seed=args.seed, scale=args.scale)
     predictor = method_factories()[args.method]()
     res = OnlineSimulator(
-        trace, time_to_failure=args.ttf, backend=_resolve_cli_backend(args)
+        trace,
+        time_to_failure=args.ttf,
+        backend=_resolve_cli_backend(args),
+        cluster=args.cluster,
+        placement=args.placement,
     ).run(predictor)
     rows = [
         ["workflow", args.workflow],
@@ -138,6 +206,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ["max queue wait h", res.cluster.max_queue_wait_hours],
             ["mean node utilization", res.cluster.mean_utilization],
         ]
+        for node_id, util in sorted(res.cluster.node_utilization.items()):
+            cap = res.cluster.node_capacity_gb.get(node_id)
+            label = f"node {node_id} utilization"
+            if cap is not None:
+                label += f" ({cap:.0f}G)"
+            rows.append([label, util])
     print(render_table(["metric", "value"], rows))
     return 0
 
@@ -145,6 +219,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments import (
         ablations,
+        cluster_scenarios,
         fig1_distributions,
         fig2_input_relation,
         fig7_utilization,
@@ -183,6 +258,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         fig12_error_trend.run(seed=seed, scale=max(s, 0.3))
     if "ablations" in wanted:
         ablations.run(seed=seed, scale=max(s, 0.2))
+    if "cluster" in wanted:
+        cluster_scenarios.run(seed=seed, scale=min(s, 0.1))
     return 0
 
 
@@ -215,6 +292,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         time_to_failure=args.ttf,
         n_workers=args.workers,
         backend=_resolve_cli_backend(args),
+        cluster=args.cluster,
+        placement=args.placement,
     )
     with_cluster = args.backend == "event"
     header = ["method", "wastage GBh", "failures", "runtime h"]
@@ -267,7 +346,10 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if hasattr(args, "backend"):
+        _validate_args(parser, args)
     return _COMMANDS[args.command](args)
 
 

@@ -9,8 +9,22 @@ metric is computed from.
 """
 
 from repro.cluster.accounting import AttemptOutcome, WastageLedger
-from repro.cluster.machine import Machine, MachineConfig
+from repro.cluster.machine import (
+    Machine,
+    MachineConfig,
+    parse_cluster_spec,
+    parse_memory_mb,
+)
 from repro.cluster.manager import ResourceManager
+from repro.cluster.policies import (
+    BestFit,
+    FirstFit,
+    PlacementPolicy,
+    WorstFit,
+    placement_names,
+    register_placement,
+    resolve_placement,
+)
 
 __all__ = [
     "MachineConfig",
@@ -18,4 +32,13 @@ __all__ = [
     "ResourceManager",
     "WastageLedger",
     "AttemptOutcome",
+    "parse_cluster_spec",
+    "parse_memory_mb",
+    "PlacementPolicy",
+    "FirstFit",
+    "BestFit",
+    "WorstFit",
+    "placement_names",
+    "register_placement",
+    "resolve_placement",
 ]

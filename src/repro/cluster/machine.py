@@ -1,16 +1,25 @@
-"""Machine model: configurations and allocation state.
+"""Machine model: configurations, allocation state, cluster specs.
 
 The paper's testbed is eight identical nodes (AMD EPYC 7282, 128 GB
 DDR4).  :class:`MachineConfig` describes a node type;
 :class:`Machine` tracks the live allocation state of one node so the
-resource manager can enforce capacity.
+resource manager can enforce capacity.  Real workflow clusters are
+heterogeneous, so :func:`parse_cluster_spec` turns a compact string
+such as ``"128g:4,256g:4"`` into the ``(config, count)`` node pools the
+resource manager is built from.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["MachineConfig", "Machine", "EPYC_7282_128G"]
+__all__ = [
+    "MachineConfig",
+    "Machine",
+    "EPYC_7282_128G",
+    "parse_memory_mb",
+    "parse_cluster_spec",
+]
 
 
 @dataclass(frozen=True)
@@ -30,6 +39,67 @@ class MachineConfig:
 
 #: The paper's node type: AMD EPYC 7282, 128 GB DDR4.
 EPYC_7282_128G = MachineConfig(name="epyc-7282-128g", memory_mb=128.0 * 1024, cores=32)
+
+
+def parse_memory_mb(token: str) -> float:
+    """Parse a memory size token: ``"128g"``, ``"512m"``, or plain MB.
+
+    Accepts a ``g``/``gb`` suffix (GiB), an ``m``/``mb`` suffix (MB), or
+    a bare number interpreted as MB.  Case-insensitive; fractions such
+    as ``"1.5g"`` are fine.
+    """
+    text = token.strip().lower()
+    if not text:
+        raise ValueError("empty memory size token")
+    factor = 1.0
+    for suffix, mult in (("gb", 1024.0), ("g", 1024.0), ("mb", 1.0), ("m", 1.0)):
+        if text.endswith(suffix):
+            text = text[: -len(suffix)]
+            factor = mult
+            break
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(f"cannot parse memory size {token!r}") from None
+    mb = value * factor
+    if mb <= 0:
+        raise ValueError(f"memory size must be positive, got {token!r}")
+    return mb
+
+
+def parse_cluster_spec(spec: str) -> list[tuple[MachineConfig, int]]:
+    """Parse a cluster spec string into ``(config, count)`` node pools.
+
+    The spec is a comma-separated list of ``SIZE:COUNT`` entries, e.g.
+    ``"128g:4,256g:4"`` — four 128 GB nodes plus four 256 GB nodes.  The
+    count defaults to 1 when omitted (``"512g"``).  Sizes follow
+    :func:`parse_memory_mb`.
+    """
+    pools: list[tuple[MachineConfig, int]] = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            raise ValueError(f"empty entry in cluster spec {spec!r}")
+        size_token, _, count_token = entry.partition(":")
+        memory_mb = parse_memory_mb(size_token)
+        if count_token:
+            try:
+                count = int(count_token)
+            except ValueError:
+                raise ValueError(
+                    f"cannot parse node count in {entry!r}"
+                ) from None
+        else:
+            count = 1
+        if count < 1:
+            raise ValueError(f"node count must be >= 1 in {entry!r}")
+        config = MachineConfig(
+            name=f"node-{size_token.strip().lower()}", memory_mb=memory_mb
+        )
+        pools.append((config, count))
+    if not pools:
+        raise ValueError(f"cluster spec {spec!r} describes no nodes")
+    return pools
 
 
 @dataclass

@@ -2,22 +2,38 @@
 
 Scheduling policy itself is out of the paper's scope (assumption A2 —
 ordering and node assignment belong to the resource manager), so this
-manager implements a deliberately simple first-fit placement.  What the
-evaluation *does* depend on is captured faithfully:
+manager delegates node choice to a pluggable
+:class:`~repro.cluster.policies.PlacementPolicy` (first-fit by default,
+the seed behaviour).  What the evaluation *does* depend on is captured
+faithfully:
 
 - strict memory limits: a task whose true peak exceeds its allocation is
   killed (assumption A3);
-- allocation requests are capped at node capacity — the retry policy
-  "doubles until the machine resources are exhausted" (§II-E), so the
-  manager exposes the cap;
+- allocation requests are capped at the capacity of the largest node
+  that could ever host the task — the retry policy "doubles until the
+  machine resources are exhausted" (§II-E), so the manager exposes the
+  cap;
 - placement bookkeeping so utilisation can be inspected.
+
+The cluster may be heterogeneous: pass ``pools`` as ``(config, count)``
+pairs (or use :meth:`ResourceManager.from_spec` with a compact string
+such as ``"128g:4,256g:4"``).  The original single-config signature
+keeps working and still builds the paper's eight identical 128 GB EPYC
+nodes by default.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.cluster.machine import EPYC_7282_128G, Machine, MachineConfig
+from repro.cluster.machine import (
+    EPYC_7282_128G,
+    Machine,
+    MachineConfig,
+    parse_cluster_spec,
+)
+from repro.cluster.policies import PlacementPolicy, resolve_placement
 
 __all__ = ["ResourceManager", "ExecutionVerdict"]
 
@@ -35,32 +51,89 @@ class ExecutionVerdict:
 
 
 class ResourceManager:
-    """A small cluster of identical nodes with strict memory limits.
+    """A cluster of nodes with strict memory limits.
 
     Parameters
     ----------
     config:
-        Node type (defaults to the paper's 128 GB EPYC nodes).
+        Node type (defaults to the paper's 128 GB EPYC nodes).  Ignored
+        when ``pools`` is given.
     n_nodes:
-        Cluster size (paper: 8).
+        Cluster size (paper: 8).  Ignored when ``pools`` is given.
+    pools:
+        Heterogeneous node pools as ``(MachineConfig, count)`` pairs;
+        nodes are numbered consecutively in pool order.
+    placement:
+        Node-choice policy: a registered name (``"first-fit"``,
+        ``"best-fit"``, ``"worst-fit"``) or a
+        :class:`~repro.cluster.policies.PlacementPolicy` instance.
     """
 
     def __init__(
-        self, config: MachineConfig = EPYC_7282_128G, n_nodes: int = 8
+        self,
+        config: MachineConfig = EPYC_7282_128G,
+        n_nodes: int = 8,
+        *,
+        pools: Sequence[tuple[MachineConfig, int]] | None = None,
+        placement: str | PlacementPolicy = "first-fit",
     ) -> None:
-        if n_nodes < 1:
-            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
-        self.config = config
-        self.nodes = [Machine(config=config, node_id=i) for i in range(n_nodes)]
+        if pools is None:
+            if n_nodes < 1:
+                raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+            pools = [(config, n_nodes)]
+        self.pools: list[tuple[MachineConfig, int]] = []
+        self.nodes: list[Machine] = []
+        for cfg, count in pools:
+            if count < 1:
+                raise ValueError(
+                    f"pool count must be >= 1, got {count} for {cfg.name!r}"
+                )
+            self.pools.append((cfg, int(count)))
+            for _ in range(count):
+                self.nodes.append(
+                    Machine(config=cfg, node_id=len(self.nodes))
+                )
+        # Back-compat: the single-config attribute now names the first
+        # pool's node type (the only one, for homogeneous clusters).
+        self.config = self.pools[0][0]
+        self.placement = resolve_placement(placement)
         self._next_task_id = 0
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: str,
+        *,
+        placement: str | PlacementPolicy = "first-fit",
+    ) -> "ResourceManager":
+        """Build a manager from a cluster spec string like ``"128g:4,256g:4"``."""
+        return cls(pools=parse_cluster_spec(spec), placement=placement)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether the cluster mixes more than one node capacity."""
+        return len({node.config.memory_mb for node in self.nodes}) > 1
 
     @property
     def max_allocation_mb(self) -> float:
-        """The largest allocation any single task can receive (node size)."""
-        return self.config.memory_mb
+        """The largest allocation any single task can receive.
+
+        On a heterogeneous cluster this is the capacity of the *largest*
+        node — the only node type that bounds what a task could ever be
+        granted.
+        """
+        return max(node.config.memory_mb for node in self.nodes)
+
+    def node_capacities_mb(self) -> dict[int, float]:
+        """Per-node memory capacity, keyed by node id."""
+        return {node.node_id: node.config.memory_mb for node in self.nodes}
 
     def clamp_allocation(self, request_mb: float) -> float:
-        """Clamp a request to (0, node capacity]."""
+        """Clamp a request to (0, largest-node capacity]."""
         return float(min(max(request_mb, 1.0), self.max_allocation_mb))
 
     def next_task_id(self) -> int:
@@ -81,31 +154,32 @@ class ResourceManager:
             node.allocated_mb = 0.0
         self._next_task_id = 0
 
-    def try_place(self, memory_mb: float) -> Machine | None:
-        """First-fit placement that returns ``None`` instead of raising.
+    def try_place(
+        self, memory_mb: float, policy: PlacementPolicy | None = None
+    ) -> Machine | None:
+        """Policy-driven placement that returns ``None`` instead of raising.
 
         Used by the event-driven backend, where a request that does not
         currently fit simply stays queued until capacity frees up.
+        ``policy`` overrides the manager's configured policy for one
+        call.
         """
-        for node in self.nodes:
-            if node.can_fit(memory_mb):
-                return node
-        return None
+        return (policy or self.placement).select(self.nodes, memory_mb)
 
     def place(self, memory_mb: float) -> Machine:
-        """First-fit placement; frees are logical so capacity always returns.
+        """Policy-driven placement; frees are logical so capacity returns.
 
         Raises ``MemoryError`` when no node can currently fit the request
-        — callers in the simulator execute tasks one at a time, so this
-        only triggers for requests beyond node capacity.
+        — callers in the serial replay execute tasks one at a time, so
+        this only triggers for requests beyond every node's capacity.
         """
-        for node in self.nodes:
-            if node.can_fit(memory_mb):
-                return node
-        raise MemoryError(
-            f"no node can fit {memory_mb:.0f} MB "
-            f"(node capacity {self.config.memory_mb:.0f} MB)"
-        )
+        node = self.placement.select(self.nodes, memory_mb)
+        if node is None:
+            raise MemoryError(
+                f"no node can fit {memory_mb:.0f} MB "
+                f"(largest node capacity {self.max_allocation_mb:.0f} MB)"
+            )
+        return node
 
     def execute_attempt(
         self,

@@ -46,18 +46,34 @@ class PoolPrediction:
 
 
 class _History:
-    """Growable (X, y) history with contiguous float64 storage."""
+    """Growable (X, y) history with contiguous float64 storage.
+
+    The feature dimension is sized lazily from the first appended
+    vector, so multi-feature submissions (d > 1) work; every later
+    vector must keep that dimension.
+    """
+
+    _INITIAL_CAP = 32
 
     def __init__(self) -> None:
-        cap = 32
-        self._X = np.empty((cap, 1), dtype=np.float64)
-        self._y = np.empty(cap, dtype=np.float64)
+        self._X: np.ndarray | None = None
+        self._y = np.empty(self._INITIAL_CAP, dtype=np.float64)
         self.size = 0
 
     def append(self, x: np.ndarray, y: float) -> None:
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        if self._X is None:
+            self._X = np.empty(
+                (self._INITIAL_CAP, x.size), dtype=np.float64
+            )
+        elif x.size != self._X.shape[1]:
+            raise ValueError(
+                f"feature dimension changed: history holds "
+                f"{self._X.shape[1]}-d vectors, got {x.size}-d"
+            )
         if self.size == self._X.shape[0]:
             cap = self._X.shape[0] * 2
-            X_new = np.empty((cap, 1), dtype=np.float64)
+            X_new = np.empty((cap, self._X.shape[1]), dtype=np.float64)
             y_new = np.empty(cap, dtype=np.float64)
             X_new[: self.size] = self._X[: self.size]
             y_new[: self.size] = self._y[: self.size]
@@ -68,6 +84,8 @@ class _History:
 
     @property
     def X(self) -> np.ndarray:
+        if self._X is None:
+            return np.empty((0, 1), dtype=np.float64)
         return self._X[: self.size]
 
     @property

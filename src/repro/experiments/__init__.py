@@ -19,6 +19,7 @@ Fig. 10   wastage vs alpha for two rnaseq tasks                  ``fig10_alpha_s
 Fig. 11   model-class selection shares (Argmax)                  ``fig11_model_selection``
 Fig. 12   Prokka prediction-error trend                          ``fig12_error_trend``
 (ours)    gating/offset/granularity/pool ablations               ``ablations``
+(ours)    methods across heterogeneous cluster shapes            ``cluster_scenarios``
 ========  =====================================================  ============================
 
 All regenerators accept ``scale`` (trace subsampling fraction) and

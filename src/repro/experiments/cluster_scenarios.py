@@ -1,0 +1,171 @@
+"""Cluster scenarios: sizing methods across heterogeneous cluster shapes.
+
+The paper's evaluation runs every method on eight identical 128 GB
+nodes.  Sizing decisions only matter because they interact with a
+cluster, and real workflow clusters are heterogeneous — so this grid
+replays the same traces through the event-driven backend on a set of
+cluster *shapes* (homogeneous baseline, mixed big/small pools, many
+small nodes) combined with placement policies and arrival models, and
+reports the cluster-level consequences of each sizing method: makespan,
+queueing, and per-node utilization alongside the usual wastage.
+
+Scenario axes:
+
+- cluster spec (``"128g:8"`` vs ``"128g:4,256g:4"`` vs ``"64g:16"``),
+- placement policy (first-fit / best-fit / worst-fit),
+- arrival model (batch, Poisson, bursty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.factories import method_factories
+from repro.experiments.report import render_table
+from repro.sim.backends import EventDrivenBackend
+from repro.sim.runner import run_cell
+from repro.workflow.nfcore import build_workflow_trace
+
+__all__ = ["Scenario", "SCENARIOS", "DEFAULT_METHODS", "collect", "run"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cluster shape: node pools + placement policy + arrival model."""
+
+    name: str
+    cluster: str
+    placement: str = "first-fit"
+    arrival: str = "fixed:0"
+
+
+#: The default scenario grid: the paper's homogeneous baseline, a mixed
+#: big/small cluster under the two non-trivial placement policies, and a
+#: many-small-nodes shape under Poisson and bursty load.
+SCENARIOS: tuple[Scenario, ...] = (
+    Scenario(name="uniform-128g", cluster="128g:8"),
+    Scenario(
+        name="hetero-best-fit",
+        cluster="128g:4,256g:4",
+        placement="best-fit",
+        arrival="poisson:40",
+    ),
+    Scenario(
+        name="hetero-worst-fit",
+        cluster="128g:4,256g:4",
+        placement="worst-fit",
+        arrival="poisson:40",
+    ),
+    Scenario(
+        name="small-nodes-bursty",
+        cluster="64g:16",
+        placement="best-fit",
+        arrival="bursty:16x0.05",
+    ),
+)
+
+#: Sizey plus the two extremes of the baseline spectrum — enough to show
+#: the cluster-shape interaction without replaying all six methods.
+DEFAULT_METHODS = ("Sizey", "Witt-Percentile", "Workflow-Presets")
+
+
+def collect(
+    seed: int = 0,
+    scale: float = 0.1,
+    workflows: tuple[str, ...] = ("iwd",),
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    scenarios: tuple[Scenario, ...] = SCENARIOS,
+) -> dict[str, dict[str, dict[str, object]]]:
+    """``{scenario: {method: summary}}`` over the scenario grid.
+
+    Each summary aggregates the method's event-backend results over
+    ``workflows``: wastage, failures, makespan (summed — each workflow
+    replays on its own fresh cluster), task-weighted mean queue wait,
+    and the mean per-node utilization.
+    """
+    factories = method_factories()
+    traces = {
+        wf: build_workflow_trace(wf, seed=seed, scale=scale)
+        for wf in workflows
+    }
+    out: dict[str, dict[str, dict[str, object]]] = {}
+    for scenario in scenarios:
+        backend = EventDrivenBackend(arrival=scenario.arrival, seed=seed)
+        per_method: dict[str, dict[str, object]] = {}
+        for method in methods:
+            results = [
+                run_cell(
+                    trace,
+                    factories[method],
+                    backend=backend,
+                    cluster=scenario.cluster,
+                    placement=scenario.placement,
+                )
+                for trace in traces.values()
+            ]
+            n_tasks = sum(r.num_tasks for r in results)
+            waits = sum(
+                r.cluster.total_queue_wait_hours for r in results
+            )
+            per_method[method] = {
+                "wastage_gbh": sum(r.total_wastage_gbh for r in results),
+                "failures": sum(r.num_failures for r in results),
+                "makespan_hours": sum(
+                    r.cluster.makespan_hours for r in results
+                ),
+                "mean_queue_wait_hours": waits / n_tasks if n_tasks else 0.0,
+                "mean_utilization": float(
+                    np.mean([r.cluster.mean_utilization for r in results])
+                ),
+            }
+        out[scenario.name] = per_method
+    return out
+
+
+def run(
+    seed: int = 0,
+    scale: float = 0.1,
+    workflows: tuple[str, ...] = ("iwd",),
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    scenarios: tuple[Scenario, ...] = SCENARIOS,
+    verbose: bool = True,
+) -> dict[str, dict[str, dict[str, object]]]:
+    """Regenerate the cluster-scenario grid; returns the summaries."""
+    data = collect(
+        seed=seed,
+        scale=scale,
+        workflows=workflows,
+        methods=methods,
+        scenarios=scenarios,
+    )
+    if verbose:
+        by_name = {s.name: s for s in scenarios}
+        for name, per_method in data.items():
+            s = by_name[name]
+            rows = [
+                [
+                    method,
+                    summary["wastage_gbh"],
+                    summary["failures"],
+                    summary["makespan_hours"],
+                    summary["mean_queue_wait_hours"],
+                    summary["mean_utilization"],
+                ]
+                for method, summary in per_method.items()
+            ]
+            print(
+                render_table(
+                    ["method", "wastage GBh", "failures", "makespan h",
+                     "mean wait h", "mean util"],
+                    rows,
+                    title=(
+                        f"cluster scenario {name}: {s.cluster} "
+                        f"({s.placement}, {s.arrival}, "
+                        f"workflows: {', '.join(workflows)})"
+                    ),
+                )
+            )
+            print()
+    return data

@@ -19,10 +19,20 @@ that environment:
   :class:`ClusterMetrics` from the event backend) and aggregation.
 - :mod:`repro.sim.runner` -- the (workflow x method) experiment grid with
   optional process parallelism and backend selection.
+- :mod:`repro.sim.arrivals` -- pluggable task-arrival models for the
+  event backend (fixed interval, Poisson, bursty), all deterministic
+  under a fixed seed.
 - :mod:`repro.sim.errors` -- typed simulator errors such as
   :class:`UnschedulableTaskError`.
 """
 
+from repro.sim.arrivals import (
+    ArrivalModel,
+    BurstyArrivals,
+    FixedArrivals,
+    PoissonArrivals,
+    parse_arrival,
+)
 from repro.sim.backends import (
     EventDrivenBackend,
     ReplayBackend,
@@ -58,4 +68,9 @@ __all__ = [
     "aggregate_results",
     "run_cell",
     "run_grid",
+    "ArrivalModel",
+    "FixedArrivals",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "parse_arrival",
 ]

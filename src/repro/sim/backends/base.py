@@ -102,12 +102,16 @@ def resolve_backend(backend: str | SimulatorBackend) -> SimulatorBackend:
 def clamp_allocation_checked(
     manager: ResourceManager, inst: TaskInstance, request_mb: float
 ) -> float:
-    """Clamp a request to node capacity, rejecting impossible tasks.
+    """Clamp a request to the largest node's capacity, rejecting
+    impossible tasks.
 
-    A task whose *true* peak exceeds node capacity can never succeed no
-    matter how the retry policy grows the allocation; detecting that at
-    clamp time turns a futile doubling loop into an immediate, typed
-    :class:`UnschedulableTaskError`.
+    A task whose *true* peak exceeds the capacity of the largest node
+    that could ever host it can never succeed no matter how the retry
+    policy grows the allocation; detecting that at clamp time turns a
+    futile doubling loop into an immediate, typed
+    :class:`UnschedulableTaskError`.  On a heterogeneous cluster the
+    bound is the *largest* node — a task too big for the small nodes but
+    fitting the big ones is schedulable.
     """
     if inst.peak_memory_mb > manager.max_allocation_mb:
         raise UnschedulableTaskError(

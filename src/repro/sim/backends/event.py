@@ -5,20 +5,29 @@ quantities — queueing delay, makespan, node utilization — unobservable.
 This backend runs the same predictor contract through a discrete-event
 engine instead:
 
-- every task *arrives* at ``timestamp * arrival_interval_hours`` (the
-  default of 0 models a batch submission of the whole trace);
+- every task *arrives* at the time assigned by a pluggable
+  :class:`~repro.sim.arrivals.ArrivalModel` — a fixed inter-arrival
+  gap (the default of 0 models a batch submission of the whole trace),
+  a Poisson process, or bursty scatter-gather submissions, with all
+  stochastic draws taken from the backend's seeded RNG;
 - arrived tasks wait in a FCFS queue ordered by submission index;
 - a scheduling pass after each event batch sizes waiting tasks via
   :meth:`~repro.sim.interface.MemoryPredictor.predict_batch` (in chunks
   of ``prediction_chunk``, so later tasks still benefit from online
-  learning) and first-fit places them onto
-  :class:`~repro.cluster.manager.ResourceManager` nodes, where they
-  occupy their allocation for their whole runtime;
+  learning) and places them onto
+  :class:`~repro.cluster.manager.ResourceManager` nodes via the
+  manager's :class:`~repro.cluster.policies.PlacementPolicy`
+  (first-fit, best-fit, or worst-fit), where they occupy their
+  allocation for their whole runtime;
 - an under-allocated task is killed at ``time_to_failure`` of its
   runtime, charged to the wastage ledger exactly like in replay mode,
-  re-sized via ``on_failure``, and re-queued at its original priority;
-- queue waits, per-node allocation timelines, and the makespan are
-  recorded into :class:`~repro.sim.results.ClusterMetrics`.
+  re-sized via ``on_failure`` (with the configured doubling factor as
+  the escalation floor), and re-queued at its original priority;
+- every dispatch's queue wait, per-node allocation timelines, and the
+  makespan are recorded into
+  :class:`~repro.sim.results.ClusterMetrics`, with utilization computed
+  against each node's own capacity (heterogeneous clusters differ per
+  node).
 
 Wastage accounting is attempt-for-attempt identical to the replay
 backend; for a predictor that does not learn online the two backends
@@ -29,12 +38,15 @@ reports the cluster-level metrics.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.cluster.accounting import WastageLedger
 from repro.cluster.machine import Machine
 from repro.cluster.manager import ResourceManager
 from repro.provenance.records import TaskRecord
+from repro.sim.arrivals import ArrivalModel, FixedArrivals, parse_arrival
 from repro.sim.backends.base import MAX_ATTEMPTS, clamp_allocation_checked
 from repro.sim.interface import MemoryPredictor, TaskSubmission, TraceContext
 from repro.sim.results import ClusterMetrics, PredictionLog, SimulationResult
@@ -59,7 +71,9 @@ class _TaskState:
     allocation: float | None = None
     first_allocation: float | None = None
     attempt: int = 0
-    first_start: float | None = None
+    #: When the task last entered the ready queue (arrival or re-queue
+    #: after a kill); every dispatch charges ``now - queued_at`` as wait.
+    queued_at: float = 0.0
     #: (node, task_id, allocated_mb, start_time) while executing.
     running: tuple[Machine, int, float, float] | None = None
 
@@ -73,15 +87,30 @@ class EventDrivenBackend:
     Parameters
     ----------
     arrival_interval_hours:
-        Gap between consecutive submissions.  0 (default) submits the
-        whole trace at once — a batch workload whose concurrency is
-        limited purely by cluster memory.
+        Gap between consecutive submissions (back-compat shorthand for
+        ``arrival=FixedArrivals(...)``).  0 (default) submits the whole
+        trace at once — a batch workload whose concurrency is limited
+        purely by cluster memory.  Ignored when ``arrival`` is given.
     prediction_chunk:
         How many queued tasks are sized per ``predict_batch`` call.  The
         scheduler only requests predictions as its dispatch window
         reaches unsized tasks, so tasks deep in the queue are predicted
         *after* earlier completions were observed — preserving online
         learning while still batching model queries.
+    arrival:
+        Arrival model: a spec string (``"fixed:0.25"``,
+        ``"poisson:0.5"``, ``"bursty:8x0.5"``) or an
+        :class:`~repro.sim.arrivals.ArrivalModel` instance.
+    seed:
+        Seed of the backend's private RNG, which drives every stochastic
+        arrival draw — a fixed seed makes the whole simulation
+        deterministic.
+    doubling_factor:
+        Escalation floor after a kill: when the predictor's retry
+        proposal does not grow, the next allocation is
+        ``failed * doubling_factor`` — the same factor
+        :class:`~repro.core.failure.FailureHandler` uses, so replay and
+        event runs stay attempt-for-attempt identical.
     """
 
     name = "event"
@@ -90,6 +119,9 @@ class EventDrivenBackend:
         self,
         arrival_interval_hours: float = 0.0,
         prediction_chunk: int = 32,
+        arrival: str | ArrivalModel | None = None,
+        seed: int = 0,
+        doubling_factor: float = 2.0,
     ) -> None:
         if arrival_interval_hours < 0:
             raise ValueError(
@@ -99,8 +131,17 @@ class EventDrivenBackend:
             raise ValueError(
                 f"prediction_chunk must be >= 1, got {prediction_chunk}"
             )
+        if doubling_factor <= 1.0:
+            raise ValueError(
+                f"doubling_factor must exceed 1, got {doubling_factor}"
+            )
+        if arrival is None:
+            arrival = FixedArrivals(arrival_interval_hours)
+        self.arrival = parse_arrival(arrival)
         self.arrival_interval_hours = arrival_interval_hours
         self.prediction_chunk = prediction_chunk
+        self.seed = seed
+        self.doubling_factor = doubling_factor
 
     # ------------------------------------------------------------------
     def run(
@@ -122,12 +163,14 @@ class EventDrivenBackend:
         ledger = WastageLedger()
         logs: list[PredictionLog] = []
 
+        rng = np.random.default_rng(self.seed)
+        arrival_times = self.arrival.sample(len(trace), rng)
         states = [
             _TaskState(
                 inst=inst,
                 submission=TaskSubmission.from_instance(inst, timestamp),
                 index=timestamp,
-                arrival=timestamp * self.arrival_interval_hours,
+                arrival=float(arrival_times[timestamp]),
             )
             for timestamp, inst in enumerate(trace)
         ]
@@ -234,12 +277,15 @@ class EventDrivenBackend:
             next_allocation = float(
                 predictor.on_failure(st.submission, allocated, st.attempt)
             )
-            # Retries must strictly grow or the task can never finish.
+            # Retries must strictly grow or the task can never finish;
+            # the escalation floor is the configured doubling factor
+            # (same as the replay path, so attempts stay identical).
             if next_allocation <= allocated:
-                next_allocation = allocated * 2.0
+                next_allocation = allocated * self.doubling_factor
             st.allocation = clamp_allocation_checked(
                 manager, inst, next_allocation
             )
+            st.queued_at = now
             heapq.heappush(ready, (st.index, st))
 
         def schedule(now: float) -> None:
@@ -265,9 +311,9 @@ class EventDrivenBackend:
                 node.allocate(task_id, head.allocation)
                 timelines[node.node_id].append((now, node.allocated_mb))
                 head.attempt += 1
-                if head.first_start is None:
-                    head.first_start = now
-                    queue_waits.append(now - head.arrival)
+                # Every dispatch pays its wait — including re-queues
+                # after a kill, which otherwise vanish from the totals.
+                queue_waits.append(now - head.queued_at)
                 head.running = (node, task_id, head.allocation, now)
                 success = head.allocation >= head.inst.peak_memory_mb
                 duration = (
@@ -285,6 +331,7 @@ class EventDrivenBackend:
             while events and events[0][0] == now:
                 _, kind, _, st = heapq.heappop(events)
                 if kind == _ARRIVAL:
+                    st.queued_at = now
                     heapq.heappush(ready, (st.index, st))
                 elif st.running is not None and (
                     st.running[2] >= st.inst.peak_memory_mb
@@ -343,10 +390,16 @@ class EventDrivenBackend:
     ) -> ClusterMetrics:
         mb_per_gb = 1024.0
         busy_gbh = {n: v / mb_per_gb for n, v in busy_mbh.items()}
-        capacity_gb = manager.max_allocation_mb / mb_per_gb
-        denom = capacity_gb * makespan
+        capacity_gb = {
+            n: mb / mb_per_gb for n, mb in manager.node_capacities_mb().items()
+        }
+        # Each node's utilization is measured against its *own* capacity
+        # — on a heterogeneous cluster a shared denominator would let a
+        # small node report < 100% while fully busy (or a big node
+        # report > 100%).
         utilization = {
-            n: (v / denom if denom > 0 else 0.0) for n, v in busy_gbh.items()
+            n: (v / (capacity_gb[n] * makespan) if makespan > 0 else 0.0)
+            for n, v in busy_gbh.items()
         }
         return ClusterMetrics(
             makespan_hours=makespan,
@@ -360,4 +413,5 @@ class EventDrivenBackend:
             node_busy_memory_gbh=busy_gbh,
             node_utilization=utilization,
             node_timelines=timelines,
+            node_capacity_gb=capacity_gb,
         )

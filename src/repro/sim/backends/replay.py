@@ -31,9 +31,26 @@ __all__ = ["ReplayBackend"]
 
 
 class ReplayBackend:
-    """One-task-at-a-time replay (paper fidelity; no concurrency)."""
+    """One-task-at-a-time replay (paper fidelity; no concurrency).
+
+    Parameters
+    ----------
+    doubling_factor:
+        Escalation floor when a predictor's retry proposal does not grow
+        (paper §II-E: "continuously doubled").  The default of 2.0 keeps
+        the seed loop bit-for-bit identical; it is configurable so the
+        replay and event backends can share one factor and stay
+        attempt-for-attempt identical.
+    """
 
     name = "replay"
+
+    def __init__(self, doubling_factor: float = 2.0) -> None:
+        if doubling_factor <= 1.0:
+            raise ValueError(
+                f"doubling_factor must exceed 1, got {doubling_factor}"
+            )
+        self.doubling_factor = doubling_factor
 
     def run(
         self,
@@ -132,9 +149,9 @@ class ReplayBackend:
                     predictor.on_failure(submission, verdict.allocated_mb, attempt)
                 )
                 # Retries must strictly grow or the loop cannot terminate;
-                # a non-growing proposal falls back to doubling.
+                # a non-growing proposal falls back to the doubling factor.
                 if next_allocation <= verdict.allocated_mb:
-                    next_allocation = verdict.allocated_mb * 2.0
+                    next_allocation = verdict.allocated_mb * self.doubling_factor
                 allocation = clamp_allocation_checked(
                     manager, inst, next_allocation
                 )

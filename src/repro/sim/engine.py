@@ -18,6 +18,7 @@ new backends registered via
 from __future__ import annotations
 
 from repro.cluster.manager import ResourceManager
+from repro.cluster.policies import PlacementPolicy
 from repro.sim.backends import SimulatorBackend, resolve_backend
 from repro.sim.backends.base import MAX_ATTEMPTS as _MAX_ATTEMPTS  # noqa: F401
 from repro.sim.interface import MemoryPredictor
@@ -36,12 +37,22 @@ class OnlineSimulator:
         The workflow trace to replay (instances in submission order).
     manager:
         Cluster model; defaults to the paper's 8-node 128 GB cluster.
+        Mutually exclusive with ``cluster``.
     time_to_failure:
         Fraction of a task's runtime after which an under-allocated task
         is killed (paper parameter; 1.0 in Fig. 8a, 0.5 in Fig. 8b).
     backend:
         Execution semantics: a registered backend name (``"replay"`` or
         ``"event"``) or a ready-made backend instance.
+    cluster:
+        Convenience shorthand for ``manager``: a cluster spec string
+        such as ``"128g:4,256g:4"`` (see
+        :func:`repro.cluster.machine.parse_cluster_spec`).
+    placement:
+        Node-placement policy for the built manager (``"first-fit"``,
+        ``"best-fit"``, ``"worst-fit"``, or a policy instance).  Only
+        used when the manager is built here — an explicit ``manager``
+        carries its own policy.
     """
 
     def __init__(
@@ -50,13 +61,24 @@ class OnlineSimulator:
         manager: ResourceManager | None = None,
         time_to_failure: float = 1.0,
         backend: str | SimulatorBackend = "replay",
+        cluster: str | None = None,
+        placement: str | PlacementPolicy = "first-fit",
     ) -> None:
         if not 0.0 < time_to_failure <= 1.0:
             raise ValueError(
                 f"time_to_failure must be in (0, 1], got {time_to_failure}"
             )
+        if manager is not None and cluster is not None:
+            raise ValueError("pass either manager or cluster, not both")
         self.trace = trace
-        self.manager = manager if manager is not None else ResourceManager()
+        if manager is not None:
+            self.manager = manager
+        elif cluster is not None:
+            self.manager = ResourceManager.from_spec(
+                cluster, placement=placement
+            )
+        else:
+            self.manager = ResourceManager(placement=placement)
         self.time_to_failure = time_to_failure
         self.backend = resolve_backend(backend)
 

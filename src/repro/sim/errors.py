@@ -13,11 +13,13 @@ __all__ = ["UnschedulableTaskError"]
 
 
 class UnschedulableTaskError(RuntimeError):
-    """A task's true peak memory exceeds the cluster's node capacity.
+    """A task's true peak memory exceeds every node's capacity.
 
     Raised at allocation-clamp time (before any futile retry doubling)
-    by both simulation backends.  Carries the offending task type, its
-    true peak, and the node capacity for programmatic inspection.
+    by both simulation backends.  ``capacity_mb`` is the capacity of the
+    *largest* node in the cluster — on a heterogeneous cluster, the only
+    node type that could ever have hosted the task.  Carries the
+    offending task type and its true peak for programmatic inspection.
     """
 
     def __init__(
@@ -35,5 +37,5 @@ class UnschedulableTaskError(RuntimeError):
         super().__init__(
             f"task instance {instance_id} of type {task_type!r} is "
             f"unschedulable: true peak {peak_memory_mb:.0f} MB exceeds "
-            f"node capacity {capacity_mb:.0f} MB"
+            f"the largest node capacity {capacity_mb:.0f} MB"
         )

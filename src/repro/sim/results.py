@@ -54,13 +54,17 @@ class ClusterMetrics:
     makespan_hours:
         Wall-clock span from the first submission to the last completion.
     total_queue_wait_hours / mean_queue_wait_hours / max_queue_wait_hours:
-        Time tasks spent queued before their *first* dispatch (retry
-        waits are part of the retry cost, not admission latency).
+        Time tasks spent waiting in the ready queue, summed over *every*
+        dispatch — a task re-queued after a kill is charged for its
+        second wait too, so a busy cluster's retry delays show up here.
     node_busy_memory_gbh:
         Per node, the integral of allocated memory over time (GB·h).
+    node_capacity_gb:
+        Per node, its own memory capacity in GB — the denominator of the
+        utilization below; heterogeneous clusters differ per node.
     node_utilization:
-        Per node, busy memory-GBh divided by capacity * makespan
-        (in [0, 1]; 0 when the makespan is zero).
+        Per node, busy memory-GBh divided by *that node's*
+        capacity * makespan (in [0, 1]; 0 when the makespan is zero).
     node_timelines:
         Per node, the step function of allocated MB over time as
         ``(time_hours, allocated_mb_after_change)`` points.
@@ -73,6 +77,7 @@ class ClusterMetrics:
     node_busy_memory_gbh: dict[int, float]
     node_utilization: dict[int, float]
     node_timelines: dict[int, list[tuple[float, float]]]
+    node_capacity_gb: dict[int, float] = field(default_factory=dict)
 
     @property
     def mean_utilization(self) -> float:

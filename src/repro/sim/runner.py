@@ -29,11 +29,23 @@ def run_cell(
     factory: PredictorFactory,
     time_to_failure: float = 1.0,
     backend: str | SimulatorBackend = "replay",
+    cluster: str | None = None,
+    placement: str = "first-fit",
 ) -> SimulationResult:
-    """Run one (workflow, method) cell with a fresh predictor and cluster."""
+    """Run one (workflow, method) cell with a fresh predictor and cluster.
+
+    ``cluster`` is a spec string (``"128g:4,256g:4"``; ``None`` = the
+    paper's 8-node 128 GB cluster) and ``placement`` the node-placement
+    policy name — both are plain strings so cells stay picklable for the
+    process pool.
+    """
+    if cluster is not None:
+        manager = ResourceManager.from_spec(cluster, placement=placement)
+    else:
+        manager = ResourceManager(placement=placement)
     sim = OnlineSimulator(
         trace,
-        manager=ResourceManager(),
+        manager=manager,
         time_to_failure=time_to_failure,
         backend=backend,
     )
@@ -41,7 +53,14 @@ def run_cell(
 
 
 def _run_cell_star(
-    args: tuple[WorkflowTrace, PredictorFactory, float, str | SimulatorBackend],
+    args: tuple[
+        WorkflowTrace,
+        PredictorFactory,
+        float,
+        str | SimulatorBackend,
+        str | None,
+        str,
+    ],
 ) -> SimulationResult:
     return run_cell(*args)
 
@@ -52,6 +71,8 @@ def run_grid(
     time_to_failure: float = 1.0,
     n_workers: int = 1,
     backend: str | SimulatorBackend = "replay",
+    cluster: str | None = None,
+    placement: str = "first-fit",
 ) -> dict[str, dict[str, SimulationResult]]:
     """Run every method on every workflow.
 
@@ -59,10 +80,16 @@ def run_grid(
     cells run in separate processes; traces and factories must then be
     picklable (all built-ins here are).  ``backend`` selects the
     simulation backend for every cell — a registry name, or a backend
-    instance (picklable when fanning out over processes).
+    instance (picklable when fanning out over processes).  ``cluster``
+    and ``placement`` describe the per-cell cluster (spec string and
+    placement-policy name, as in :func:`run_cell`).
     """
     cells = [
-        (method, wf, (trace, factory, time_to_failure, backend))
+        (
+            method,
+            wf,
+            (trace, factory, time_to_failure, backend, cluster, placement),
+        )
         for method, factory in factories.items()
         for wf, trace in traces.items()
     ]

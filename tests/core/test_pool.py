@@ -223,3 +223,43 @@ class TestModelPool:
         pool = ModelPool(("linear",))
         feed_linear(pool, n=7)
         assert pool.n_observations == 7
+
+    def test_multi_feature_history(self):
+        # The history buffer sizes itself from the first appended vector
+        # — d=2 submissions must not crash on append (regression: the
+        # buffer was hardcoded to one feature column).
+        pool = ModelPool(("linear",), training_mode="full")
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            a, b = rng.uniform(10, 1000, size=2)
+            pool.update(np.array([[a, b]]), 2.0 * a + 0.5 * b + 50.0)
+        assert pool.n_observations == 25
+        pp = pool.predict(np.array([[500.0, 200.0]]))
+        assert pp.estimate == pytest.approx(1150.0, rel=0.05)
+
+    def test_multi_feature_incremental_mode(self):
+        pool = ModelPool(("linear", "knn"), training_mode="incremental")
+        rng = np.random.default_rng(6)
+        for _ in range(30):
+            a, b = rng.uniform(10, 100, size=2)
+            pool.update(np.array([[a, b]]), a + b)
+        assert pool.is_ready
+        assert np.isfinite(pool.predict(np.array([[50.0, 50.0]])).estimate)
+
+    def test_history_rejects_dimension_change(self):
+        from repro.core.pool import _History
+
+        hist = _History()
+        hist.append(np.array([1.0, 2.0]), 10.0)
+        with pytest.raises(ValueError, match="feature dimension"):
+            hist.append(np.array([1.0]), 10.0)
+
+    def test_history_growth_preserves_multi_feature_rows(self):
+        from repro.core.pool import _History
+
+        hist = _History()
+        for i in range(100):  # forces several capacity doublings
+            hist.append(np.array([float(i), float(2 * i)]), float(i))
+        assert hist.X.shape == (100, 2)
+        assert hist.X[97].tolist() == [97.0, 194.0]
+        assert hist.y[97] == 97.0

@@ -5,6 +5,7 @@ import pytest
 
 from repro.experiments import (
     METHOD_ORDER,
+    cluster_scenarios,
     fig1_distributions,
     fig2_input_relation,
     fig7_utilization,
@@ -124,3 +125,41 @@ class TestSizeyAnalysisArtifacts:
             fig12_error_trend.run(
                 task="quast", workflow="mag", seed=0, scale=0.01, verbose=False
             )
+
+
+class TestClusterScenarios:
+    def test_grid_summarizes_every_scenario(self, capsys):
+        scenarios = (
+            cluster_scenarios.Scenario(name="uniform", cluster="128g:4"),
+            cluster_scenarios.Scenario(
+                name="hetero",
+                cluster="128g:2,256g:2",
+                placement="best-fit",
+                arrival="poisson:40",
+            ),
+        )
+        data = cluster_scenarios.run(
+            seed=0,
+            scale=0.05,
+            methods=("Workflow-Presets",),
+            scenarios=scenarios,
+            verbose=True,
+        )
+        out = capsys.readouterr().out
+        assert set(data) == {"uniform", "hetero"}
+        for per_method in data.values():
+            summary = per_method["Workflow-Presets"]
+            assert summary["makespan_hours"] > 0
+            assert 0.0 <= summary["mean_utilization"] <= 1.0
+        assert "cluster scenario hetero" in out
+        assert "128g:2,256g:2" in out
+
+    def test_default_scenarios_are_well_formed(self):
+        from repro.cluster.machine import parse_cluster_spec
+        from repro.sim.arrivals import parse_arrival
+
+        names = [s.name for s in cluster_scenarios.SCENARIOS]
+        assert len(names) == len(set(names))
+        for s in cluster_scenarios.SCENARIOS:
+            parse_cluster_spec(s.cluster)  # must not raise
+            parse_arrival(s.arrival)

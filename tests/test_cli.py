@@ -45,6 +45,42 @@ class TestParser:
         assert exc.value.code == 0
         assert repro.__version__ in capsys.readouterr().out
 
+    def test_cluster_options_default_off(self):
+        args = build_parser().parse_args(["simulate", "--workflow", "iwd"])
+        assert args.cluster is None
+        assert args.placement == "first-fit"
+        assert args.arrival is None
+
+    def test_rejects_bad_cluster_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--workflow", "iwd", "--cluster", "lots:4"]
+            )
+
+    def test_rejects_bad_arrival_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--workflow", "iwd", "--arrival", "fractal:2"]
+            )
+
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--workflow", "iwd", "--placement", "psychic"]
+            )
+
+    def test_arrival_requires_event_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workflow", "iwd",
+                  "--arrival", "poisson:0.5"])
+        assert "--backend event" in capsys.readouterr().err
+
+    def test_arrival_and_interval_conflict(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workflow", "iwd", "--backend", "event",
+                  "--arrival", "poisson:0.5", "--arrival-interval", "0.5"])
+        assert "mutually" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_simulate_prints_metrics(self, capsys):
@@ -105,3 +141,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "Table I" in out
+
+    def test_simulate_heterogeneous_cluster_end_to_end(self, capsys):
+        rc = main(
+            ["simulate", "--workflow", "iwd", "--method", "Workflow-Presets",
+             "--scale", "0.05", "--backend", "event",
+             "--cluster", "128g:4,256g:4", "--placement", "best-fit",
+             "--arrival", "poisson:0.5"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        # Per-node utilization labelled with each node's own capacity.
+        assert "node 0 utilization (128G)" in out
+        assert "node 4 utilization (256G)" in out
+
+    def test_compare_heterogeneous_cluster(self, capsys):
+        rc = main(
+            ["compare", "--workflows", "iwd", "--scale", "0.05",
+             "--backend", "event", "--cluster", "64g:2,128g:2",
+             "--placement", "worst-fit"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "makespan h" in out
