@@ -3,18 +3,78 @@
 Every benchmark regenerates one paper artifact end-to-end, so a single
 round is the meaningful unit of measurement (these are throughput
 benchmarks of the full experiment pipeline, not micro-benchmarks).
+
+Each session also emits a machine-readable ``BENCH_3.json`` next to the
+repo root — wall-clock seconds per benchmark cell keyed by the pytest
+node id — so the perf trajectory across PRs can be tracked by diffing
+the committed snapshots.  Override the output path with the
+``REPRO_BENCH_JSON`` environment variable; set it empty to disable.
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
+#: PR-numbered snapshot written at session end: {nodeid: seconds}.
+_BENCH_FILE = "BENCH_3.json"
+
+_cells: dict[str, float] = {}
+
 
 @pytest.fixture
-def once(benchmark):
+def once(benchmark, request):
     """Run the benched callable exactly once and return its result."""
 
     def _run(fn, *args, **kwargs):
-        return benchmark.pedantic(
-            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
-        )
+        start = time.perf_counter()
+        try:
+            return benchmark.pedantic(
+                fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+            )
+        finally:
+            _cells[request.node.nodeid] = time.perf_counter() - start
 
     return _run
+
+
+def _bench_json_path() -> Path | None:
+    override = os.environ.get("REPRO_BENCH_JSON")
+    if override is not None:
+        return Path(override) if override else None
+    return Path(__file__).resolve().parent.parent / _BENCH_FILE
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist per-cell wall-clock when any benchmark actually ran.
+
+    Collection-only runs and failed sessions write nothing.  A green
+    partial run (e.g. a ``-k`` smoke subset) *merges* its cells into the
+    existing snapshot instead of replacing it, so selecting a subset can
+    refresh measurements but never silently drops the other cells from
+    the committed perf trajectory.
+    """
+    if not _cells or exitstatus != 0:
+        return
+    path = _bench_json_path()
+    if path is None:
+        return
+    cells: dict[str, float] = {}
+    try:
+        previous = json.loads(path.read_text())
+        if previous.get("format") == "repro-bench":
+            cells.update(previous.get("cells", {}))
+    except (OSError, ValueError):
+        pass  # no snapshot yet, or an unreadable one: start fresh
+    cells.update(
+        {nodeid: round(secs, 6) for nodeid, secs in _cells.items()}
+    )
+    payload = {
+        "format": "repro-bench",
+        "pr": 3,
+        "unit": "seconds",
+        "cells": dict(sorted(cells.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,58 @@
+"""Bench: the DAG-aware workflow-scheduling engine end-to-end.
+
+Pins the cost of the dependency-driven event loop — multi-workflow
+injection, ready-set release, per-workflow metric attribution — so
+regressions in the scheduling hot path show up as wall-clock, and
+checks the engine's core invariants on the result.
+"""
+
+import pytest
+
+from repro.experiments import workflow_scheduling
+from repro.experiments.factories import make_workflow_presets
+from repro.sim import OnlineSimulator
+from repro.workflow.nfcore import build_workflow_trace
+
+SCALE = 0.05
+SEED = 0
+
+
+def test_bench_dag_engine_multi_workflow(once):
+    """Raw engine throughput: 6 concurrent workflow instances."""
+    trace = build_workflow_trace("iwd", seed=SEED, scale=SCALE)
+
+    def run():
+        return OnlineSimulator(
+            trace,
+            backend="event",
+            cluster="64g:2,128g:2",
+            placement="best-fit",
+            dag="trace",
+            workflow_arrival="6@poisson:4",
+        ).run(make_workflow_presets())
+
+    res = once(run)
+    wm = res.workflows
+    assert wm.n_instances == 6
+    assert res.num_tasks == 6 * len(trace)
+    # Attribution closes: per-workflow wastage sums to the ledger.
+    assert sum(w.wastage_gbh for w in wm.instances) == pytest.approx(
+        res.total_wastage_gbh
+    )
+    assert all(w.stretch >= 1.0 - 1e-9 for w in wm.instances)
+
+
+def test_bench_workflow_scheduling_grid(once):
+    """The full sizing-method x cluster x arrival sweep at small scale."""
+    data = once(
+        workflow_scheduling.run,
+        seed=SEED,
+        scale=0.02,
+        methods=("Witt-Percentile", "Workflow-Presets"),
+        verbose=False,
+    )
+    assert set(data) == {s.name for s in workflow_scheduling.SCENARIOS}
+    for per_method in data.values():
+        for summary in per_method.values():
+            assert summary["mean_workflow_makespan_hours"] > 0
+            assert summary["mean_stretch"] >= 1.0 - 1e-9

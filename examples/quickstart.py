@@ -4,8 +4,10 @@ Builds a synthetic rnaseq-like trace, replays it through the online
 simulator with Sizey predicting every task's memory, and prints the
 headline metrics next to the developer-preset baseline.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--scale 0.3]
 """
+
+import argparse
 
 from repro import SizeyConfig, SizeyPredictor
 from repro.baselines import WorkflowPresets
@@ -14,8 +16,15 @@ from repro.workflow.nfcore import build_workflow_trace
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", type=float, default=0.3,
+        help="trace subsampling fraction (default 0.3)",
+    )
+    args = parser.parse_args()
+
     # A scaled-down rnaseq trace: ~30 task types, a few hundred instances.
-    trace = build_workflow_trace("rnaseq", seed=7, scale=0.3)
+    trace = build_workflow_trace("rnaseq", seed=7, scale=args.scale)
     print(f"trace: {trace.workflow}, {len(trace)} task instances, "
           f"{len(trace.task_types)} task types\n")
 

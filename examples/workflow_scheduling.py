@@ -1,0 +1,61 @@
+"""Workflow-level scheduling: memory sizing as a makespan lever.
+
+Simulates several users submitting whole methylseq workflow instances
+(Poisson arrivals) to one small heterogeneous cluster.  The DAG-aware
+engine releases a task only when its dependencies succeeded, so sizing
+decisions feed back into *workflow* metrics: over-allocation crowds the
+nodes and queues downstream stages, under-allocation burns retries on
+the critical path.  Prints per-workflow makespan/stretch for Sizey and
+two baselines.
+
+Run:  python examples/workflow_scheduling.py [--scale 0.05]
+"""
+
+import argparse
+
+from repro.experiments.factories import method_factories
+from repro.sim import OnlineSimulator
+from repro.workflow.nfcore import build_workflow_trace
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="trace subsampling fraction (default 0.05)",
+    )
+    args = parser.parse_args()
+
+    trace = build_workflow_trace("methylseq", seed=0, scale=args.scale)
+    print(f"trace: {trace.workflow}, {len(trace)} task instances, "
+          f"{len(trace.dag.stages)} DAG stages")
+    print("scenario: 4 workflow instances, Poisson arrivals at 2/h, "
+          "cluster 128g:2,256g:1\n")
+
+    header = f"{'':18s} {'wastage GBh':>12s} {'mean mkspan h':>14s} " \
+             f"{'mean stretch':>13s} {'mean wait h':>12s}"
+    print(header)
+    for method in ("Sizey", "Witt-Percentile", "Workflow-Presets"):
+        result = OnlineSimulator(
+            trace,
+            backend="event",
+            cluster="128g:2,256g:1",
+            placement="best-fit",
+            dag="trace",
+            workflow_arrival="4@poisson:2",
+        ).run(method_factories()[method]())
+        wm = result.workflows
+        print(f"{method:18s} {result.total_wastage_gbh:12.1f} "
+              f"{wm.mean_makespan_hours:14.2f} {wm.mean_stretch:13.2f} "
+              f"{wm.total_queue_wait_hours / wm.n_instances:12.2f}")
+
+    print("\nper-workflow view of the last method (Workflow-Presets):")
+    for w in wm.instances:
+        print(f"  {w.key} ({w.tenant}): submitted {w.submit_time_hours:.2f} h, "
+              f"makespan {w.makespan_hours:.2f} h "
+              f"(critical path {w.critical_path_hours:.2f} h, "
+              f"stretch {w.stretch:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,11 @@ with every substrate the evaluation depends on:
   per-node utilization.  Predictors speak the v2 contract: per-task
   ``predict``, vectorized ``predict_batch``, and the
   ``begin_trace``/``end_trace`` lifecycle hooks.
+- :mod:`repro.sched` -- DAG-aware workflow scheduling on top of the
+  event backend: whole workflow instances (multi-tenant arrivals) whose
+  tasks are released only as dependencies succeed, with per-workflow
+  makespan / critical-path / stretch metrics
+  (``EventDrivenBackend(dag=..., workflow_arrival=...)``).
 - :mod:`repro.experiments` -- regenerators for every table and figure.
 
 Quickstart::
@@ -44,7 +49,7 @@ Quickstart::
     print(result.cluster.makespan_hours, result.cluster.mean_utilization)
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["SizeyPredictor", "SizeyConfig", "__version__"]
 

@@ -13,6 +13,8 @@ Examples::
     python -m repro simulate --workflow rnaseq --backend event --scale 0.3
     python -m repro simulate --workflow iwd --backend event \
         --cluster "128g:4,256g:4" --placement best-fit --arrival poisson:0.5
+    python -m repro simulate --workflow iwd --backend event --dag trace \
+        --workflow-arrival 4@poisson:2 --cluster "128g:4,256g:4"
     python -m repro figures --only fig11 fig12
     python -m repro trace --workflow mag --scale 0.1 --out mag.json --csv mag.csv
     python -m repro compare --workflows chipseq iwd --scale 0.2 --backend event
@@ -48,6 +50,7 @@ _ARTIFACTS = (
     "fig12",
     "ablations",
     "cluster",
+    "workflow-sched",
 )
 
 
@@ -80,6 +83,17 @@ def _arrival_spec(value: str) -> str:
     return value
 
 
+def _workflow_arrival_spec(value: str) -> str:
+    """Validate a --workflow-arrival spec eagerly (fail at parse time)."""
+    from repro.sched.arrivals import parse_workflow_arrival
+
+    try:
+        parse_workflow_arrival(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
 def _add_cluster_options(sub: argparse.ArgumentParser) -> None:
     """Cluster-scenario options shared by ``simulate`` and ``compare``."""
     sub.add_argument("--cluster", type=_cluster_spec, default=None,
@@ -92,6 +106,16 @@ def _add_cluster_options(sub: argparse.ArgumentParser) -> None:
                      help="arrival model for the event backend: "
                           "'fixed:0.25', 'poisson:0.5', or 'bursty:8x0.5' "
                           "(default: batch submission at t=0)")
+    sub.add_argument("--dag", choices=("trace", "linear"), default=None,
+                     help="DAG-aware scheduling (event backend only): "
+                          "release tasks as dependencies resolve, using "
+                          "the trace's generated DAG ('trace') or a "
+                          "linear task-type chain ('linear')")
+    sub.add_argument("--workflow-arrival", type=_workflow_arrival_spec,
+                     default=None, metavar="SPEC",
+                     help="inject whole workflow instances (implies "
+                          "--dag trace): 'N', 'N@poisson:R', 'N@fixed:H', "
+                          "'N@bursty:SxG', optionally '@tenants:K'")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -162,17 +186,34 @@ def _validate_args(
     if (has_arrival or has_interval) and args.backend != "event":
         parser.error("--arrival/--arrival-interval only shape the event "
                      "backend; add --backend event")
+    has_dag = getattr(args, "dag", None) is not None
+    has_wf_arrival = getattr(args, "workflow_arrival", None) is not None
+    if (has_dag or has_wf_arrival) and args.backend != "event":
+        parser.error("--dag/--workflow-arrival only shape the event "
+                     "backend; add --backend event")
+    if (has_dag or has_wf_arrival) and (has_arrival or has_interval):
+        parser.error("DAG-aware scheduling replaces per-task arrivals; "
+                     "drop --arrival/--arrival-interval")
 
 
 def _resolve_cli_backend(args: argparse.Namespace):
     """Backend name, or a configured instance when options require one."""
+    dag = getattr(args, "dag", None)
+    workflow_arrival = getattr(args, "workflow_arrival", None)
     if args.backend == "event" and (
-        args.arrival is not None or args.arrival_interval > 0.0
+        args.arrival is not None
+        or args.arrival_interval > 0.0
+        or dag is not None
+        or workflow_arrival is not None
     ):
         from repro.sim.backends import EventDrivenBackend
 
         if args.arrival is not None:
             return EventDrivenBackend(arrival=args.arrival, seed=args.seed)
+        if dag is not None or workflow_arrival is not None:
+            return EventDrivenBackend(
+                dag=dag, workflow_arrival=workflow_arrival, seed=args.seed
+            )
         return EventDrivenBackend(
             arrival_interval_hours=args.arrival_interval, seed=args.seed
         )
@@ -212,7 +253,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             if cap is not None:
                 label += f" ({cap:.0f}G)"
             rows.append([label, util])
+    if res.workflows is not None:
+        wm = res.workflows
+        rows += [
+            ["workflow instances", wm.n_instances],
+            ["mean workflow makespan h", wm.mean_makespan_hours],
+            ["max workflow makespan h", wm.max_makespan_hours],
+            ["mean stretch", wm.mean_stretch],
+            ["max stretch", wm.max_stretch],
+        ]
     print(render_table(["metric", "value"], rows))
+    if res.workflows is not None:
+        print()
+        print(
+            render_table(
+                ["workflow", "tenant", "submit h", "makespan h",
+                 "crit path h", "stretch", "wait h", "wastage GBh",
+                 "failures"],
+                [
+                    [w.key, w.tenant, w.submit_time_hours, w.makespan_hours,
+                     w.critical_path_hours, w.stretch, w.queue_wait_hours,
+                     w.wastage_gbh, w.n_failures]
+                    for w in res.workflows.instances
+                ],
+                title="per-workflow-instance metrics",
+            )
+        )
     return 0
 
 
@@ -220,6 +286,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments import (
         ablations,
         cluster_scenarios,
+        workflow_scheduling,
         fig1_distributions,
         fig2_input_relation,
         fig7_utilization,
@@ -260,6 +327,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         ablations.run(seed=seed, scale=max(s, 0.2))
     if "cluster" in wanted:
         cluster_scenarios.run(seed=seed, scale=min(s, 0.1))
+    if "workflow-sched" in wanted:
+        workflow_scheduling.run(seed=seed, scale=min(s, 0.05))
     return 0
 
 
@@ -296,12 +365,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         placement=args.placement,
     )
     with_cluster = args.backend == "event"
+    with_workflows = args.dag is not None or args.workflow_arrival is not None
     header = ["method", "wastage GBh", "failures", "runtime h"]
     if with_cluster:
         # Each workflow simulates on its own fresh cluster, so the only
         # honest aggregates are the back-to-back wall-clock (sum of
         # makespans) and the task-weighted mean queue wait.
         header += ["makespan h", "mean wait h"]
+    if with_workflows:
+        header += ["mean wf makespan h", "mean stretch"]
     rows = []
     for method in METHOD_ORDER:
         per_wf = results[method]
@@ -324,6 +396,18 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                     if n_tasks
                     else 0.0
                 ),
+            ]
+        if with_workflows:
+            instances = [
+                w
+                for r in per_wf.values()
+                if r.workflows is not None
+                for w in r.workflows.instances
+            ]
+            n = len(instances)
+            row += [
+                sum(w.makespan_hours for w in instances) / n if n else 0.0,
+                sum(w.stretch for w in instances) / n if n else 0.0,
             ]
         rows.append(row)
     print(

@@ -20,6 +20,7 @@ Fig. 11   model-class selection shares (Argmax)                  ``fig11_model_s
 Fig. 12   Prokka prediction-error trend                          ``fig12_error_trend``
 (ours)    gating/offset/granularity/pool ablations               ``ablations``
 (ours)    methods across heterogeneous cluster shapes            ``cluster_scenarios``
+(ours)    sizing method x cluster x workflow arrival makespans   ``workflow_scheduling``
 ========  =====================================================  ============================
 
 All regenerators accept ``scale`` (trace subsampling fraction) and

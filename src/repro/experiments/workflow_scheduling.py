@@ -1,0 +1,193 @@
+"""Workflow-level scheduling: does better memory sizing shorten workflows?
+
+The paper's headline metric is memory wastage; this grid measures the
+*workflow-level* consequence the paper motivates but never quantifies:
+on a shared cluster, over-sized tasks crowd out other work and
+under-sized tasks burn retries on the critical path — both stretch
+workflow makespan.  The grid replays the same trace through the
+DAG-aware scheduling engine (:mod:`repro.sched`) while sweeping
+
+- sizing method (Sizey vs the extremes of the baseline spectrum),
+- cluster spec (homogeneous vs heterogeneous shapes),
+- workflow arrival rate (batch of competing instances vs Poisson
+  streams at increasing tenancy pressure),
+
+and reports per-workflow makespan, critical-path-normalized stretch,
+queue wait, failures, and wastage for every (scenario, method) cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.factories import method_factories
+from repro.experiments.report import render_table
+from repro.sim.backends import EventDrivenBackend
+from repro.sim.runner import run_cell
+from repro.workflow.nfcore import build_workflow_trace
+
+__all__ = [
+    "WorkflowScenario",
+    "SCENARIOS",
+    "DEFAULT_METHODS",
+    "collect",
+    "run",
+]
+
+
+@dataclass(frozen=True)
+class WorkflowScenario:
+    """One (cluster shape, workflow arrival) point of the sweep."""
+
+    name: str
+    cluster: str
+    workflow_arrival: str
+    placement: str = "best-fit"
+
+
+#: The default sweep runs a memory-heavy workflow on clusters small
+#: enough that sizing decides how many tasks fit side by side — the
+#: regime where over-allocation visibly stretches workflow makespan: a
+#: batch of competing instances on a tight homogeneous cluster, a
+#: heterogeneous cluster under increasing Poisson arrival pressure, and
+#: a bursty multi-tenant spike.
+SCENARIOS: tuple[WorkflowScenario, ...] = (
+    WorkflowScenario(
+        name="uniform-batch",
+        cluster="128g:3",
+        workflow_arrival="4",
+    ),
+    WorkflowScenario(
+        name="hetero-poisson-slow",
+        cluster="128g:2,256g:1",
+        workflow_arrival="4@poisson:2",
+    ),
+    WorkflowScenario(
+        name="hetero-poisson-fast",
+        cluster="128g:2,256g:1",
+        workflow_arrival="6@poisson:8",
+    ),
+    WorkflowScenario(
+        name="hetero-bursty-tenants",
+        cluster="64g:2,256g:1",
+        workflow_arrival="6@bursty:3x0.5@tenants:3",
+    ),
+)
+
+#: Sizey plus the two extremes of the baseline spectrum — enough to
+#: show the sizing/makespan coupling without replaying all six methods.
+DEFAULT_METHODS = ("Sizey", "Witt-Percentile", "Workflow-Presets")
+
+
+def collect(
+    seed: int = 0,
+    scale: float = 0.05,
+    workflow: str = "methylseq",
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    scenarios: tuple[WorkflowScenario, ...] = SCENARIOS,
+) -> dict[str, dict[str, dict[str, object]]]:
+    """``{scenario: {method: summary}}`` over the scheduling sweep.
+
+    Each summary aggregates one method's run of the scenario: total
+    wastage/failures plus the workflow-level distribution — mean/max
+    makespan, mean/max stretch, mean queue wait per workflow instance —
+    and the raw per-instance tuples under ``"per_workflow"``.
+    """
+    factories = method_factories()
+    trace = build_workflow_trace(workflow, seed=seed, scale=scale)
+    out: dict[str, dict[str, dict[str, object]]] = {}
+    for scenario in scenarios:
+        backend = EventDrivenBackend(
+            dag="trace",
+            workflow_arrival=scenario.workflow_arrival,
+            seed=seed,
+        )
+        per_method: dict[str, dict[str, object]] = {}
+        for method in methods:
+            res = run_cell(
+                trace,
+                factories[method],
+                backend=backend,
+                cluster=scenario.cluster,
+                placement=scenario.placement,
+            )
+            wm = res.workflows
+            assert wm is not None
+            per_method[method] = {
+                "wastage_gbh": res.total_wastage_gbh,
+                "failures": res.num_failures,
+                "cluster_makespan_hours": res.cluster.makespan_hours,
+                "mean_workflow_makespan_hours": wm.mean_makespan_hours,
+                "max_workflow_makespan_hours": wm.max_makespan_hours,
+                "mean_stretch": wm.mean_stretch,
+                "max_stretch": wm.max_stretch,
+                "mean_queue_wait_hours": (
+                    wm.total_queue_wait_hours / wm.n_instances
+                    if wm.n_instances
+                    else 0.0
+                ),
+                "mean_utilization": res.cluster.mean_utilization,
+                "per_workflow": [
+                    {
+                        "key": w.key,
+                        "tenant": w.tenant,
+                        "makespan_hours": w.makespan_hours,
+                        "critical_path_hours": w.critical_path_hours,
+                        "stretch": w.stretch,
+                        "queue_wait_hours": w.queue_wait_hours,
+                        "wastage_gbh": w.wastage_gbh,
+                        "n_failures": w.n_failures,
+                    }
+                    for w in wm.instances
+                ],
+            }
+        out[scenario.name] = per_method
+    return out
+
+
+def run(
+    seed: int = 0,
+    scale: float = 0.05,
+    workflow: str = "methylseq",
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    scenarios: tuple[WorkflowScenario, ...] = SCENARIOS,
+    verbose: bool = True,
+) -> dict[str, dict[str, dict[str, object]]]:
+    """Regenerate the workflow-scheduling grid; returns the summaries."""
+    data = collect(
+        seed=seed,
+        scale=scale,
+        workflow=workflow,
+        methods=methods,
+        scenarios=scenarios,
+    )
+    if verbose:
+        by_name = {s.name: s for s in scenarios}
+        for name, per_method in data.items():
+            s = by_name[name]
+            rows = [
+                [
+                    method,
+                    summary["wastage_gbh"],
+                    summary["failures"],
+                    summary["mean_workflow_makespan_hours"],
+                    summary["max_workflow_makespan_hours"],
+                    summary["mean_stretch"],
+                    summary["mean_queue_wait_hours"],
+                ]
+                for method, summary in per_method.items()
+            ]
+            print(
+                render_table(
+                    ["method", "wastage GBh", "failures", "mean wf mkspan h",
+                     "max wf mkspan h", "mean stretch", "mean wf wait h"],
+                    rows,
+                    title=(
+                        f"workflow scheduling {name}: {s.cluster} "
+                        f"({s.placement}, arrival {s.workflow_arrival}, "
+                        f"workflow {workflow})"
+                    ),
+                )
+            )
+            print()
+    return data

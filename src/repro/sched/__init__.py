@@ -1,0 +1,42 @@
+"""DAG-aware workflow scheduling: from task simulator to SWMS simulator.
+
+The paper's framing (§I) is a scientific workflow management system that
+walks a DAG and "releases ready tasks"; related work (Ponder, Lehmann et
+al. 2024) embeds online memory prediction inside exactly such an engine.
+This package is that engine for the reproduction — whole workflows,
+dependency-driven, multi-tenant:
+
+- :mod:`repro.sched.instance` — :class:`WorkflowInstance`: one submitted
+  execution of a workflow (DAG + task instances + live dependency
+  state + per-instance accounting).
+- :mod:`repro.sched.ready` — :class:`ReadySetScheduler`: releases a task
+  only when all DAG predecessor types' instances have succeeded;
+  killed-and-requeued tasks hold their successors back; global FCFS
+  queue across all tenants' instances.
+- :mod:`repro.sched.arrivals` — :class:`WorkflowArrivals`: injects whole
+  workflow instances (fixed / Poisson / bursty, seeded) owned by
+  round-robin tenants.
+- :mod:`repro.sched.engine` — the discrete-event loop gluing the above
+  to the cluster manager and predictor contract, producing
+  :class:`~repro.sim.results.WorkflowMetrics` (per-workflow makespan,
+  critical-path lower bound, stretch) alongside the usual cluster and
+  wastage metrics.
+
+Reached through ``EventDrivenBackend(dag=..., workflow_arrival=...)``,
+``OnlineSimulator(..., dag=..., workflow_arrival=...)``, ``run_cell`` /
+``run_grid``, and the CLI's ``--dag`` / ``--workflow-arrival``.
+"""
+
+from repro.sched.arrivals import WorkflowArrivals, parse_workflow_arrival
+from repro.sched.engine import resolve_dag, run_dag_simulation
+from repro.sched.instance import WorkflowInstance
+from repro.sched.ready import ReadySetScheduler
+
+__all__ = [
+    "WorkflowInstance",
+    "ReadySetScheduler",
+    "WorkflowArrivals",
+    "parse_workflow_arrival",
+    "resolve_dag",
+    "run_dag_simulation",
+]

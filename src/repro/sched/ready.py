@@ -1,0 +1,114 @@
+"""The ready-set scheduler: dependency-gated FCFS release across tenants.
+
+A real SWMS keeps a *ready set* — tasks whose DAG predecessors have all
+succeeded — and dispatches from it as cluster resources free up.
+:class:`ReadySetScheduler` is that component for the DAG-aware event
+engine: it admits whole :class:`~repro.sched.instance.WorkflowInstance`\\ s
+(possibly from many tenants), releases a task only when every
+predecessor type's instances have succeeded, and orders the global ready
+queue FCFS by release time.  A killed-and-requeued task re-enters at its
+*original* priority (mirroring the flat event backend's requeue rule)
+and — because its type stays unsatisfied — continues to hold all of its
+DAG successors back until the retry lands.
+
+The scheduler is generic over the engine's per-task state objects: it
+never inspects them beyond identity, so the engine keeps ownership of
+allocation/attempt bookkeeping.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generic, Hashable, TypeVar
+
+from repro.sched.instance import WorkflowInstance
+from repro.workflow.task import TaskInstance
+
+__all__ = ["ReadySetScheduler"]
+
+S = TypeVar("S")
+
+
+class ReadySetScheduler(Generic[S]):
+    """Dependency-driven release + FCFS ready queue over many workflows.
+
+    The engine registers each workflow instance's per-task states via
+    :meth:`admit`, then drives the queue through :meth:`pop` /
+    :meth:`head` during scheduling passes and reports outcomes through
+    :meth:`on_success` / :meth:`requeue`.
+    """
+
+    def __init__(self) -> None:
+        #: (priority, tie, state) heap; priority is the release sequence.
+        self._ready: list[tuple[int, int, S]] = []
+        self._priority: dict[Hashable, int] = {}
+        self._states: dict[tuple[str, int], S] = {}
+        self._seq = 0
+        self._tie = 0
+
+    # ------------------------------------------------------------------
+    def admit(
+        self, wi: WorkflowInstance, states: dict[int, S]
+    ) -> list[S]:
+        """Register a workflow instance's task states and release roots.
+
+        ``states`` maps each task's ``instance_id`` to the engine's state
+        object.  Returns the states made ready immediately (root types),
+        which are also pushed onto the queue.
+        """
+        missing = {t.instance_id for t in wi.tasks} - set(states)
+        if missing:
+            raise ValueError(
+                f"admit of {wi.key!r} is missing states for instance ids "
+                f"{sorted(missing)}"
+            )
+        for instance_id, state in states.items():
+            self._states[(wi.key, instance_id)] = state
+        return self._push_all(wi, wi.release_roots())
+
+    def on_success(self, wi: WorkflowInstance, task: TaskInstance) -> list[S]:
+        """Record a success; returns (and enqueues) newly released states."""
+        return self._push_all(wi, wi.complete(task.task_type.name))
+
+    def requeue(self, wi: WorkflowInstance, task: TaskInstance) -> S:
+        """Re-enqueue a killed task at its original release priority."""
+        state = self._states[(wi.key, task.instance_id)]
+        priority = self._priority[(wi.key, task.instance_id)]
+        heapq.heappush(self._ready, (priority, self._next_tie(), state))
+        return state
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ready)
+
+    def __bool__(self) -> bool:
+        return bool(self._ready)
+
+    def head(self) -> S:
+        """The state that must dispatch next (strict FCFS)."""
+        return self._ready[0][2]
+
+    def pop(self) -> S:
+        return heapq.heappop(self._ready)[2]
+
+    def queued(self) -> list[S]:
+        """All queued states, FCFS order (non-destructive)."""
+        return [s for _, _, s in sorted(self._ready)]
+
+    # ------------------------------------------------------------------
+    def _push_all(
+        self, wi: WorkflowInstance, released: list[TaskInstance]
+    ) -> list[S]:
+        out: list[S] = []
+        for task in released:
+            key = (wi.key, task.instance_id)
+            state = self._states[key]
+            self._priority[key] = self._seq
+            heapq.heappush(self._ready, (self._seq, self._next_tie(), state))
+            self._seq += 1
+            out.append(state)
+        return out
+
+    def _next_tie(self) -> int:
+        self._tie += 1
+        return self._tie

@@ -24,6 +24,12 @@ that environment:
   under a fixed seed.
 - :mod:`repro.sim.errors` -- typed simulator errors such as
   :class:`UnschedulableTaskError`.
+
+The event backend additionally supports DAG-aware multi-workflow
+scheduling (``dag=`` / ``workflow_arrival=``), implemented by
+:mod:`repro.sched`, which populates :class:`WorkflowMetrics`
+(per-workflow makespan, critical-path lower bound, stretch) on the
+result.
 """
 
 from repro.sim.arrivals import (
@@ -47,6 +53,8 @@ from repro.sim.interface import MemoryPredictor, TaskSubmission, TraceContext
 from repro.sim.results import (
     ClusterMetrics,
     SimulationResult,
+    WorkflowInstanceMetrics,
+    WorkflowMetrics,
     aggregate_results,
 )
 from repro.sim.runner import run_cell, run_grid
@@ -64,6 +72,8 @@ __all__ = [
     "resolve_backend",
     "SimulationResult",
     "ClusterMetrics",
+    "WorkflowInstanceMetrics",
+    "WorkflowMetrics",
     "UnschedulableTaskError",
     "aggregate_results",
     "run_cell",

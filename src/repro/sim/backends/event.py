@@ -45,11 +45,16 @@ import numpy as np
 from repro.cluster.accounting import WastageLedger
 from repro.cluster.machine import Machine
 from repro.cluster.manager import ResourceManager
-from repro.provenance.records import TaskRecord
 from repro.sim.arrivals import ArrivalModel, FixedArrivals, parse_arrival
-from repro.sim.backends.base import MAX_ATTEMPTS, clamp_allocation_checked
+from repro.sim.backends.base import (
+    MAX_ATTEMPTS,
+    build_cluster_metrics,
+    commit_failure_and_resize,
+    commit_success,
+    size_first_attempts,
+)
 from repro.sim.interface import MemoryPredictor, TaskSubmission, TraceContext
-from repro.sim.results import ClusterMetrics, PredictionLog, SimulationResult
+from repro.sim.results import PredictionLog, SimulationResult
 from repro.workflow.task import TaskInstance, WorkflowTrace
 
 __all__ = ["EventDrivenBackend"]
@@ -111,6 +116,21 @@ class EventDrivenBackend:
         ``failed * doubling_factor`` — the same factor
         :class:`~repro.core.failure.FailureHandler` uses, so replay and
         event runs stay attempt-for-attempt identical.
+    dag:
+        Switches the backend into DAG-aware scheduling
+        (:mod:`repro.sched`): tasks are released only when their DAG
+        predecessors' instances succeeded.  ``"trace"`` uses the
+        :attr:`~repro.workflow.task.WorkflowTrace.dag` exported by the
+        trace generator, ``"linear"`` chains task types in
+        first-appearance order, or pass a
+        :class:`~repro.workflow.dag.WorkflowDAG` directly.  ``None``
+        (default) keeps the flat pre-ordered task stream.
+    workflow_arrival:
+        Multi-workflow injection (implies DAG-aware scheduling, using
+        the trace's DAG unless ``dag`` is given): a spec such as ``"4"``,
+        ``"4@poisson:2"``, ``"6@bursty:2x0.5@tenants:3"`` or a
+        :class:`~repro.sched.arrivals.WorkflowArrivals` — whole workflow
+        instances from different tenants contending for one cluster.
     """
 
     name = "event"
@@ -122,6 +142,8 @@ class EventDrivenBackend:
         arrival: str | ArrivalModel | None = None,
         seed: int = 0,
         doubling_factor: float = 2.0,
+        dag: object | None = None,
+        workflow_arrival: object | None = None,
     ) -> None:
         if arrival_interval_hours < 0:
             raise ValueError(
@@ -142,6 +164,51 @@ class EventDrivenBackend:
         self.prediction_chunk = prediction_chunk
         self.seed = seed
         self.doubling_factor = doubling_factor
+        self.dag = dag
+        if workflow_arrival is not None:
+            from repro.sched.arrivals import parse_workflow_arrival
+
+            workflow_arrival = parse_workflow_arrival(workflow_arrival)
+        self.workflow_arrival = workflow_arrival
+        if dag is not None or workflow_arrival is not None:
+            # DAG scheduling releases tasks as dependencies resolve;
+            # a task-level arrival model would be silently ignored, so
+            # reject the combination instead of picking a winner.
+            trivial_arrival = (
+                isinstance(self.arrival, FixedArrivals)
+                and self.arrival.interval_hours == 0.0
+            )
+            if not trivial_arrival:
+                raise ValueError(
+                    "dag/workflow_arrival replace the per-task arrival "
+                    "model; drop arrival/arrival_interval_hours (workflow "
+                    "arrivals carry their own fixed/poisson/bursty spec)"
+                )
+
+    def with_workflow_options(
+        self,
+        dag: object | None = None,
+        workflow_arrival: object | None = None,
+    ) -> "EventDrivenBackend":
+        """A copy of this backend with DAG-scheduling options applied.
+
+        The seam :class:`~repro.sim.engine.OnlineSimulator` and the grid
+        runner use to layer ``dag=`` / ``workflow_arrival=`` on top of a
+        backend resolved by name, without touching its other settings.
+        """
+        return EventDrivenBackend(
+            arrival_interval_hours=self.arrival_interval_hours,
+            prediction_chunk=self.prediction_chunk,
+            arrival=self.arrival,
+            seed=self.seed,
+            doubling_factor=self.doubling_factor,
+            dag=dag if dag is not None else self.dag,
+            workflow_arrival=(
+                workflow_arrival
+                if workflow_arrival is not None
+                else self.workflow_arrival
+            ),
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -151,6 +218,23 @@ class EventDrivenBackend:
         manager: ResourceManager,
         time_to_failure: float,
     ) -> SimulationResult:
+        if self.dag is not None or self.workflow_arrival is not None:
+            # DAG-aware scheduling lives in its own subsystem; the flat
+            # pre-ordered stream below stays byte-identical without it.
+            from repro.sched.engine import run_dag_simulation
+
+            return run_dag_simulation(
+                trace,
+                predictor,
+                manager,
+                time_to_failure,
+                dag=self.dag,
+                workflow_arrival=self.workflow_arrival,
+                prediction_chunk=self.prediction_chunk,
+                doubling_factor=self.doubling_factor,
+                seed=self.seed,
+                backend_name=self.name,
+            )
         manager.release_all()
         predictor.begin_trace(
             TraceContext(
@@ -204,86 +288,32 @@ class EventDrivenBackend:
             return allocated, occupied
 
         def handle_finish(st: _TaskState, now: float) -> None:
-            inst = st.inst
             allocated, _ = release(st, now)
-            ledger.record_success(
-                task_type=inst.task_type.name,
-                workflow=inst.task_type.workflow,
-                instance_id=inst.instance_id,
+            commit_success(
+                ledger,
+                predictor,
+                logs,
+                st.inst,
                 attempt=st.attempt,
                 allocated_mb=allocated,
-                peak_memory_mb=inst.peak_memory_mb,
-                runtime_hours=inst.runtime_hours,
-            )
-            predictor.observe(
-                TaskRecord(
-                    task_type=inst.task_type.name,
-                    workflow=inst.task_type.workflow,
-                    machine=inst.machine,
-                    timestamp=st.index,
-                    input_size_mb=inst.input_size_mb,
-                    peak_memory_mb=inst.peak_memory_mb,
-                    runtime_hours=inst.runtime_hours,
-                    success=True,
-                    attempt=st.attempt,
-                    allocated_mb=allocated,
-                    instance_id=inst.instance_id,
-                )
-            )
-            logs.append(
-                PredictionLog(
-                    instance_id=inst.instance_id,
-                    task_type=inst.task_type.name,
-                    workflow=inst.task_type.workflow,
-                    timestamp=st.index,
-                    input_size_mb=inst.input_size_mb,
-                    true_peak_mb=inst.peak_memory_mb,
-                    true_runtime_hours=inst.runtime_hours,
-                    first_allocation_mb=st.first_allocation,
-                    final_allocation_mb=st.allocation,
-                    n_attempts=st.attempt,
-                )
+                timestamp=st.index,
+                first_allocation_mb=st.first_allocation,
+                final_allocation_mb=st.allocation,
             )
 
         def handle_kill(st: _TaskState, now: float) -> None:
-            inst = st.inst
             allocated, occupied = release(st, now)
-            ledger.record_failure(
-                task_type=inst.task_type.name,
-                workflow=inst.task_type.workflow,
-                instance_id=inst.instance_id,
+            st.allocation = commit_failure_and_resize(
+                ledger,
+                predictor,
+                manager,
+                st.inst,
+                st.submission,
                 attempt=st.attempt,
                 allocated_mb=allocated,
-                peak_memory_mb=inst.peak_memory_mb,
-                time_to_failure_hours=occupied,
-            )
-            # The failure record's "peak" is the exceeded limit — a lower
-            # bound, flagged via success=False (same as replay).
-            predictor.observe(
-                TaskRecord(
-                    task_type=inst.task_type.name,
-                    workflow=inst.task_type.workflow,
-                    machine=inst.machine,
-                    timestamp=st.index,
-                    input_size_mb=inst.input_size_mb,
-                    peak_memory_mb=allocated,
-                    runtime_hours=occupied,
-                    success=False,
-                    attempt=st.attempt,
-                    allocated_mb=allocated,
-                    instance_id=inst.instance_id,
-                )
-            )
-            next_allocation = float(
-                predictor.on_failure(st.submission, allocated, st.attempt)
-            )
-            # Retries must strictly grow or the task can never finish;
-            # the escalation floor is the configured doubling factor
-            # (same as the replay path, so attempts stay identical).
-            if next_allocation <= allocated:
-                next_allocation = allocated * self.doubling_factor
-            st.allocation = clamp_allocation_checked(
-                manager, inst, next_allocation
+                occupied_hours=occupied,
+                timestamp=st.index,
+                doubling_factor=self.doubling_factor,
             )
             st.queued_at = now
             heapq.heappush(ready, (st.index, st))
@@ -350,7 +380,7 @@ class EventDrivenBackend:
             time_to_failure=time_to_failure,
             ledger=ledger,
             predictions=logs,
-            cluster=self._cluster_metrics(
+            cluster=build_cluster_metrics(
                 manager, makespan, queue_waits, busy_mbh, timelines
             ),
         )
@@ -373,45 +403,5 @@ class EventDrivenBackend:
             self.prediction_chunk,
             (st for _, st in ready if st.allocation is None),
         )
-        allocations = predictor.predict_batch([st.submission for st in chunk])
-        for st, allocation in zip(chunk, allocations):
-            st.allocation = clamp_allocation_checked(
-                manager, st.inst, float(allocation)
-            )
-            st.first_allocation = st.allocation
+        size_first_attempts(predictor, manager, chunk)
 
-    @staticmethod
-    def _cluster_metrics(
-        manager: ResourceManager,
-        makespan: float,
-        queue_waits: list[float],
-        busy_mbh: dict[int, float],
-        timelines: dict[int, list[tuple[float, float]]],
-    ) -> ClusterMetrics:
-        mb_per_gb = 1024.0
-        busy_gbh = {n: v / mb_per_gb for n, v in busy_mbh.items()}
-        capacity_gb = {
-            n: mb / mb_per_gb for n, mb in manager.node_capacities_mb().items()
-        }
-        # Each node's utilization is measured against its *own* capacity
-        # — on a heterogeneous cluster a shared denominator would let a
-        # small node report < 100% while fully busy (or a big node
-        # report > 100%).
-        utilization = {
-            n: (v / (capacity_gb[n] * makespan) if makespan > 0 else 0.0)
-            for n, v in busy_gbh.items()
-        }
-        return ClusterMetrics(
-            makespan_hours=makespan,
-            total_queue_wait_hours=float(sum(queue_waits)),
-            mean_queue_wait_hours=(
-                float(sum(queue_waits) / len(queue_waits)) if queue_waits else 0.0
-            ),
-            max_queue_wait_hours=(
-                float(max(queue_waits)) if queue_waits else 0.0
-            ),
-            node_busy_memory_gbh=busy_gbh,
-            node_utilization=utilization,
-            node_timelines=timelines,
-            node_capacity_gb=capacity_gb,
-        )

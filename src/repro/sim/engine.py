@@ -53,6 +53,14 @@ class OnlineSimulator:
         ``"best-fit"``, ``"worst-fit"``, or a policy instance).  Only
         used when the manager is built here — an explicit ``manager``
         carries its own policy.
+    dag:
+        Switch to DAG-aware scheduling (event backend only): ``"trace"``
+        (the DAG exported on the trace), ``"linear"``, or a
+        :class:`~repro.workflow.dag.WorkflowDAG`.  See
+        :class:`~repro.sim.backends.event.EventDrivenBackend`.
+    workflow_arrival:
+        Multi-workflow injection spec (event backend only), e.g.
+        ``"4@poisson:2"`` — implies DAG-aware scheduling.
     """
 
     def __init__(
@@ -63,6 +71,8 @@ class OnlineSimulator:
         backend: str | SimulatorBackend = "replay",
         cluster: str | None = None,
         placement: str | PlacementPolicy = "first-fit",
+        dag: object | None = None,
+        workflow_arrival: object | None = None,
     ) -> None:
         if not 0.0 < time_to_failure <= 1.0:
             raise ValueError(
@@ -81,6 +91,16 @@ class OnlineSimulator:
             self.manager = ResourceManager(placement=placement)
         self.time_to_failure = time_to_failure
         self.backend = resolve_backend(backend)
+        if dag is not None or workflow_arrival is not None:
+            configure = getattr(self.backend, "with_workflow_options", None)
+            if configure is None:
+                raise ValueError(
+                    f"dag/workflow_arrival require a DAG-capable backend "
+                    f"(the event backend); got {self.backend.name!r}"
+                )
+            self.backend = configure(
+                dag=dag, workflow_arrival=workflow_arrival
+            )
 
     def run(self, predictor: MemoryPredictor) -> SimulationResult:
         """Replay the whole trace; returns the filled-in result object."""

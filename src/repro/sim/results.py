@@ -11,6 +11,8 @@ from repro.cluster.accounting import WastageLedger
 __all__ = [
     "PredictionLog",
     "ClusterMetrics",
+    "WorkflowInstanceMetrics",
+    "WorkflowMetrics",
     "SimulationResult",
     "aggregate_results",
 ]
@@ -87,6 +89,101 @@ class ClusterMetrics:
         return float(np.mean(list(self.node_utilization.values())))
 
 
+@dataclass(frozen=True)
+class WorkflowInstanceMetrics:
+    """Workflow-level observables of one submitted workflow instance.
+
+    Only the DAG-aware scheduling engine can measure these — they
+    require whole workflows to move through the cluster as units.
+
+    Attributes
+    ----------
+    key:
+        Unique label of the instance, e.g. ``"rnaseq#2"``.
+    workflow / tenant:
+        Workflow name and owning user.
+    submit_time_hours:
+        When the whole instance was handed to the scheduler.
+    first_dispatch_hours / finish_time_hours:
+        First task dispatch and last task completion (absolute times).
+    makespan_hours:
+        ``finish - submit`` — what the submitting user experiences.
+    critical_path_hours:
+        Zero-contention, infinite-cluster lower bound on the makespan
+        (heaviest DAG path weighing each type by its slowest instance).
+    stretch:
+        ``makespan / critical_path`` — the user-facing slowdown factor
+        from contention, queueing, and sizing failures (>= 1 up to
+        floating noise; 1 means the run was as fast as the DAG allows).
+    queue_wait_hours:
+        Ready-queue wait summed over every dispatch of this instance.
+    wastage_gbh:
+        Memory wastage attributed to this instance's attempts.
+    n_tasks / n_failures:
+        Task-instance count and failed-attempt count.
+    """
+
+    key: str
+    workflow: str
+    tenant: str
+    submit_time_hours: float
+    first_dispatch_hours: float
+    finish_time_hours: float
+    makespan_hours: float
+    critical_path_hours: float
+    stretch: float
+    queue_wait_hours: float
+    wastage_gbh: float
+    n_tasks: int
+    n_failures: int
+
+
+@dataclass(frozen=True)
+class WorkflowMetrics:
+    """Per-workflow-instance metrics of a DAG-aware simulation."""
+
+    instances: list[WorkflowInstanceMetrics]
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.instances)
+
+    @property
+    def mean_makespan_hours(self) -> float:
+        if not self.instances:
+            return 0.0
+        return float(np.mean([w.makespan_hours for w in self.instances]))
+
+    @property
+    def max_makespan_hours(self) -> float:
+        if not self.instances:
+            return 0.0
+        return float(max(w.makespan_hours for w in self.instances))
+
+    @property
+    def mean_stretch(self) -> float:
+        if not self.instances:
+            return 0.0
+        return float(np.mean([w.stretch for w in self.instances]))
+
+    @property
+    def max_stretch(self) -> float:
+        if not self.instances:
+            return 0.0
+        return float(max(w.stretch for w in self.instances))
+
+    @property
+    def total_queue_wait_hours(self) -> float:
+        return float(sum(w.queue_wait_hours for w in self.instances))
+
+    def by_tenant(self) -> dict[str, list[WorkflowInstanceMetrics]]:
+        """Instances grouped by owning tenant, insertion-ordered."""
+        out: dict[str, list[WorkflowInstanceMetrics]] = {}
+        for w in self.instances:
+            out.setdefault(w.tenant, []).append(w)
+        return out
+
+
 @dataclass
 class SimulationResult:
     """Everything measured while one method ran one workflow trace."""
@@ -98,6 +195,9 @@ class SimulationResult:
     predictions: list[PredictionLog] = field(default_factory=list)
     #: Cluster-level metrics; filled in by the event-driven backend only.
     cluster: ClusterMetrics | None = None
+    #: Per-workflow-instance metrics; filled in by the DAG-aware
+    #: scheduling engine only (``dag=`` / ``workflow_arrival=``).
+    workflows: WorkflowMetrics | None = None
 
     @property
     def total_wastage_gbh(self) -> float:

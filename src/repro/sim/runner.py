@@ -31,13 +31,18 @@ def run_cell(
     backend: str | SimulatorBackend = "replay",
     cluster: str | None = None,
     placement: str = "first-fit",
+    dag: str | None = None,
+    workflow_arrival: str | None = None,
 ) -> SimulationResult:
     """Run one (workflow, method) cell with a fresh predictor and cluster.
 
     ``cluster`` is a spec string (``"128g:4,256g:4"``; ``None`` = the
     paper's 8-node 128 GB cluster) and ``placement`` the node-placement
     policy name — both are plain strings so cells stay picklable for the
-    process pool.
+    process pool.  ``dag`` (``"trace"`` / ``"linear"``) and
+    ``workflow_arrival`` (e.g. ``"4@poisson:2"``) switch the event
+    backend into DAG-aware multi-workflow scheduling — also plain
+    strings for picklability.
     """
     if cluster is not None:
         manager = ResourceManager.from_spec(cluster, placement=placement)
@@ -48,6 +53,8 @@ def run_cell(
         manager=manager,
         time_to_failure=time_to_failure,
         backend=backend,
+        dag=dag,
+        workflow_arrival=workflow_arrival,
     )
     return sim.run(factory())
 
@@ -60,6 +67,8 @@ def _run_cell_star(
         str | SimulatorBackend,
         str | None,
         str,
+        str | None,
+        str | None,
     ],
 ) -> SimulationResult:
     return run_cell(*args)
@@ -73,6 +82,8 @@ def run_grid(
     backend: str | SimulatorBackend = "replay",
     cluster: str | None = None,
     placement: str = "first-fit",
+    dag: str | None = None,
+    workflow_arrival: str | None = None,
 ) -> dict[str, dict[str, SimulationResult]]:
     """Run every method on every workflow.
 
@@ -82,13 +93,24 @@ def run_grid(
     simulation backend for every cell — a registry name, or a backend
     instance (picklable when fanning out over processes).  ``cluster``
     and ``placement`` describe the per-cell cluster (spec string and
-    placement-policy name, as in :func:`run_cell`).
+    placement-policy name, as in :func:`run_cell`); ``dag`` and
+    ``workflow_arrival`` switch every cell into DAG-aware
+    multi-workflow scheduling (event backend only).
     """
     cells = [
         (
             method,
             wf,
-            (trace, factory, time_to_failure, backend, cluster, placement),
+            (
+                trace,
+                factory,
+                time_to_failure,
+                backend,
+                cluster,
+                placement,
+                dag,
+                workflow_arrival,
+            ),
         )
         for method, factory in factories.items()
         for wf, trace in traces.items()

@@ -95,9 +95,33 @@ class WorkflowDAG:
                         nxt.append(s)
             current = nxt
         if processed != len(self._nodes):
-            remaining = sorted(n for n in self._nodes if indegree[n] > 0)
-            raise CycleError(f"dependency cycle involving {remaining}")
+            # Kahn leaves every node downstream of a cycle unprocessed;
+            # blame only actual cycle members — a node that can reach
+            # itself — so the error points at the edges to fix rather
+            # than at innocent descendants or bridges between cycles.
+            # Error path only, so the per-node reachability walk is fine.
+            remaining = {n for n in self._nodes if indegree[n] > 0}
+            members = sorted(
+                n for n in remaining if self._reaches_itself(n, remaining)
+            )
+            raise CycleError(f"dependency cycle involving {members}")
         return stages
+
+    def _reaches_itself(self, node: str, within: set[str]) -> bool:
+        """True if ``node`` lies on a cycle inside the ``within`` set."""
+        seen: set[str] = set()
+        stack = [s for s in self._succ.get(node, []) if s in within]
+        while stack:
+            current = stack.pop()
+            if current == node:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(
+                s for s in self._succ.get(current, []) if s in within
+            )
+        return False
 
     @property
     def stages(self) -> list[list[str]]:

@@ -187,4 +187,7 @@ def generate_trace(spec: WorkflowSpec, seed: int = 0) -> WorkflowTrace:
             )
             instance_id += 1
 
-    return WorkflowTrace(spec.name, instances)
+    # Export the DAG that governed stage ordering above, so the
+    # DAG-aware scheduler consumes the same dependency structure the
+    # generator produced the trace under (one source of truth).
+    return WorkflowTrace(spec.name, instances, dag=spec.dag)

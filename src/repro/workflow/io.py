@@ -18,6 +18,7 @@ import csv
 import json
 from pathlib import Path
 
+from repro.workflow.dag import WorkflowDAG
 from repro.workflow.task import TaskInstance, TaskType, WorkflowTrace
 
 __all__ = ["trace_to_dict", "trace_from_dict", "save_trace", "load_trace",
@@ -39,8 +40,13 @@ _INSTANCE_FIELDS = (
 
 
 def trace_to_dict(trace: WorkflowTrace) -> dict:
-    """Serialise a trace to a JSON-compatible dict."""
-    return {
+    """Serialise a trace to a JSON-compatible dict.
+
+    The trace's DAG (when present) round-trips as an optional ``dag``
+    key — ``{"nodes": [...], "edges": [[up, down], ...]}`` — so a saved
+    trace keeps working with the DAG-aware scheduler after reload.
+    """
+    data = {
         "format": _FORMAT,
         "version": _VERSION,
         "workflow": trace.workflow,
@@ -56,6 +62,12 @@ def trace_to_dict(trace: WorkflowTrace) -> dict:
             for inst in trace
         ],
     }
+    if trace.dag is not None:
+        data["dag"] = {
+            "nodes": trace.dag.nodes,
+            "edges": [list(e) for e in trace.dag.edges],
+        }
+    return data
 
 
 def trace_from_dict(data: dict) -> WorkflowTrace:
@@ -90,7 +102,13 @@ def trace_from_dict(data: dict) -> WorkflowTrace:
                 },
             )
         )
-    return WorkflowTrace(workflow, instances)
+    dag = None
+    if "dag" in data:
+        dag = WorkflowDAG(
+            list(data["dag"]["nodes"]),
+            [(u, v) for u, v in data["dag"]["edges"]],
+        )
+    return WorkflowTrace(workflow, instances, dag=dag)
 
 
 def save_trace(trace: WorkflowTrace, path: str | Path) -> None:

@@ -10,9 +10,12 @@ online simulator replays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dag -> task)
+    from repro.workflow.dag import WorkflowDAG
 
 __all__ = ["TaskType", "TaskInstance", "WorkflowTrace"]
 
@@ -113,17 +116,32 @@ class TaskInstance:
 
 @dataclass
 class WorkflowTrace:
-    """All task instances of one workflow execution, in submission order."""
+    """All task instances of one workflow execution, in submission order.
+
+    ``dag`` is the task-type dependency graph the trace was generated
+    under (exported by :func:`repro.workflow.generator.generate_trace`),
+    making generator and scheduler agree on one dependency source of
+    truth.  ``None`` for hand-built or legacy traces — the DAG-aware
+    engine then needs an explicit ``dag=`` option.
+    """
 
     workflow: str
     instances: list[TaskInstance] = field(default_factory=list)
+    dag: "WorkflowDAG | None" = None
 
     def __post_init__(self) -> None:
+        dag_nodes = set(self.dag.nodes) if self.dag is not None else None
         for inst in self.instances:
             if inst.task_type.workflow != self.workflow:
                 raise ValueError(
                     f"instance {inst.instance_id} belongs to workflow "
                     f"{inst.task_type.workflow!r}, trace is {self.workflow!r}"
+                )
+            if dag_nodes is not None and inst.task_type.name not in dag_nodes:
+                raise ValueError(
+                    f"instance {inst.instance_id} has task type "
+                    f"{inst.task_type.name!r} which is not a node of the "
+                    f"trace's DAG"
                 )
 
     def __len__(self) -> int:
@@ -179,4 +197,4 @@ class WorkflowTrace:
             chosen = rng.choice(len(ids), size=n_keep, replace=False)
             keep.update(ids[c] for c in chosen)
         kept = [i for i in self.instances if i.instance_id in keep]
-        return WorkflowTrace(self.workflow, kept)
+        return WorkflowTrace(self.workflow, kept, dag=self.dag)

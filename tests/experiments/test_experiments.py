@@ -163,3 +163,54 @@ class TestClusterScenarios:
         for s in cluster_scenarios.SCENARIOS:
             parse_cluster_spec(s.cluster)  # must not raise
             parse_arrival(s.arrival)
+
+
+class TestWorkflowScheduling:
+    def test_grid_reports_per_workflow_metrics(self, capsys):
+        from repro.experiments import workflow_scheduling
+
+        scenarios = (
+            workflow_scheduling.WorkflowScenario(
+                name="hetero",
+                cluster="128g:2,256g:1",
+                workflow_arrival="3@poisson:2",
+            ),
+        )
+        # The acceptance bar: >= 3 sizing methods on a heterogeneous
+        # cluster, each reporting per-workflow makespan and stretch.
+        data = workflow_scheduling.run(
+            seed=0,
+            scale=0.02,
+            workflow="iwd",
+            methods=("Sizey", "Witt-Percentile", "Workflow-Presets"),
+            scenarios=scenarios,
+            verbose=True,
+        )
+        out = capsys.readouterr().out
+        assert set(data) == {"hetero"}
+        assert set(data["hetero"]) == {
+            "Sizey", "Witt-Percentile", "Workflow-Presets"
+        }
+        for summary in data["hetero"].values():
+            assert summary["mean_workflow_makespan_hours"] > 0
+            # >= 1 only up to float noise: makespan and the critical
+            # path sum the same runtimes in different association order.
+            assert summary["mean_stretch"] >= 1.0 - 1e-9
+            per_wf = summary["per_workflow"]
+            assert len(per_wf) == 3
+            for w in per_wf:
+                assert w["makespan_hours"] > 0
+                assert w["stretch"] >= 1.0 - 1e-9
+        assert "workflow scheduling hetero" in out
+        assert "mean stretch" in out
+
+    def test_default_scenarios_are_well_formed(self):
+        from repro.cluster.machine import parse_cluster_spec
+        from repro.experiments import workflow_scheduling
+        from repro.sched.arrivals import parse_workflow_arrival
+
+        names = [s.name for s in workflow_scheduling.SCENARIOS]
+        assert len(names) == len(set(names))
+        for s in workflow_scheduling.SCENARIOS:
+            parse_cluster_spec(s.cluster)  # must not raise
+            parse_workflow_arrival(s.workflow_arrival)

@@ -1,0 +1,228 @@
+"""Tests for WorkflowInstance, ReadySetScheduler, and WorkflowArrivals."""
+
+import numpy as np
+import pytest
+
+from repro.sched import (
+    ReadySetScheduler,
+    WorkflowArrivals,
+    WorkflowInstance,
+    parse_workflow_arrival,
+)
+from repro.workflow.dag import WorkflowDAG
+from repro.workflow.task import TaskInstance, TaskType
+
+
+def make_tasks(spec, workflow="wf"):
+    """``spec`` maps task-type name -> (count, runtime_hours)."""
+    tasks = []
+    instance_id = 0
+    for name, (count, runtime) in spec.items():
+        tt = TaskType(name=name, workflow=workflow, preset_memory_mb=4096.0)
+        for _ in range(count):
+            tasks.append(
+                TaskInstance(
+                    task_type=tt,
+                    instance_id=instance_id,
+                    input_size_mb=100.0,
+                    peak_memory_mb=1000.0,
+                    runtime_hours=runtime,
+                )
+            )
+            instance_id += 1
+    return tasks
+
+
+def make_wi(dag, spec, key="wf#0", **kwargs):
+    return WorkflowInstance(
+        key=key, workflow="wf", dag=dag, tasks=make_tasks(spec), **kwargs
+    )
+
+
+class TestWorkflowInstance:
+    def test_rejects_task_type_outside_dag(self):
+        dag = WorkflowDAG(["a"])
+        with pytest.raises(ValueError, match="not a node"):
+            make_wi(dag, {"b": (1, 1.0)})
+
+    def test_roots_released_first(self):
+        dag = WorkflowDAG.linear_pipeline(["a", "b"])
+        wi = make_wi(dag, {"a": (2, 1.0), "b": (1, 1.0)})
+        ready = wi.release_roots()
+        assert [t.task_type.name for t in ready] == ["a", "a"]
+        assert wi.is_released("a") and not wi.is_released("b")
+
+    def test_multi_root_release(self):
+        dag = WorkflowDAG(["a", "b", "c"], [("a", "c"), ("b", "c")])
+        wi = make_wi(dag, {"a": (1, 1.0), "b": (1, 1.0), "c": (1, 1.0)})
+        ready = wi.release_roots()
+        assert sorted(t.task_type.name for t in ready) == ["a", "b"]
+
+    def test_successor_held_until_all_instances_succeed(self):
+        dag = WorkflowDAG.linear_pipeline(["a", "b"])
+        wi = make_wi(dag, {"a": (3, 1.0), "b": (1, 1.0)})
+        wi.release_roots()
+        assert wi.complete("a") == []
+        assert wi.complete("a") == []
+        released = wi.complete("a")
+        assert [t.task_type.name for t in released] == ["b"]
+
+    def test_diamond_sink_needs_both_branches(self):
+        dag = WorkflowDAG(
+            ["a", "b", "c", "d"],
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+        )
+        wi = make_wi(
+            dag, {"a": (1, 1.0), "b": (1, 1.0), "c": (1, 1.0), "d": (1, 1.0)}
+        )
+        wi.release_roots()
+        both = wi.complete("a")
+        assert sorted(t.task_type.name for t in both) == ["b", "c"]
+        assert wi.complete("b") == []  # c still outstanding
+        assert [t.task_type.name for t in wi.complete("c")] == ["d"]
+        wi.complete("d")
+        assert wi.done
+
+    def test_empty_type_cascades(self):
+        # b has no instances in this run; c must still be reachable.
+        dag = WorkflowDAG.linear_pipeline(["a", "b", "c"])
+        wi = make_wi(dag, {"a": (1, 1.0), "c": (1, 1.0)})
+        wi.release_roots()
+        released = wi.complete("a")
+        assert [t.task_type.name for t in released] == ["c"]
+
+    def test_complete_unknown_or_exhausted_type(self):
+        dag = WorkflowDAG(["a"])
+        wi = make_wi(dag, {"a": (1, 1.0)})
+        wi.release_roots()
+        with pytest.raises(KeyError):
+            wi.complete("zzz")
+        wi.complete("a")
+        with pytest.raises(ValueError, match="already"):
+            wi.complete("a")
+
+    def test_critical_path_is_heaviest_path_of_type_maxima(self):
+        # a(2h) -> b(1h) -> d(1h) and a -> c(5h) -> d: bound = 2+5+1.
+        dag = WorkflowDAG(
+            ["a", "b", "c", "d"],
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+        )
+        wi = make_wi(
+            dag, {"a": (1, 2.0), "b": (4, 1.0), "c": (2, 5.0), "d": (1, 1.0)}
+        )
+        assert wi.critical_path_hours() == pytest.approx(8.0)
+
+    def test_critical_path_empty_workflow(self):
+        wi = WorkflowInstance(
+            key="empty#0", workflow="wf", dag=WorkflowDAG(["a"]), tasks=[]
+        )
+        assert wi.critical_path_hours() == 0.0
+        assert wi.done
+
+
+class TestReadySetScheduler:
+    def _states(self, wi):
+        return {t.instance_id: f"st-{t.instance_id}" for t in wi.tasks}
+
+    def test_admit_requires_all_states(self):
+        dag = WorkflowDAG(["a"])
+        wi = make_wi(dag, {"a": (2, 1.0)})
+        sched = ReadySetScheduler()
+        with pytest.raises(ValueError, match="missing states"):
+            sched.admit(wi, {})
+
+    def test_fcfs_across_workflow_instances(self):
+        dag = WorkflowDAG.linear_pipeline(["a", "b"])
+        wi1 = make_wi(dag, {"a": (1, 1.0), "b": (1, 1.0)}, key="wf#0")
+        wi2 = make_wi(dag, {"a": (1, 1.0), "b": (1, 1.0)}, key="wf#1")
+        sched = ReadySetScheduler()
+        first = sched.admit(wi1, self._states(wi1))
+        second = sched.admit(wi2, self._states(wi2))
+        assert first == ["st-0"] and second == ["st-0"]
+        # wi1's root was released first, so it dispatches first.
+        assert sched.pop() == first[0]
+        # wi2's successor releases before wi1's: release order rules.
+        released = sched.on_success(wi2, wi2.tasks[0])
+        assert len(sched) == 1 + len(released)
+
+    def test_requeue_restores_original_priority(self):
+        dag = WorkflowDAG(["a"])
+        wi = make_wi(dag, {"a": (3, 1.0)})
+        sched = ReadySetScheduler()
+        states = {t.instance_id: t.instance_id for t in wi.tasks}
+        sched.admit(wi, states)
+        head = sched.pop()
+        assert head == 0
+        sched.requeue(wi, wi.tasks[0])
+        # Re-queued task 0 outranks tasks released after it (1, 2).
+        assert sched.head() == 0
+
+    def test_queued_is_fcfs_and_nondestructive(self):
+        dag = WorkflowDAG(["a"])
+        wi = make_wi(dag, {"a": (3, 1.0)})
+        sched = ReadySetScheduler()
+        sched.admit(wi, {t.instance_id: t.instance_id for t in wi.tasks})
+        assert sched.queued() == [0, 1, 2]
+        assert len(sched) == 3
+
+
+class TestWorkflowArrivals:
+    def test_defaults(self):
+        wa = WorkflowArrivals()
+        assert wa.n_instances == 1
+        assert wa.tenant(0) == "user0"
+        assert wa.sample(np.random.default_rng(0)).tolist() == [0.0]
+
+    def test_parse_count_only(self):
+        wa = parse_workflow_arrival("4")
+        assert wa.n_instances == 4
+        assert wa.sample(np.random.default_rng(0)).tolist() == [0.0] * 4
+        # One tenant per instance by default.
+        assert [wa.tenant(i) for i in range(4)] == [
+            "user0", "user1", "user2", "user3"
+        ]
+
+    def test_parse_int_passthrough(self):
+        assert parse_workflow_arrival(3).n_instances == 3
+        wa = WorkflowArrivals(2)
+        assert parse_workflow_arrival(wa) is wa
+
+    def test_parse_fixed(self):
+        wa = parse_workflow_arrival("3@fixed:1.5")
+        assert wa.sample(np.random.default_rng(0)).tolist() == [0.0, 1.5, 3.0]
+
+    def test_parse_poisson_seeded_determinism(self):
+        wa = parse_workflow_arrival("5@poisson:2")
+        a = wa.sample(np.random.default_rng(7))
+        b = wa.sample(np.random.default_rng(7))
+        c = wa.sample(np.random.default_rng(8))
+        assert a.tolist() == b.tolist()
+        assert a.tolist() != c.tolist()
+
+    def test_parse_bursty(self):
+        wa = parse_workflow_arrival("4@bursty:2x0.5")
+        assert wa.sample(np.random.default_rng(0)).tolist() == [
+            0.0, 0.0, 0.5, 0.5
+        ]
+
+    def test_parse_tenants(self):
+        wa = parse_workflow_arrival("4@poisson:2@tenants:2")
+        assert [wa.tenant(i) for i in range(4)] == [
+            "user0", "user1", "user0", "user1"
+        ]
+
+    def test_tenants_capped_at_instances(self):
+        assert WorkflowArrivals(2, n_tenants=5).n_tenants == 2
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "x", "0", "-1", "2@nope:1", "2@poisson:2@users:3",
+         "2@poisson:2@tenants:x", "1@2@3@4"],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_workflow_arrival(spec)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            parse_workflow_arrival(1.5)

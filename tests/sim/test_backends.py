@@ -225,6 +225,65 @@ class TestUnschedulableTasks:
         assert issubclass(UnschedulableTaskError, RuntimeError)
 
 
+class TestPr2GoldenRegression:
+    """Replay and flat-stream event outputs must stay bit-for-bit
+    identical to the PR 2 engines.
+
+    The golden numbers below were produced by the pre-DAG code (commit
+    f46141f) on ``iwd`` (seed=3, scale=0.05) — replay totals plus an
+    event run on a heterogeneous best-fit cluster with Poisson
+    arrivals.  Any drift here means the DAG subsystem leaked into the
+    flat paths.
+    """
+
+    GOLDEN = {
+        "Sizey": (
+            0.2617030552981169, 15, 0.34972282570254476,
+            0.2762572640614041, 17, 1.856844235835395,
+            0.0, 0.0013954166036171058,
+        ),
+        "Witt-Percentile": (
+            0.33684742050403366, 11, 0.33687057934532866,
+            0.35682648301315806, 11, 1.856844235835395,
+            0.0, 0.0015649103637594012,
+        ),
+        "Workflow-Presets": (
+            1.3580872160305373, 0, 0.29888201259001895,
+            1.3580872160305373, 0, 1.856844235835395,
+            0.0, 0.003671266224346433,
+        ),
+    }
+
+    @pytest.mark.parametrize("method", sorted(GOLDEN))
+    def test_flat_backends_match_pr2_outputs(self, method):
+        from repro.experiments.factories import method_factories
+        from repro.workflow.nfcore import build_workflow_trace
+
+        trace = build_workflow_trace("iwd", seed=3, scale=0.05)
+        factory = method_factories()[method]
+        replay = OnlineSimulator(trace, backend="replay").run(factory())
+        event = OnlineSimulator(
+            trace,
+            backend=EventDrivenBackend(arrival="poisson:40", seed=11),
+            cluster="64g:2,128g:2",
+            placement="best-fit",
+        ).run(factory())
+        (
+            r_wastage, r_failures, r_runtime,
+            e_wastage, e_failures, e_makespan,
+            e_wait, e_util,
+        ) = self.GOLDEN[method]
+        assert replay.total_wastage_gbh == r_wastage
+        assert replay.num_failures == r_failures
+        assert replay.total_runtime_hours == r_runtime
+        assert event.total_wastage_gbh == e_wastage
+        assert event.num_failures == e_failures
+        assert event.cluster.makespan_hours == e_makespan
+        assert event.cluster.total_queue_wait_hours == e_wait
+        assert event.cluster.mean_utilization == e_util
+        assert event.workflows is None and replay.workflows is None
+
+
 class TestManagerReuse:
     @pytest.mark.parametrize("backend", ["replay", "event"])
     def test_repeated_runs_on_one_manager(self, backend):

@@ -81,6 +81,48 @@ class TestParser:
                   "--arrival", "poisson:0.5", "--arrival-interval", "0.5"])
         assert "mutually" in capsys.readouterr().err
 
+    def test_dag_options_default_off(self):
+        args = build_parser().parse_args(["simulate", "--workflow", "iwd"])
+        assert args.dag is None
+        assert args.workflow_arrival is None
+
+    def test_rejects_bad_workflow_arrival_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--workflow", "iwd",
+                 "--workflow-arrival", "many@often"]
+            )
+
+    def test_rejects_unknown_dag_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--workflow", "iwd", "--dag", "spaghetti"]
+            )
+
+    def test_dag_requires_event_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workflow", "iwd", "--dag", "trace"])
+        assert "--backend event" in capsys.readouterr().err
+
+    def test_workflow_arrival_conflicts_with_task_arrival(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workflow", "iwd", "--backend", "event",
+                  "--workflow-arrival", "2", "--arrival", "poisson:0.5"])
+        assert "replaces per-task arrivals" in capsys.readouterr().err
+
+    def test_dag_conflicts_with_task_arrival(self, capsys):
+        # --dag must not be silently dropped in favour of --arrival.
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workflow", "iwd", "--backend", "event",
+                  "--dag", "linear", "--arrival", "poisson:5"])
+        assert "replaces per-task arrivals" in capsys.readouterr().err
+
+    def test_dag_conflicts_with_arrival_interval(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workflow", "iwd", "--backend", "event",
+                  "--dag", "trace", "--arrival-interval", "0.5"])
+        assert "replaces per-task arrivals" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_simulate_prints_metrics(self, capsys):
@@ -164,3 +206,38 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "makespan h" in out
+
+    def test_simulate_dag_prints_per_workflow_rows(self, capsys):
+        rc = main(
+            ["simulate", "--workflow", "iwd", "--method", "Workflow-Presets",
+             "--scale", "0.05", "--backend", "event", "--dag", "trace",
+             "--workflow-arrival", "2@fixed:0.5",
+             "--cluster", "64g:2,128g:2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "workflow instances" in out
+        assert "mean stretch" in out
+        assert "per-workflow-instance metrics" in out
+        assert "iwd#0" in out and "iwd#1" in out
+        assert "user0" in out and "user1" in out
+
+    def test_simulate_dag_without_workflow_arrival(self, capsys):
+        rc = main(
+            ["simulate", "--workflow", "iwd", "--method", "Workflow-Presets",
+             "--scale", "0.05", "--backend", "event", "--dag", "linear"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "iwd#0" in out
+
+    def test_compare_dag_adds_stretch_column(self, capsys):
+        rc = main(
+            ["compare", "--workflows", "iwd", "--scale", "0.05",
+             "--backend", "event", "--dag", "trace",
+             "--workflow-arrival", "2", "--cluster", "64g:2,128g:2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mean wf makespan h" in out
+        assert "mean stretch" in out

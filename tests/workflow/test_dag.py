@@ -68,3 +68,74 @@ class TestTopology:
         dag = WorkflowDAG.fan_out_fan_in("s", ["x", "y"], "t")
         flattened = [n for stage in dag.stages for n in stage]
         assert sorted(flattened) == sorted(dag.nodes)
+
+
+class TestEdgeCaseTopologies:
+    def test_diamond_stages(self):
+        dag = WorkflowDAG(
+            ["a", "b", "c", "d"],
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+        )
+        assert dag.stages == [["a"], ["b", "c"], ["d"]]
+        assert sorted(dag.predecessors("d")) == ["b", "c"]
+
+    def test_diamond_with_shortcut_uses_longest_path(self):
+        # a -> d directly AND via b: d sits at depth 2, not 1.
+        dag = WorkflowDAG(
+            ["a", "b", "d"], [("a", "b"), ("a", "d"), ("b", "d")]
+        )
+        assert dag.stages == [["a"], ["b"], ["d"]]
+
+    def test_disconnected_node_is_a_root_stage_member(self):
+        dag = WorkflowDAG(["a", "b", "lonely"], [("a", "b")])
+        assert dag.stages[0] == ["a", "lonely"]
+        assert dag.predecessors("lonely") == []
+        assert dag.successors("lonely") == []
+        assert "lonely" in dag.topological_order()
+
+    def test_fully_disconnected_graph_is_one_stage(self):
+        dag = WorkflowDAG(["c", "a", "b"])
+        assert dag.stages == [["a", "b", "c"]]
+
+    def test_multi_root_fan_in(self):
+        dag = WorkflowDAG(
+            ["r1", "r2", "r3", "sink"],
+            [("r1", "sink"), ("r2", "sink"), ("r3", "sink")],
+        )
+        assert dag.stages == [["r1", "r2", "r3"], ["sink"]]
+        order = dag.topological_order()
+        assert order.index("sink") == 3
+
+    def test_cycle_error_names_the_cycle_members(self):
+        with pytest.raises(CycleError) as exc:
+            WorkflowDAG(
+                ["a", "b", "c", "ok"],
+                [("a", "b"), ("b", "c"), ("c", "a"), ("a", "ok")],
+            )
+        message = str(exc.value)
+        assert "dependency cycle" in message
+        for node in ("a", "b", "c"):
+            assert node in message
+        # Nodes outside the cycle are not blamed.
+        assert "ok" not in message
+
+    def test_self_loop_error_names_the_node(self):
+        with pytest.raises(CycleError, match="self-loop on 'x'"):
+            WorkflowDAG(["x"], [("x", "x")])
+
+    def test_two_node_cycle(self):
+        with pytest.raises(CycleError, match="cycle"):
+            WorkflowDAG(["a", "b"], [("a", "b"), ("b", "a")])
+
+    def test_cycle_error_spares_bridges_between_two_cycles(self):
+        # a<->b -> m -> c<->d: m sits between two cycles but is on none.
+        with pytest.raises(CycleError) as exc:
+            WorkflowDAG(
+                ["a", "b", "m", "c", "d"],
+                [("a", "b"), ("b", "a"), ("b", "m"),
+                 ("m", "c"), ("c", "d"), ("d", "c")],
+            )
+        message = str(exc.value)
+        for node in ("a", "b", "c", "d"):
+            assert node in message
+        assert "'m'" not in message

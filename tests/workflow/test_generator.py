@@ -162,6 +162,28 @@ class TestNfcoreWorkflows:
             t.name for t in full.task_types
         }
 
+    def test_trace_exports_the_spec_dag(self):
+        spec = small_spec()
+        trace = generate_trace(spec, seed=0)
+        # One dependency source of truth: the scheduler sees exactly the
+        # DAG that governed the generator's stage ordering.
+        assert trace.dag is spec.dag
+
+    def test_subsampled_trace_keeps_the_dag(self):
+        trace = build_workflow_trace("iwd", seed=0, scale=0.1)
+        assert trace.dag is not None
+        assert set(trace.dag.nodes) == {t.name for t in trace.task_types}
+
+    def test_submission_order_respects_exported_dag(self):
+        trace = build_workflow_trace("eager", seed=0, scale=0.1)
+        stage_of = {
+            name: k
+            for k, stage in enumerate(trace.dag.stages)
+            for name in stage
+        }
+        stages_seen = [stage_of[i.task_type.name] for i in trace]
+        assert stages_seen == sorted(stages_seen)
+
     def test_build_all(self):
         traces = build_all_traces(seed=0, scale=0.05)
         assert set(traces) == set(WORKFLOW_NAMES)

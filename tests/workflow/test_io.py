@@ -44,6 +44,31 @@ class TestJsonRoundTrip:
         assert data["format"] == "repro-trace"
         assert data["version"] == 1
 
+    def test_dag_roundtrips(self, small_trace):
+        assert small_trace.dag is not None
+        restored = trace_from_dict(trace_to_dict(small_trace))
+        assert restored.dag is not None
+        assert restored.dag.nodes == small_trace.dag.nodes
+        assert sorted(restored.dag.edges) == sorted(small_trace.dag.edges)
+
+    def test_dagless_trace_roundtrips_without_dag_key(self):
+        tt = TaskType(name="t", workflow="wf", preset_memory_mb=4096.0)
+        trace = WorkflowTrace(
+            "wf",
+            [
+                TaskInstance(
+                    task_type=tt,
+                    instance_id=0,
+                    input_size_mb=1.0,
+                    peak_memory_mb=1.0,
+                    runtime_hours=1.0,
+                )
+            ],
+        )
+        data = trace_to_dict(trace)
+        assert "dag" not in data
+        assert trace_from_dict(data).dag is None
+
     def test_rejects_wrong_format(self):
         with pytest.raises(ValueError, match="not a repro-trace"):
             trace_from_dict({"format": "something-else"})

@@ -89,6 +89,27 @@ class TestWorkflowTrace:
         assert s["n_instances"] == 3
         assert s["avg_instances_per_type"] == pytest.approx(1.5)
 
+    def test_dag_field_defaults_to_none(self):
+        tr = WorkflowTrace("rnaseq", [make_instance()])
+        assert tr.dag is None
+
+    def test_dag_validated_against_instances(self):
+        from repro.workflow.dag import WorkflowDAG
+
+        with pytest.raises(ValueError, match="not a node"):
+            WorkflowTrace(
+                "rnaseq", [make_instance()], dag=WorkflowDAG(["other"])
+            )
+
+    def test_subsample_propagates_dag(self):
+        from repro.workflow.dag import WorkflowDAG
+
+        tt = make_type("only")
+        insts = [make_instance(tt, i) for i in range(40)]
+        dag = WorkflowDAG(["only"])
+        sub = WorkflowTrace("rnaseq", insts, dag=dag).subsample(0.25, seed=1)
+        assert sub.dag is dag
+
     def test_subsample_preserves_order_and_types(self):
         tt = make_type("only")
         insts = [make_instance(tt, i) for i in range(40)]
