@@ -4,7 +4,7 @@ Every benchmark regenerates one paper artifact end-to-end, so a single
 round is the meaningful unit of measurement (these are throughput
 benchmarks of the full experiment pipeline, not micro-benchmarks).
 
-Each session also emits a machine-readable ``BENCH_3.json`` next to the
+Each session also emits a machine-readable ``BENCH_4.json`` next to the
 repo root — wall-clock seconds per benchmark cell keyed by the pytest
 node id — so the perf trajectory across PRs can be tracked by diffing
 the committed snapshots.  Override the output path with the
@@ -19,9 +19,12 @@ from pathlib import Path
 import pytest
 
 #: PR-numbered snapshot written at session end: {nodeid: seconds}.
-_BENCH_FILE = "BENCH_3.json"
+_BENCH_FILE = "BENCH_4.json"
 
 _cells: dict[str, float] = {}
+#: Extra named measurements (e.g. kernel events/sec), merged alongside
+#: the wall-clock cells under a separate "metrics" key.
+_metrics: dict[str, float] = {}
 
 
 @pytest.fixture
@@ -38,6 +41,20 @@ def once(benchmark, request):
             _cells[request.node.nodeid] = time.perf_counter() - start
 
     return _run
+
+
+@pytest.fixture
+def bench_metric(request):
+    """Record a named throughput/ratio metric for the current bench cell.
+
+    Usage: ``bench_metric("events_per_sec", value)`` — lands in the
+    snapshot's ``metrics`` section keyed by ``<nodeid>::<name>``.
+    """
+
+    def _record(name: str, value: float) -> None:
+        _metrics[f"{request.node.nodeid}::{name}"] = float(value)
+
+    return _record
 
 
 def _bench_json_path() -> Path | None:
@@ -58,23 +75,38 @@ def pytest_sessionfinish(session, exitstatus):
     """
     if not _cells or exitstatus != 0:
         return
+    if hasattr(session.config, "workerinput"):
+        # Under pytest-xdist no snapshot is written at all (workers skip
+        # here; the controller runs no tests so has no cells).  That is
+        # deliberate: parallel workers contend for cores, so their
+        # wall-clock numbers would poison the committed perf trajectory.
+        # Run ``pytest benchmarks`` without ``-n`` to refresh it.
+        return
     path = _bench_json_path()
     if path is None:
         return
     cells: dict[str, float] = {}
+    metrics: dict[str, float] = {}
     try:
         previous = json.loads(path.read_text())
         if previous.get("format") == "repro-bench":
             cells.update(previous.get("cells", {}))
+            stored = previous.get("metrics", {})
+            if isinstance(stored, dict):
+                metrics.update(stored)
     except (OSError, ValueError):
         pass  # no snapshot yet, or an unreadable one: start fresh
     cells.update(
         {nodeid: round(secs, 6) for nodeid, secs in _cells.items()}
     )
+    metrics.update(
+        {key: round(value, 6) for key, value in _metrics.items()}
+    )
     payload = {
         "format": "repro-bench",
-        "pr": 3,
+        "pr": 4,
         "unit": "seconds",
         "cells": dict(sorted(cells.items())),
+        "metrics": dict(sorted(metrics.items())),
     }
     path.write_text(json.dumps(payload, indent=2) + "\n")

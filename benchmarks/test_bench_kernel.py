@@ -1,0 +1,68 @@
+"""Bench: raw kernel throughput in events per second.
+
+Unlike the artifact benchmarks, this one isolates the simulation kernel
+itself: a cheap non-learning predictor removes model cost, so the
+wall-clock is dominated by the event heap, the dispatch/placement pass,
+and collector dispatch.  The events/sec figure (2 events per attempt:
+arrival-or-release + completion) is the headline number for "runs as
+fast as the hardware allows" and lands in the snapshot's ``metrics``
+section.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster.machine import MachineConfig
+from repro.cluster.manager import ResourceManager
+from repro.sim.backends.event import EventDrivenBackend
+from repro.sim.interface import MemoryPredictor, TaskSubmission
+from repro.workflow.nfcore import build_workflow_trace
+
+SCALE = 0.5
+SEED = 0
+
+
+class _CheapPredictor(MemoryPredictor):
+    """Constant over-allocation: zero model cost, zero failures."""
+
+    name = "Cheap"
+
+    def predict(self, task: TaskSubmission) -> float:
+        return 64.0 * 1024
+
+    def predict_batch(self, tasks):
+        return [64.0 * 1024] * len(tasks)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_workflow_trace("rnaseq", seed=SEED, scale=SCALE)
+
+
+def test_bench_kernel_throughput_flat(trace, once, bench_metric):
+    backend = EventDrivenBackend(arrival="poisson:50", seed=SEED)
+    manager = ResourceManager(
+        MachineConfig(name="big", memory_mb=512.0 * 1024), n_nodes=8
+    )
+    start = time.perf_counter()
+    res = once(backend.run, trace, _CheapPredictor(), manager, 1.0)
+    elapsed = time.perf_counter() - start
+    n_events = 2 * len(res.ledger.outcomes)  # arrival/requeue + completion
+    assert res.num_tasks == len(trace)
+    bench_metric("events_per_sec", n_events / elapsed)
+
+
+def test_bench_kernel_throughput_dag(trace, once, bench_metric):
+    backend = EventDrivenBackend(
+        dag="trace", workflow_arrival="4@poisson:2", seed=SEED
+    )
+    manager = ResourceManager(
+        MachineConfig(name="big", memory_mb=512.0 * 1024), n_nodes=8
+    )
+    start = time.perf_counter()
+    res = once(backend.run, trace, _CheapPredictor(), manager, 1.0)
+    elapsed = time.perf_counter() - start
+    n_events = 2 * len(res.ledger.outcomes) + 4  # + workflow arrivals
+    assert res.num_tasks == 4 * len(trace)
+    bench_metric("events_per_sec", n_events / elapsed)

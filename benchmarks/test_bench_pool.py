@@ -1,0 +1,49 @@
+"""Micro-bench: ModelPool prediction hot path.
+
+``ModelPool.predict`` / ``predict_batch`` run once per sizing decision —
+tens of thousands of calls per grid — so the per-call overhead matters.
+The active-slot filter and the accuracy-scores array used to be rebuilt
+on every call; they are now cached and refreshed only by ``update()``.
+This bench pins the per-call cost of both entry points after a realistic
+warm-up so regressions of the hot path are visible in the snapshot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pool import ModelPool
+
+N_WARMUP = 60
+N_CALLS = 500
+
+
+@pytest.fixture(scope="module")
+def warm_pool():
+    rng = np.random.default_rng(0)
+    pool = ModelPool(training_mode="incremental", random_state=0)
+    for i in range(N_WARMUP):
+        x = np.array([float(i % 17) + 1.0])
+        pool.update(x, 100.0 + 5.0 * float(i % 17) + rng.normal(0, 2.0))
+    return pool
+
+
+def test_bench_pool_predict(warm_pool, once):
+    x = np.array([[7.0]])
+
+    def loop():
+        for _ in range(N_CALLS):
+            warm_pool.predict(x)
+
+    once(loop)
+    assert warm_pool.predict(x).estimate > 0
+
+
+def test_bench_pool_predict_batch(warm_pool, once):
+    X = np.linspace(1.0, 17.0, 64).reshape(-1, 1)
+
+    def loop():
+        for _ in range(N_CALLS // 10):
+            warm_pool.predict_batch(X)
+
+    once(loop)
+    assert len(warm_pool.predict_batch(X)) == 64

@@ -31,7 +31,7 @@ setup(
     python_requires=">=3.10",
     install_requires=["numpy"],
     extras_require={
-        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        "test": ["pytest", "hypothesis", "pytest-benchmark", "pytest-xdist"],
     },
     entry_points={
         "console_scripts": ["repro=repro.cli:main"],

@@ -15,6 +15,8 @@ Examples::
         --cluster "128g:4,256g:4" --placement best-fit --arrival poisson:0.5
     python -m repro simulate --workflow iwd --backend event --dag trace \
         --workflow-arrival 4@poisson:2 --cluster "128g:4,256g:4"
+    python -m repro simulate --workflow iwd --backend event \
+        --node-outage 0.05:0.2:0 --cluster "64g:4"
     python -m repro figures --only fig11 fig12
     python -m repro trace --workflow mag --scale 0.1 --out mag.json --csv mag.csv
     python -m repro compare --workflows chipseq iwd --scale 0.2 --backend event
@@ -83,9 +85,20 @@ def _arrival_spec(value: str) -> str:
     return value
 
 
+def _node_outage_spec(value: str) -> str:
+    """Validate a --node-outage spec eagerly so bad specs fail at parse time."""
+    from repro.sim.kernel.outage import parse_node_outage
+
+    try:
+        parse_node_outage(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
 def _workflow_arrival_spec(value: str) -> str:
     """Validate a --workflow-arrival spec eagerly (fail at parse time)."""
-    from repro.sched.arrivals import parse_workflow_arrival
+    from repro.sim.arrivals import parse_workflow_arrival
 
     try:
         parse_workflow_arrival(value)
@@ -116,6 +129,13 @@ def _add_cluster_options(sub: argparse.ArgumentParser) -> None:
                      help="inject whole workflow instances (implies "
                           "--dag trace): 'N', 'N@poisson:R', 'N@fixed:H', "
                           "'N@bursty:SxG', optionally '@tenants:K'")
+    sub.add_argument("--node-outage", type=_node_outage_spec,
+                     action="append", default=None, metavar="SPEC",
+                     help="schedule a node drain 'START:DURATION:NODE' "
+                          "(hours, hours, node id): placement on the node "
+                          "pauses and its running tasks are preempted and "
+                          "re-queued; repeatable; works in flat and DAG "
+                          "modes (event backend)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -191,6 +211,26 @@ def _validate_args(
     if (has_dag or has_wf_arrival) and args.backend != "event":
         parser.error("--dag/--workflow-arrival only shape the event "
                      "backend; add --backend event")
+    node_outages = getattr(args, "node_outage", None)
+    if node_outages:
+        if args.backend != "event":
+            parser.error("--node-outage only shapes the event backend; "
+                         "add --backend event")
+        # Check node ids against the cluster now, so a typo fails with a
+        # clean message like every other bad CLI combination.
+        from repro.cluster.machine import parse_cluster_spec
+        from repro.sim.kernel.outage import parse_node_outage
+
+        if args.cluster is not None:
+            n_nodes = sum(c for _, c in parse_cluster_spec(args.cluster))
+        else:
+            n_nodes = 8  # the paper's default cluster
+        for spec in node_outages:
+            node_id = parse_node_outage(spec).node_id
+            if node_id >= n_nodes:
+                parser.error(
+                    f"--node-outage {spec} names node {node_id}, but the "
+                    f"cluster has nodes 0..{n_nodes - 1}")
     if (has_dag or has_wf_arrival) and (has_arrival or has_interval):
         parser.error("DAG-aware scheduling replaces per-task arrivals; "
                      "drop --arrival/--arrival-interval")
@@ -200,22 +240,31 @@ def _resolve_cli_backend(args: argparse.Namespace):
     """Backend name, or a configured instance when options require one."""
     dag = getattr(args, "dag", None)
     workflow_arrival = getattr(args, "workflow_arrival", None)
+    node_outage = getattr(args, "node_outage", None)
     if args.backend == "event" and (
         args.arrival is not None
         or args.arrival_interval > 0.0
         or dag is not None
         or workflow_arrival is not None
+        or node_outage
     ):
         from repro.sim.backends import EventDrivenBackend
 
-        if args.arrival is not None:
-            return EventDrivenBackend(arrival=args.arrival, seed=args.seed)
         if dag is not None or workflow_arrival is not None:
             return EventDrivenBackend(
-                dag=dag, workflow_arrival=workflow_arrival, seed=args.seed
+                dag=dag,
+                workflow_arrival=workflow_arrival,
+                seed=args.seed,
+                node_outage=node_outage,
+            )
+        if args.arrival is not None:
+            return EventDrivenBackend(
+                arrival=args.arrival, seed=args.seed, node_outage=node_outage
             )
         return EventDrivenBackend(
-            arrival_interval_hours=args.arrival_interval, seed=args.seed
+            arrival_interval_hours=args.arrival_interval,
+            seed=args.seed,
+            node_outage=node_outage,
         )
     return args.backend
 

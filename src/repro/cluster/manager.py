@@ -25,7 +25,7 @@ nodes by default.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Collection, Sequence
 
 from repro.cluster.machine import (
     EPYC_7282_128G,
@@ -155,16 +155,23 @@ class ResourceManager:
         self._next_task_id = 0
 
     def try_place(
-        self, memory_mb: float, policy: PlacementPolicy | None = None
+        self,
+        memory_mb: float,
+        policy: PlacementPolicy | None = None,
+        exclude: "Collection[int] | None" = None,
     ) -> Machine | None:
         """Policy-driven placement that returns ``None`` instead of raising.
 
-        Used by the event-driven backend, where a request that does not
-        currently fit simply stays queued until capacity frees up.
-        ``policy`` overrides the manager's configured policy for one
-        call.
+        Used by the event-driven simulation kernel, where a request that
+        does not currently fit simply stays queued until capacity frees
+        up.  ``policy`` overrides the manager's configured policy for
+        one call; ``exclude`` hides the named node ids from the policy —
+        how the kernel pauses placement on drained nodes.
         """
-        return (policy or self.placement).select(self.nodes, memory_mb)
+        nodes = self.nodes
+        if exclude:
+            nodes = [n for n in nodes if n.node_id not in exclude]
+        return (policy or self.placement).select(nodes, memory_mb)
 
     def place(self, memory_mb: float) -> Machine:
         """Policy-driven placement; frees are logical so capacity returns.

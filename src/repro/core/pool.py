@@ -136,6 +136,13 @@ class ModelPool:
         self._history = _History()
         self._n_updates = 0
         self.last_update_seconds = 0.0
+        # Hot-path cache: which slots are fitted, their names, and their
+        # accuracy scores only change inside update(), so predict() /
+        # predict_batch() reuse these instead of re-filtering the slots
+        # and rebuilding the scores array on every call.
+        self._active: list[ModelSlot] = []
+        self._active_names: tuple[str, ...] = ()
+        self._active_accuracy = np.empty(0, dtype=np.float64)
 
     # ------------------------------------------------------------------
     # state
@@ -191,22 +198,35 @@ class ModelPool:
                 if slot.fitted:
                     terms = accuracy_terms(slot.predict(X_all), y_all)
                     acc.reset_to(terms)
+        self._refresh_active()
         return self.last_update_seconds
+
+    def _refresh_active(self) -> None:
+        """Rebuild the fitted-slot cache after training/scoring changed."""
+        active = [
+            (slot, acc)
+            for slot, acc in zip(self.slots, self._accuracy)
+            if slot.fitted
+        ]
+        self._active = [slot for slot, _ in active]
+        self._active_names = tuple(slot.class_name for slot, _ in active)
+        self._active_accuracy = np.array(
+            [acc.score for _, acc in active], dtype=np.float64
+        )
 
     # ------------------------------------------------------------------
     # Phase 2: prediction
     # ------------------------------------------------------------------
     def predict(self, x: np.ndarray) -> PoolPrediction:
         """Gated prediction for feature vector ``x`` (shape ``(1, d)``)."""
-        if not self.is_ready:
+        if not self._active:
             raise RuntimeError("pool has no fitted models; call update() first")
         x = np.asarray(x, dtype=np.float64).reshape(1, -1)
-        active = [
-            (slot, acc) for slot, acc in zip(self.slots, self._accuracy) if slot.fitted
-        ]
-        names = tuple(slot.class_name for slot, _ in active)
-        preds = np.array([slot.predict_one(x) for slot, _ in active])
-        acc = np.array([a.score for _, a in active])
+        names = self._active_names
+        preds = np.array([slot.predict_one(x) for slot in self._active])
+        # Copy: PoolPrediction is a transparency record callers may hold
+        # onto; handing out the cache itself would let them corrupt it.
+        acc = self._active_accuracy.copy()
         eff = efficiency_scores(preds)
         raq = raq_scores(acc, eff, self.alpha)
         decision = gate(preds, raq, self.gating, self.beta)
@@ -230,21 +250,21 @@ class ModelPool:
         ``n`` queries per slot.  Scoring and gating stay per-row because
         efficiency scores compare the models within one submission.
         """
-        if not self.is_ready:
+        if not self._active:
             raise RuntimeError("pool has no fitted models; call update() first")
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValueError(f"X must have shape (n, d), got {X.shape}")
-        active = [
-            (slot, acc) for slot, acc in zip(self.slots, self._accuracy) if slot.fitted
-        ]
-        names = tuple(slot.class_name for slot, _ in active)
+        names = self._active_names
         # (n_models, n_rows): the single vectorized query per slot.
-        pred_matrix = np.stack([slot.predict(X) for slot, _ in active])
-        acc = np.array([a.score for _, a in active])
+        pred_matrix = np.stack([slot.predict(X) for slot in self._active])
+        acc = self._active_accuracy
         out: list[PoolPrediction] = []
         for j in range(X.shape[0]):
-            preds = pred_matrix[:, j]
+            # Copies: rows must not be views into the shared matrix (a
+            # retained PoolPrediction would pin it alive and expose it
+            # to mutation), and ``acc`` must not alias the pool's cache.
+            preds = np.ascontiguousarray(pred_matrix[:, j])
             eff = efficiency_scores(preds)
             raq = raq_scores(acc, eff, self.alpha)
             decision = gate(preds, raq, self.gating, self.beta)
@@ -252,7 +272,7 @@ class ModelPool:
                 PoolPrediction(
                     model_names=names,
                     predictions=preds,
-                    accuracy=acc,
+                    accuracy=acc.copy(),
                     efficiency=eff,
                     raq=raq,
                     weights=decision.weights,

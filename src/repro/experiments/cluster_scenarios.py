@@ -13,7 +13,10 @@ Scenario axes:
 
 - cluster spec (``"128g:8"`` vs ``"128g:4,256g:4"`` vs ``"64g:16"``),
 - placement policy (first-fit / best-fit / worst-fit),
-- arrival model (batch, Poisson, bursty).
+- arrival model (batch, Poisson, bursty),
+- scheduled node drains (``node_outage="start:duration:node"``) — a
+  kernel-level scenario that pauses placement on a node mid-run and
+  preempts its running tasks, stressing every method's re-queue path.
 """
 
 from __future__ import annotations
@@ -39,6 +42,8 @@ class Scenario:
     cluster: str
     placement: str = "first-fit"
     arrival: str = "fixed:0"
+    #: Optional node drain windows ("start:duration:node" specs).
+    node_outage: tuple[str, ...] = ()
 
 
 #: The default scenario grid: the paper's homogeneous baseline, a mixed
@@ -63,6 +68,13 @@ SCENARIOS: tuple[Scenario, ...] = (
         cluster="64g:16",
         placement="best-fit",
         arrival="bursty:16x0.05",
+    ),
+    Scenario(
+        name="node-drain",
+        cluster="64g:4",
+        placement="best-fit",
+        arrival="bursty:16x0.05",
+        node_outage=("0.02:0.2:0",),
     ),
 )
 
@@ -92,7 +104,11 @@ def collect(
     }
     out: dict[str, dict[str, dict[str, object]]] = {}
     for scenario in scenarios:
-        backend = EventDrivenBackend(arrival=scenario.arrival, seed=seed)
+        backend = EventDrivenBackend(
+            arrival=scenario.arrival,
+            seed=seed,
+            node_outage=scenario.node_outage or None,
+        )
         per_method: dict[str, dict[str, object]] = {}
         for method in methods:
             results = [
@@ -162,8 +178,13 @@ def run(
                     rows,
                     title=(
                         f"cluster scenario {name}: {s.cluster} "
-                        f"({s.placement}, {s.arrival}, "
-                        f"workflows: {', '.join(workflows)})"
+                        f"({s.placement}, {s.arrival}"
+                        + (
+                            f", drains: {','.join(s.node_outage)}"
+                            if s.node_outage
+                            else ""
+                        )
+                        + f", workflows: {', '.join(workflows)})"
                     ),
                 )
             )

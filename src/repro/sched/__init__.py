@@ -13,7 +13,8 @@ dependency-driven, multi-tenant:
   only when all DAG predecessor types' instances have succeeded;
   killed-and-requeued tasks hold their successors back; global FCFS
   queue across all tenants' instances.
-- :mod:`repro.sched.arrivals` — :class:`WorkflowArrivals`: injects whole
+- :class:`~repro.sim.arrivals.WorkflowArrivals` (re-exported here;
+  :mod:`repro.sched.arrivals` is a deprecated shim) — injects whole
   workflow instances (fixed / Poisson / bursty, seeded) owned by
   round-robin tenants.
 - :mod:`repro.sched.engine` — the discrete-event loop gluing the above
@@ -27,7 +28,7 @@ Reached through ``EventDrivenBackend(dag=..., workflow_arrival=...)``,
 ``run_grid``, and the CLI's ``--dag`` / ``--workflow-arrival``.
 """
 
-from repro.sched.arrivals import WorkflowArrivals, parse_workflow_arrival
+from repro.sim.arrivals import WorkflowArrivals, parse_workflow_arrival
 from repro.sched.engine import resolve_dag, run_dag_simulation
 from repro.sched.instance import WorkflowInstance
 from repro.sched.ready import ReadySetScheduler

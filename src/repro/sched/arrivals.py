@@ -1,125 +1,28 @@
-"""Workflow-level arrival model: whole workflow instances, many tenants.
+"""Deprecated shim — workflow arrivals moved to :mod:`repro.sim.arrivals`.
 
-The task-level :mod:`repro.sim.arrivals` models stagger *tasks* of one
-trace.  On a shared cluster the unit of submission is the whole
-workflow: users hand the SWMS complete DAGs, and several users' runs
-contend for the same nodes.  :class:`WorkflowArrivals` captures that —
-it fixes how many workflow instances are injected, reuses the task-level
-:class:`~repro.sim.arrivals.ArrivalModel` machinery (fixed / Poisson /
-bursty, all drawing from the run's seeded RNG) for the instance arrival
-times, and assigns each instance to a tenant round-robin.
-
-Spec strings, accepted everywhere a ``workflow_arrival`` option exists
-(backend, runner, CLI ``--workflow-arrival``)::
-
-    "4"               four instances, all submitted at t=0
-    "4@fixed:1.5"     four instances, 1.5 h apart
-    "4@poisson:2"     four instances, Poisson process at 2/h
-    "6@bursty:2x0.5"  six instances in bursts of two, 0.5 h apart
-    "4@poisson:2@tenants:2"   same, shared by two users round-robin
+The task-level and workflow-level arrival models used to live in two
+near-duplicate modules (``repro.sim.arrivals`` and this one), kept in
+sync by hand.  They are now one module: import
+:class:`~repro.sim.arrivals.WorkflowArrivals` and
+:func:`~repro.sim.arrivals.parse_workflow_arrival` from
+``repro.sim.arrivals`` instead.  This shim re-exports them unchanged and
+will be removed in a future release.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
-from repro.sim.arrivals import ArrivalModel, FixedArrivals, parse_arrival
+from repro.sim.arrivals import (  # noqa: F401  (re-exports)
+    WorkflowArrivals,
+    parse_workflow_arrival,
+)
 
 __all__ = ["WorkflowArrivals", "parse_workflow_arrival"]
 
-
-class WorkflowArrivals:
-    """How many workflow instances arrive, when, and for which tenants.
-
-    Parameters
-    ----------
-    n_instances:
-        Number of whole-workflow copies injected into the simulation.
-    arrival:
-        Inter-instance arrival process — a task-level arrival spec
-        string or :class:`~repro.sim.arrivals.ArrivalModel` (default: all
-        instances submitted at t=0, a batch of competing runs).
-    n_tenants:
-        Number of distinct users owning the instances, assigned
-        round-robin (``user0``, ``user1``, ...).  Defaults to one tenant
-        per instance — every run belongs to a different user.
-    """
-
-    def __init__(
-        self,
-        n_instances: int = 1,
-        arrival: str | ArrivalModel | None = None,
-        n_tenants: int | None = None,
-    ) -> None:
-        if n_instances < 1:
-            raise ValueError(f"n_instances must be >= 1, got {n_instances}")
-        if n_tenants is not None and n_tenants < 1:
-            raise ValueError(f"n_tenants must be >= 1, got {n_tenants}")
-        self.n_instances = n_instances
-        self.arrival = parse_arrival(
-            FixedArrivals(0.0) if arrival is None else arrival
-        )
-        self.n_tenants = min(n_tenants or n_instances, n_instances)
-
-    @property
-    def name(self) -> str:
-        return f"{self.n_instances}@{self.arrival.name}"
-
-    def sample(self, rng: np.random.Generator) -> np.ndarray:
-        """Non-decreasing submission times for all instances (hours)."""
-        return self.arrival.sample(self.n_instances, rng)
-
-    def tenant(self, index: int) -> str:
-        """Owning tenant of workflow instance ``index`` (round-robin)."""
-        return f"user{index % self.n_tenants}"
-
-
-def parse_workflow_arrival(
-    spec: str | int | WorkflowArrivals,
-) -> WorkflowArrivals:
-    """Parse a workflow-arrival spec (see module docstring for forms)."""
-    if isinstance(spec, WorkflowArrivals):
-        return spec
-    if isinstance(spec, int):
-        return WorkflowArrivals(n_instances=spec)
-    if not isinstance(spec, str):
-        raise TypeError(
-            f"workflow_arrival must be a spec string, an int count, or a "
-            f"WorkflowArrivals, got {type(spec)!r}"
-        )
-    parts = spec.strip().split("@")
-    n_tenants: int | None = None
-    if len(parts) == 3:
-        kind, _, arg = parts[2].partition(":")
-        if kind != "tenants" or not arg:
-            raise ValueError(
-                f"bad workflow-arrival spec {spec!r}: third segment must "
-                f"be 'tenants:K'"
-            )
-        try:
-            n_tenants = int(arg)
-        except ValueError:
-            raise ValueError(
-                f"bad workflow-arrival spec {spec!r}: tenant count "
-                f"{arg!r} is not an integer"
-            ) from None
-        parts = parts[:2]
-    if len(parts) > 2:
-        raise ValueError(
-            f"bad workflow-arrival spec {spec!r}: expected "
-            f"'N', 'N@ARRIVAL', or 'N@ARRIVAL@tenants:K'"
-        )
-    try:
-        count = int(parts[0])
-    except ValueError:
-        raise ValueError(
-            f"bad workflow-arrival spec {spec!r}: instance count "
-            f"{parts[0]!r} is not an integer"
-        ) from None
-    arrival = parts[1] if len(parts) == 2 else None
-    try:
-        return WorkflowArrivals(
-            n_instances=count, arrival=arrival, n_tenants=n_tenants
-        )
-    except ValueError as exc:
-        raise ValueError(f"bad workflow-arrival spec {spec!r}: {exc}") from None
+warnings.warn(
+    "repro.sched.arrivals is deprecated; import WorkflowArrivals and "
+    "parse_workflow_arrival from repro.sim.arrivals instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,10 +1,10 @@
-"""DAG-aware discrete-event engine: whole workflows under dependencies.
+"""DAG-aware scheduling: a workflow driver over the simulation kernel.
 
 The flat event backend consumes a pre-ordered task stream, so memory
 sizing can never feed back into *workflow* makespan — there is no
 workflow, only tasks.  This engine closes that gap: it injects whole
 :class:`~repro.sched.instance.WorkflowInstance`\\ s via a
-:class:`~repro.sched.arrivals.WorkflowArrivals` model, releases a task
+:class:`~repro.sim.arrivals.WorkflowArrivals` model, releases a task
 through the :class:`~repro.sched.ready.ReadySetScheduler` only when all
 of its DAG predecessors' instances have succeeded (a killed-and-requeued
 task holds its successors back until its retry lands), and attributes
@@ -13,53 +13,43 @@ the :class:`~repro.sim.results.WorkflowMetrics` (per-workflow makespan,
 critical-path lower bound, stretch) that show how better memory sizing
 shortens workflows, not just wastage.
 
-Execution semantics shared with the flat event backend: FCFS dispatch in
-release order, placement through the manager's policy, kill at
-``time_to_failure`` of the runtime, predictor-driven re-sizing with the
-doubling-factor escalation floor, chunked ``predict_batch`` sizing, and
-the same wastage ledger formulas — so with a linear-chain DAG, a single
-workflow instance, and a non-learning predictor the per-task results
-reproduce the flat stream's exactly.
+Execution semantics are not re-implemented here: the clock, event heap,
+dispatch/placement pass, chunked ``predict_batch`` sizing, kill at
+``time_to_failure``, doubling-factor re-sizing, wastage formulas, and
+node-drain scenarios all come from the shared
+:class:`~repro.sim.kernel.core.SimulationKernel` — the same code the
+flat backend runs — so with a linear-chain DAG, a single workflow
+instance, and a non-learning predictor the per-task results reproduce
+the flat stream's exactly, by construction rather than by vigilance.
+This module contributes only the DAG notions of arrival (whole
+instances) and release (dependency resolution) via
+:class:`DagWorkflowDriver`.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, replace
+from dataclasses import replace
+from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.cluster.accounting import WastageLedger
-from repro.cluster.machine import Machine
 from repro.cluster.manager import ResourceManager
-from repro.sched.arrivals import WorkflowArrivals, parse_workflow_arrival
 from repro.sched.instance import WorkflowInstance
 from repro.sched.ready import ReadySetScheduler
-from repro.sim.backends.base import (
-    MAX_ATTEMPTS,
-    build_cluster_metrics,
-    commit_failure_and_resize,
-    commit_success,
-    size_first_attempts,
+from repro.sim.arrivals import WorkflowArrivals, parse_workflow_arrival
+from repro.sim.interface import MemoryPredictor, TaskSubmission
+from repro.sim.kernel.collectors import (
+    ClusterMetricsCollector,
+    WorkflowMetricsCollector,
 )
-from repro.sim.interface import MemoryPredictor, TaskSubmission, TraceContext
-from repro.sim.results import (
-    PredictionLog,
-    SimulationResult,
-    WorkflowInstanceMetrics,
-    WorkflowMetrics,
-)
+from repro.sim.kernel.core import SimulationKernel, TaskState
+from repro.sim.kernel.events import ARRIVAL
+from repro.sim.kernel.outage import NodeOutage
+from repro.sim.results import SimulationResult
 from repro.workflow.dag import WorkflowDAG
-from repro.workflow.task import TaskInstance, WorkflowTrace
+from repro.workflow.task import WorkflowTrace
 
-__all__ = ["resolve_dag", "run_dag_simulation"]
-
-_MB_PER_GB = 1024.0
-
-#: Event kinds, ordered so completions at time t free their memory
-#: before workflow arrivals at t release new ready tasks.
-_COMPLETION = 0
-_WF_ARRIVAL = 1
+__all__ = ["resolve_dag", "run_dag_simulation", "DagWorkflowDriver"]
 
 
 def resolve_dag(dag: object | None, trace: WorkflowTrace) -> WorkflowDAG:
@@ -101,22 +91,6 @@ def resolve_dag(dag: object | None, trace: WorkflowTrace) -> WorkflowDAG:
     return resolved
 
 
-@dataclass
-class _DagTaskState:
-    """Mutable per-task bookkeeping of the DAG engine."""
-
-    inst: TaskInstance
-    submission: TaskSubmission
-    wi: WorkflowInstance
-    index: int
-    allocation: float | None = None
-    first_allocation: float | None = None
-    attempt: int = 0
-    queued_at: float = 0.0
-    #: (node, task_id, allocated_mb, start_time) while executing.
-    running: tuple[Machine, int, float, float] | None = None
-
-
 def _instantiate_workflows(
     trace: WorkflowTrace,
     dag: WorkflowDAG,
@@ -153,6 +127,110 @@ def _instantiate_workflows(
     return instances
 
 
+class _DagQueue:
+    """:class:`~repro.sim.kernel.core.ReadyQueue` view of the ready set."""
+
+    def __init__(self, scheduler: ReadySetScheduler[TaskState]) -> None:
+        self._scheduler = scheduler
+
+    def head(self) -> TaskState:
+        return self._scheduler.head()
+
+    def pop(self) -> TaskState:
+        return self._scheduler.pop()
+
+    def unsized(self, limit: int) -> list[TaskState]:
+        return [
+            st for st in self._scheduler.queued() if st.allocation is None
+        ][:limit]
+
+    def requeue(self, state: TaskState) -> None:
+        assert state.wi is not None
+        self._scheduler.requeue(state.wi, state.inst)
+
+    def __len__(self) -> int:
+        return len(self._scheduler)
+
+    def __bool__(self) -> bool:
+        return bool(self._scheduler)
+
+
+class DagWorkflowDriver:
+    """Kernel driver that releases tasks as DAG dependencies resolve.
+
+    Arrival events carry whole :class:`WorkflowInstance`\\ s; a task's
+    success may satisfy its type and release downstream types' instances
+    into the ready queue.  ``workflows`` is populated during
+    :meth:`seed` and shared (by reference) with the
+    :class:`~repro.sim.kernel.collectors.WorkflowMetricsCollector`.
+    """
+
+    def __init__(
+        self,
+        dag: WorkflowDAG,
+        arrivals: WorkflowArrivals,
+        seed: int,
+    ) -> None:
+        self.dag = dag
+        self.arrivals = arrivals
+        self.rng_seed = seed
+        self.scheduler: ReadySetScheduler[TaskState] = ReadySetScheduler()
+        self.queue = _DagQueue(self.scheduler)
+        self.workflows: list[WorkflowInstance] = []
+        self._states: dict[str, dict[int, TaskState]] = {}
+        self.n_tasks = 0
+
+    def seed(self, kernel: SimulationKernel) -> None:
+        trace = kernel.trace
+        rng = np.random.default_rng(self.rng_seed)
+        self.workflows.extend(
+            _instantiate_workflows(trace, self.dag, self.arrivals, rng)
+        )
+        self.n_tasks = sum(wi.n_tasks for wi in self.workflows)
+        n = len(trace)
+        for k, wi in enumerate(self.workflows):
+            # ``index`` is the dense submission position (copy k owns
+            # positions [k*n, (k+1)*n)) — the flat backends' timestamp
+            # convention — while instance ids keep their trace values.
+            self._states[wi.key] = {
+                t.instance_id: TaskState(
+                    inst=t,
+                    submission=TaskSubmission.from_instance(t, k * n + i),
+                    index=k * n + i,
+                    wi=wi,
+                )
+                for i, t in enumerate(wi.tasks)
+            }
+        for wi in self.workflows:
+            kernel.events.push(wi.submit_time, ARRIVAL, wi)
+
+    def on_arrival(self, payload: object, now: float) -> Iterable[TaskState]:
+        wi = payload
+        assert isinstance(wi, WorkflowInstance)
+        released = self.scheduler.admit(wi, self._states[wi.key])
+        if wi.done:  # a workflow with no tasks finishes on arrival
+            wi.finish_time = now
+        return released
+
+    def on_success(self, state: TaskState, now: float) -> Iterable[TaskState]:
+        # Dependency bookkeeping: this success may satisfy the task's
+        # type and release downstream types' instances into the queue.
+        wi = state.wi
+        assert wi is not None
+        released = self.scheduler.on_success(wi, state.inst)
+        if wi.done:
+            wi.finish_time = now
+        return released
+
+    def finish(self, kernel: SimulationKernel) -> None:
+        unfinished = [wi.key for wi in self.workflows if not wi.done]
+        if unfinished:  # engine invariant, not a user-facing condition
+            raise RuntimeError(
+                f"DAG simulation ended with unfinished workflow instances: "
+                f"{unfinished}"
+            )
+
+
 def run_dag_simulation(
     trace: WorkflowTrace,
     predictor: MemoryPredictor,
@@ -165,6 +243,7 @@ def run_dag_simulation(
     doubling_factor: float = 2.0,
     seed: int = 0,
     backend_name: str = "event",
+    node_outage: Sequence[NodeOutage | str] | None = None,
 ) -> SimulationResult:
     """Execute ``workflow_arrival`` copies of ``trace`` under ``dag``.
 
@@ -177,219 +256,20 @@ def run_dag_simulation(
     arrivals = parse_workflow_arrival(
         workflow_arrival if workflow_arrival is not None else 1
     )
-    rng = np.random.default_rng(seed)
-
-    manager.release_all()
-    workflows = _instantiate_workflows(trace, resolved_dag, arrivals, rng)
-    n_total = sum(wi.n_tasks for wi in workflows)
-    predictor.begin_trace(
-        TraceContext(
-            workflow=trace.workflow,
-            n_tasks=n_total,
-            time_to_failure=time_to_failure,
-            backend=backend_name,
-        )
+    driver = DagWorkflowDriver(resolved_dag, arrivals, seed)
+    kernel = SimulationKernel(
+        trace,
+        predictor,
+        manager,
+        time_to_failure,
+        driver=driver,
+        collectors=[
+            ClusterMetricsCollector(),
+            WorkflowMetricsCollector(driver.workflows),
+        ],
+        prediction_chunk=prediction_chunk,
+        doubling_factor=doubling_factor,
+        outages=node_outage or (),
+        backend_name=backend_name,
     )
-    ledger = WastageLedger()
-    logs: list[PredictionLog] = []
-
-    scheduler: ReadySetScheduler[_DagTaskState] = ReadySetScheduler()
-    states: dict[str, dict[int, _DagTaskState]] = {}
-    n = len(trace)
-    for k, wi in enumerate(workflows):
-        # ``index`` is the dense submission position (copy k owns
-        # positions [k*n, (k+1)*n)) — the flat backends' timestamp
-        # convention — while instance ids keep their trace values.
-        states[wi.key] = {
-            t.instance_id: _DagTaskState(
-                inst=t,
-                submission=TaskSubmission.from_instance(t, k * n + i),
-                wi=wi,
-                index=k * n + i,
-            )
-            for i, t in enumerate(wi.tasks)
-        }
-
-    # Event heap entries: (time, kind, seq, payload) with payload a
-    # workflow instance (arrival) or a task state (completion).
-    events: list[tuple[float, int, int, object]] = []
-    seq = 0
-    for wi in workflows:
-        events.append((wi.submit_time, _WF_ARRIVAL, seq, wi))
-        seq += 1
-    heapq.heapify(events)
-
-    queue_waits: list[float] = []
-    makespan = 0.0
-    busy_mbh = {node.node_id: 0.0 for node in manager.nodes}
-    timelines: dict[int, list[tuple[float, float]]] = {
-        node.node_id: [(0.0, 0.0)] for node in manager.nodes
-    }
-
-    def release(st: _DagTaskState, now: float) -> tuple[float, float]:
-        """Free the task's node slice; returns (allocated, occupied h)."""
-        assert st.running is not None
-        node, task_id, allocated, start = st.running
-        st.running = None
-        node.release(task_id)
-        occupied = now - start
-        busy_mbh[node.node_id] += allocated * occupied
-        timelines[node.node_id].append((now, node.allocated_mb))
-        return allocated, occupied
-
-    def handle_finish(st: _DagTaskState, now: float) -> None:
-        inst = st.inst
-        allocated, _ = release(st, now)
-        commit_success(
-            ledger,
-            predictor,
-            logs,
-            inst,
-            attempt=st.attempt,
-            allocated_mb=allocated,
-            timestamp=st.index,
-            first_allocation_mb=st.first_allocation,
-            final_allocation_mb=st.allocation,
-        )
-        st.wi.wastage_gbh += (
-            (allocated - inst.peak_memory_mb) / _MB_PER_GB * inst.runtime_hours
-        )
-        # Dependency bookkeeping: this success may satisfy the task's
-        # type and release downstream types' instances into the queue.
-        for released_st in scheduler.on_success(st.wi, inst):
-            released_st.queued_at = now
-        if st.wi.done:
-            st.wi.finish_time = now
-
-    def handle_kill(st: _DagTaskState, now: float) -> None:
-        inst = st.inst
-        allocated, occupied = release(st, now)
-        st.allocation = commit_failure_and_resize(
-            ledger,
-            predictor,
-            manager,
-            inst,
-            st.submission,
-            attempt=st.attempt,
-            allocated_mb=allocated,
-            occupied_hours=occupied,
-            timestamp=st.index,
-            doubling_factor=doubling_factor,
-        )
-        st.wi.wastage_gbh += allocated / _MB_PER_GB * occupied
-        st.wi.n_failures += 1
-        st.queued_at = now
-        scheduler.requeue(st.wi, inst)
-
-    def predict_chunk(now: float) -> None:
-        """Size the first ``prediction_chunk`` unsized queued tasks."""
-        chunk = [
-            st for st in scheduler.queued() if st.allocation is None
-        ][:prediction_chunk]
-        size_first_attempts(predictor, manager, chunk)
-
-    def schedule(now: float) -> None:
-        nonlocal seq
-        while scheduler:
-            head = scheduler.head()
-            if head.allocation is None:
-                predict_chunk(now)
-            node = manager.try_place(head.allocation)
-            if node is None:
-                # Strict FCFS: the head blocks until memory frees up.
-                break
-            scheduler.pop()
-            if head.attempt + 1 > MAX_ATTEMPTS:
-                raise RuntimeError(
-                    f"task {head.inst.instance_id} "
-                    f"({head.inst.task_type.key}) did not finish within "
-                    f"{MAX_ATTEMPTS} attempts; last allocation "
-                    f"{head.allocation:.0f} MB, "
-                    f"peak {head.inst.peak_memory_mb:.0f} MB"
-                )
-            task_id = manager.next_task_id()
-            node.allocate(task_id, head.allocation)
-            timelines[node.node_id].append((now, node.allocated_mb))
-            head.attempt += 1
-            wait = now - head.queued_at
-            queue_waits.append(wait)
-            head.wi.queue_wait_hours += wait
-            if head.wi.first_dispatch is None:
-                head.wi.first_dispatch = now
-            head.running = (node, task_id, head.allocation, now)
-            success = head.allocation >= head.inst.peak_memory_mb
-            duration = (
-                head.inst.runtime_hours
-                if success
-                else head.inst.runtime_hours * time_to_failure
-            )
-            heapq.heappush(events, (now + duration, _COMPLETION, seq, head))
-            seq += 1
-
-    while events:
-        now = events[0][0]
-        while events and events[0][0] == now:
-            _, kind, _, payload = heapq.heappop(events)
-            if kind == _WF_ARRIVAL:
-                wi = payload
-                for st in scheduler.admit(wi, states[wi.key]):
-                    st.queued_at = now
-                if wi.done:  # a workflow with no tasks finishes on arrival
-                    wi.finish_time = now
-            else:
-                st = payload
-                if st.running is not None and (
-                    st.running[2] >= st.inst.peak_memory_mb
-                ):
-                    handle_finish(st, now)
-                else:
-                    handle_kill(st, now)
-            makespan = max(makespan, now)
-        schedule(now)
-
-    unfinished = [wi.key for wi in workflows if not wi.done]
-    if unfinished:  # engine invariant, not a user-facing condition
-        raise RuntimeError(
-            f"DAG simulation ended with unfinished workflow instances: "
-            f"{unfinished}"
-        )
-
-    predictor.end_trace()
-    logs.sort(key=lambda log: log.timestamp)
-    return SimulationResult(
-        workflow=trace.workflow,
-        method=predictor.name,
-        time_to_failure=time_to_failure,
-        ledger=ledger,
-        predictions=logs,
-        cluster=build_cluster_metrics(
-            manager, makespan, queue_waits, busy_mbh, timelines
-        ),
-        workflows=WorkflowMetrics(
-            instances=[_workflow_metrics(wi) for wi in workflows]
-        ),
-    )
-
-
-def _workflow_metrics(wi: WorkflowInstance) -> WorkflowInstanceMetrics:
-    finish = wi.finish_time if wi.finish_time is not None else wi.submit_time
-    first = (
-        wi.first_dispatch if wi.first_dispatch is not None else wi.submit_time
-    )
-    makespan = finish - wi.submit_time
-    critical_path = wi.critical_path_hours()
-    return WorkflowInstanceMetrics(
-        key=wi.key,
-        workflow=wi.workflow,
-        tenant=wi.tenant,
-        submit_time_hours=wi.submit_time,
-        first_dispatch_hours=first,
-        finish_time_hours=finish,
-        makespan_hours=makespan,
-        critical_path_hours=critical_path,
-        stretch=(makespan / critical_path if critical_path > 0 else 1.0),
-        queue_wait_hours=wi.queue_wait_hours,
-        wastage_gbh=wi.wastage_gbh,
-        n_tasks=wi.n_tasks,
-        n_failures=wi.n_failures,
-    )
+    return kernel.run()

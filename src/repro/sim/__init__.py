@@ -11,25 +11,32 @@ that environment:
   that hides ground truth from predictors.
 - :mod:`repro.sim.backends` -- pluggable execution semantics behind the
   :class:`SimulatorBackend` protocol: the paper-faithful serialized
-  ``"replay"`` loop and the concurrent discrete-``"event"`` engine that
-  measures queueing wait, makespan, and node utilization.
+  ``"replay"`` loop and the kernel-driven discrete-``"event"`` engine
+  that measures queueing wait, makespan, and node utilization.
+- :mod:`repro.sim.kernel` -- the unified discrete-event simulation
+  kernel: one clock, typed event heap, and sizing lifecycle shared by
+  the flat event backend and the DAG engine, with pluggable
+  :class:`~repro.sim.kernel.collectors.MetricsCollector` objects and
+  kernel-level node-drain scenarios (:class:`NodeOutage`).
 - :mod:`repro.sim.engine` -- the :class:`OnlineSimulator` facade that
   pairs a trace with a cluster and a backend.
 - :mod:`repro.sim.results` -- per-run results (plus
-  :class:`ClusterMetrics` from the event backend) and aggregation.
+  :class:`ClusterMetrics` from the event backend), aggregation, and the
+  canonical :func:`result_to_dict` export the golden regression tests
+  pin.
 - :mod:`repro.sim.runner` -- the (workflow x method) experiment grid with
   optional process parallelism and backend selection.
-- :mod:`repro.sim.arrivals` -- pluggable task-arrival models for the
-  event backend (fixed interval, Poisson, bursty), all deterministic
-  under a fixed seed.
+- :mod:`repro.sim.arrivals` -- every arrival model: per-task (fixed
+  interval, Poisson, bursty) and whole-workflow
+  (:class:`WorkflowArrivals`), all deterministic under a fixed seed.
 - :mod:`repro.sim.errors` -- typed simulator errors such as
   :class:`UnschedulableTaskError`.
 
 The event backend additionally supports DAG-aware multi-workflow
 scheduling (``dag=`` / ``workflow_arrival=``), implemented by
-:mod:`repro.sched`, which populates :class:`WorkflowMetrics`
-(per-workflow makespan, critical-path lower bound, stretch) on the
-result.
+:mod:`repro.sched` as a driver over the same kernel, which populates
+:class:`WorkflowMetrics` (per-workflow makespan, critical-path lower
+bound, stretch) on the result.
 """
 
 from repro.sim.arrivals import (
@@ -37,7 +44,9 @@ from repro.sim.arrivals import (
     BurstyArrivals,
     FixedArrivals,
     PoissonArrivals,
+    WorkflowArrivals,
     parse_arrival,
+    parse_workflow_arrival,
 )
 from repro.sim.backends import (
     EventDrivenBackend,
@@ -49,6 +58,16 @@ from repro.sim.backends import (
 )
 from repro.sim.engine import OnlineSimulator
 from repro.sim.errors import UnschedulableTaskError
+from repro.sim.kernel import (
+    BaseCollector,
+    ClusterMetricsCollector,
+    MetricsCollector,
+    NodeOutage,
+    SimulationKernel,
+    WastageCollector,
+    WorkflowMetricsCollector,
+    parse_node_outage,
+)
 from repro.sim.interface import MemoryPredictor, TaskSubmission, TraceContext
 from repro.sim.results import (
     ClusterMetrics,
@@ -56,6 +75,7 @@ from repro.sim.results import (
     WorkflowInstanceMetrics,
     WorkflowMetrics,
     aggregate_results,
+    result_to_dict,
 )
 from repro.sim.runner import run_cell, run_grid
 
@@ -83,4 +103,15 @@ __all__ = [
     "PoissonArrivals",
     "BurstyArrivals",
     "parse_arrival",
+    "WorkflowArrivals",
+    "parse_workflow_arrival",
+    "SimulationKernel",
+    "MetricsCollector",
+    "BaseCollector",
+    "WastageCollector",
+    "ClusterMetricsCollector",
+    "WorkflowMetricsCollector",
+    "NodeOutage",
+    "parse_node_outage",
+    "result_to_dict",
 ]

@@ -5,9 +5,10 @@
   checked allocation clamping).
 - :mod:`repro.sim.backends.replay` -- the paper's serialized per-task
   replay loop (``backend="replay"``, the default).
-- :mod:`repro.sim.backends.event` -- the discrete-event engine with real
-  node concurrency, FCFS queueing, and cluster metrics
-  (``backend="event"``).
+- :mod:`repro.sim.backends.event` -- the flat-stream driver over the
+  unified simulation kernel (:mod:`repro.sim.kernel`): real node
+  concurrency, FCFS queueing, cluster metrics, and node-drain
+  scenarios (``backend="event"``).
 """
 
 from repro.sim.backends.base import (

@@ -21,12 +21,10 @@ from __future__ import annotations
 
 from typing import Callable, Protocol, runtime_checkable
 
-from repro.cluster.accounting import WastageLedger
 from repro.cluster.manager import ResourceManager
-from repro.provenance.records import TaskRecord
 from repro.sim.errors import UnschedulableTaskError
-from repro.sim.interface import MemoryPredictor, TaskSubmission
-from repro.sim.results import ClusterMetrics, PredictionLog, SimulationResult
+from repro.sim.interface import MemoryPredictor
+from repro.sim.results import ClusterMetrics, SimulationResult
 from repro.workflow.task import TaskInstance, WorkflowTrace
 
 __all__ = [
@@ -37,8 +35,6 @@ __all__ = [
     "clamp_allocation_checked",
     "build_cluster_metrics",
     "size_first_attempts",
-    "commit_success",
-    "commit_failure_and_resize",
     "MAX_ATTEMPTS",
 ]
 
@@ -132,13 +128,13 @@ def clamp_allocation_checked(
 def size_first_attempts(
     predictor: MemoryPredictor, manager: ResourceManager, states
 ) -> None:
-    """Size a chunk of unsized task states with one ``predict_batch``.
+    """Size a wave of unsized task states with one ``predict_batch``.
 
-    ``states`` is any sequence of engine state objects exposing
-    ``submission``/``inst``/``allocation``/``first_allocation`` — shared
-    by the flat event backend and the DAG engine so first-attempt
-    sizing (batch query, clamp, first-allocation bookkeeping) can never
-    drift apart between the two loops.
+    ``states`` is any sequence of state objects exposing
+    ``submission``/``inst``/``allocation``/``first_allocation`` — the
+    simulation kernel calls this for every dispatch wave, so every mode
+    (flat and DAG alike) gets the vectorized one-query-per-model-slot
+    path.
     """
     allocations = predictor.predict_batch([st.submission for st in states])
     for st, allocation in zip(states, allocations):
@@ -146,117 +142,6 @@ def size_first_attempts(
             manager, st.inst, float(allocation)
         )
         st.first_allocation = st.allocation
-
-
-def commit_success(
-    ledger: WastageLedger,
-    predictor: MemoryPredictor,
-    logs: list[PredictionLog],
-    inst: TaskInstance,
-    *,
-    attempt: int,
-    allocated_mb: float,
-    timestamp: int,
-    first_allocation_mb: float | None,
-    final_allocation_mb: float | None,
-) -> None:
-    """Record a successful attempt: ledger, observation, prediction log.
-
-    Shared by the flat event backend and the DAG engine so the record
-    payloads (the exact fields a predictor learns from) can never drift
-    apart between the two loops.
-    """
-    ledger.record_success(
-        task_type=inst.task_type.name,
-        workflow=inst.task_type.workflow,
-        instance_id=inst.instance_id,
-        attempt=attempt,
-        allocated_mb=allocated_mb,
-        peak_memory_mb=inst.peak_memory_mb,
-        runtime_hours=inst.runtime_hours,
-    )
-    predictor.observe(
-        TaskRecord(
-            task_type=inst.task_type.name,
-            workflow=inst.task_type.workflow,
-            machine=inst.machine,
-            timestamp=timestamp,
-            input_size_mb=inst.input_size_mb,
-            peak_memory_mb=inst.peak_memory_mb,
-            runtime_hours=inst.runtime_hours,
-            success=True,
-            attempt=attempt,
-            allocated_mb=allocated_mb,
-            instance_id=inst.instance_id,
-        )
-    )
-    logs.append(
-        PredictionLog(
-            instance_id=inst.instance_id,
-            task_type=inst.task_type.name,
-            workflow=inst.task_type.workflow,
-            timestamp=timestamp,
-            input_size_mb=inst.input_size_mb,
-            true_peak_mb=inst.peak_memory_mb,
-            true_runtime_hours=inst.runtime_hours,
-            first_allocation_mb=first_allocation_mb,
-            final_allocation_mb=final_allocation_mb,
-            n_attempts=attempt,
-        )
-    )
-
-
-def commit_failure_and_resize(
-    ledger: WastageLedger,
-    predictor: MemoryPredictor,
-    manager: ResourceManager,
-    inst: TaskInstance,
-    submission: TaskSubmission,
-    *,
-    attempt: int,
-    allocated_mb: float,
-    occupied_hours: float,
-    timestamp: int,
-    doubling_factor: float,
-) -> float:
-    """Record a killed attempt and return the clamped retry allocation.
-
-    The failure record's "peak" is the exceeded limit — a lower bound,
-    flagged via ``success=False``.  Retries must strictly grow or the
-    task can never finish; the escalation floor is the configured
-    doubling factor.  Shared by both event loops (see
-    :func:`commit_success`) so the escalation rule stays identical.
-    """
-    ledger.record_failure(
-        task_type=inst.task_type.name,
-        workflow=inst.task_type.workflow,
-        instance_id=inst.instance_id,
-        attempt=attempt,
-        allocated_mb=allocated_mb,
-        peak_memory_mb=inst.peak_memory_mb,
-        time_to_failure_hours=occupied_hours,
-    )
-    predictor.observe(
-        TaskRecord(
-            task_type=inst.task_type.name,
-            workflow=inst.task_type.workflow,
-            machine=inst.machine,
-            timestamp=timestamp,
-            input_size_mb=inst.input_size_mb,
-            peak_memory_mb=allocated_mb,
-            runtime_hours=occupied_hours,
-            success=False,
-            attempt=attempt,
-            allocated_mb=allocated_mb,
-            instance_id=inst.instance_id,
-        )
-    )
-    next_allocation = float(
-        predictor.on_failure(submission, allocated_mb, attempt)
-    )
-    if next_allocation <= allocated_mb:
-        next_allocation = allocated_mb * doubling_factor
-    return clamp_allocation_checked(manager, inst, next_allocation)
 
 
 def build_cluster_metrics(
@@ -268,8 +153,9 @@ def build_cluster_metrics(
 ) -> ClusterMetrics:
     """Assemble :class:`ClusterMetrics` from an event engine's ledgers.
 
-    Shared by the flat-stream event backend and the DAG-aware scheduling
-    engine so both report utilization with the same convention: each
+    Used by the kernel's
+    :class:`~repro.sim.kernel.collectors.ClusterMetricsCollector`, so
+    every mode reports utilization with the same convention: each
     node's busy memory-hours divided by *that node's* capacity times the
     makespan — on a heterogeneous cluster a shared denominator would let
     a small node report < 100% while fully busy (or a big node > 100%).

@@ -1,9 +1,9 @@
-"""Discrete-event simulation backend: tasks genuinely overlap on nodes.
+"""Flat-stream event backend: a thin driver over the simulation kernel.
 
-The replay backend executes one task at a time, which makes cluster-level
-quantities — queueing delay, makespan, node utilization — unobservable.
-This backend runs the same predictor contract through a discrete-event
-engine instead:
+The replay backend executes one task at a time, which makes
+cluster-level quantities — queueing delay, makespan, node utilization —
+unobservable.  This backend runs the same predictor contract through the
+unified discrete-event kernel (:mod:`repro.sim.kernel`) instead:
 
 - every task *arrives* at the time assigned by a pluggable
   :class:`~repro.sim.arrivals.ArrivalModel` — a fixed inter-arrival
@@ -11,79 +11,125 @@ engine instead:
   a Poisson process, or bursty scatter-gather submissions, with all
   stochastic draws taken from the backend's seeded RNG;
 - arrived tasks wait in a FCFS queue ordered by submission index;
-- a scheduling pass after each event batch sizes waiting tasks via
+- the kernel's scheduling pass sizes each dispatch wave via
   :meth:`~repro.sim.interface.MemoryPredictor.predict_batch` (in chunks
-  of ``prediction_chunk``, so later tasks still benefit from online
-  learning) and places them onto
+  of ``prediction_chunk``), places onto
   :class:`~repro.cluster.manager.ResourceManager` nodes via the
-  manager's :class:`~repro.cluster.policies.PlacementPolicy`
-  (first-fit, best-fit, or worst-fit), where they occupy their
-  allocation for their whole runtime;
-- an under-allocated task is killed at ``time_to_failure`` of its
-  runtime, charged to the wastage ledger exactly like in replay mode,
-  re-sized via ``on_failure`` (with the configured doubling factor as
-  the escalation floor), and re-queued at its original priority;
-- every dispatch's queue wait, per-node allocation timelines, and the
-  makespan are recorded into
-  :class:`~repro.sim.results.ClusterMetrics`, with utilization computed
-  against each node's own capacity (heterogeneous clusters differ per
-  node).
+  manager's placement policy, kills under-allocated tasks at
+  ``time_to_failure`` of their runtime, and re-queues them re-sized
+  with the doubling-factor escalation floor;
+- :class:`~repro.sim.kernel.collectors.ClusterMetricsCollector` records
+  every dispatch's queue wait, per-node allocation timelines, and the
+  makespan into :class:`~repro.sim.results.ClusterMetrics`;
+- scheduled node drains (``node_outage="start:duration:node"``) pause
+  placement on a node and preempt its running tasks — a kernel-level
+  scenario shared verbatim with the DAG engine.
 
 Wastage accounting is attempt-for-attempt identical to the replay
 backend; for a predictor that does not learn online the two backends
 produce the same ledger totals, while the event backend additionally
 reports the cluster-level metrics.
+
+All of the execution semantics live in
+:class:`~repro.sim.kernel.core.SimulationKernel`; this module only
+contributes the *flat* notion of arrival and priority via
+:class:`FlatStreamDriver`.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.cluster.accounting import WastageLedger
-from repro.cluster.machine import Machine
 from repro.cluster.manager import ResourceManager
 from repro.sim.arrivals import ArrivalModel, FixedArrivals, parse_arrival
-from repro.sim.backends.base import (
-    MAX_ATTEMPTS,
-    build_cluster_metrics,
-    commit_failure_and_resize,
-    commit_success,
-    size_first_attempts,
-)
-from repro.sim.interface import MemoryPredictor, TaskSubmission, TraceContext
-from repro.sim.results import PredictionLog, SimulationResult
-from repro.workflow.task import TaskInstance, WorkflowTrace
+from repro.sim.interface import MemoryPredictor, TaskSubmission
+from repro.sim.kernel.collectors import ClusterMetricsCollector
+from repro.sim.kernel.core import SimulationKernel, TaskState
+from repro.sim.kernel.events import ARRIVAL
+from repro.sim.kernel.outage import NodeOutage, parse_node_outages
+from repro.sim.results import SimulationResult
+from repro.workflow.task import WorkflowTrace
 
-__all__ = ["EventDrivenBackend"]
-
-#: Event kinds, ordered so that completions at time t free their memory
-#: before arrivals at t are queued and the scheduling pass runs.
-_COMPLETION = 0
-_ARRIVAL = 1
+__all__ = ["EventDrivenBackend", "FlatStreamDriver"]
 
 
-@dataclass
-class _TaskState:
-    """Mutable per-task bookkeeping of the event engine."""
+class _FlatQueue:
+    """FCFS ready queue ordered by submission index."""
 
-    inst: TaskInstance
-    submission: TaskSubmission
-    index: int
-    arrival: float
-    allocation: float | None = None
-    first_allocation: float | None = None
-    attempt: int = 0
-    #: When the task last entered the ready queue (arrival or re-queue
-    #: after a kill); every dispatch charges ``now - queued_at`` as wait.
-    queued_at: float = 0.0
-    #: (node, task_id, allocated_mb, start_time) while executing.
-    running: tuple[Machine, int, float, float] | None = None
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, TaskState]] = []
 
-    def __lt__(self, other: "_TaskState") -> bool:  # heap tie-breaker
-        return self.index < other.index
+    def push(self, state: TaskState) -> None:
+        heapq.heappush(self._heap, (state.index, state))
+
+    def head(self) -> TaskState:
+        return self._heap[0][1]
+
+    def pop(self) -> TaskState:
+        return heapq.heappop(self._heap)[1]
+
+    def unsized(self, limit: int) -> list[TaskState]:
+        return heapq.nsmallest(
+            limit, (st for _, st in self._heap if st.allocation is None)
+        )
+
+    def requeue(self, state: TaskState) -> None:
+        # A re-queued task re-enters at its original priority.
+        self.push(state)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class FlatStreamDriver:
+    """Kernel driver for a flat, pre-ordered task stream.
+
+    Arrival events carry task states; nothing is released on success —
+    the stream has no dependencies, only submission times.
+    """
+
+    def __init__(self, arrival: ArrivalModel, seed: int) -> None:
+        self.arrival = arrival
+        self.rng_seed = seed
+        self.queue = _FlatQueue()
+        self.n_tasks = 0
+
+    def seed_states(self, trace: WorkflowTrace) -> list[TaskState]:
+        rng = np.random.default_rng(self.rng_seed)
+        arrival_times = self.arrival.sample(len(trace), rng)
+        return [
+            TaskState(
+                inst=inst,
+                submission=TaskSubmission.from_instance(inst, timestamp),
+                index=timestamp,
+                arrival=float(arrival_times[timestamp]),
+            )
+            for timestamp, inst in enumerate(trace)
+        ]
+
+    def seed(self, kernel: SimulationKernel) -> None:
+        states = self.seed_states(kernel.trace)
+        self.n_tasks = len(states)
+        for state in states:
+            kernel.events.push(state.arrival, ARRIVAL, state)
+
+    def on_arrival(self, payload: object, now: float) -> Iterable[TaskState]:
+        state = payload
+        assert isinstance(state, TaskState)
+        self.queue.push(state)
+        return (state,)
+
+    def on_success(self, state: TaskState, now: float) -> Iterable[TaskState]:
+        return ()
+
+    def finish(self, kernel: SimulationKernel) -> None:
+        pass
 
 
 class EventDrivenBackend:
@@ -129,8 +175,13 @@ class EventDrivenBackend:
         Multi-workflow injection (implies DAG-aware scheduling, using
         the trace's DAG unless ``dag`` is given): a spec such as ``"4"``,
         ``"4@poisson:2"``, ``"6@bursty:2x0.5@tenants:3"`` or a
-        :class:`~repro.sched.arrivals.WorkflowArrivals` — whole workflow
+        :class:`~repro.sim.arrivals.WorkflowArrivals` — whole workflow
         instances from different tenants contending for one cluster.
+    node_outage:
+        Scheduled node drain windows — one spec string
+        (``"start:duration:node"``), a
+        :class:`~repro.sim.kernel.outage.NodeOutage`, or a list of
+        either.  Applied identically in flat and DAG modes.
     """
 
     name = "event"
@@ -144,6 +195,7 @@ class EventDrivenBackend:
         doubling_factor: float = 2.0,
         dag: object | None = None,
         workflow_arrival: object | None = None,
+        node_outage: str | NodeOutage | Sequence[str | NodeOutage] | None = None,
     ) -> None:
         if arrival_interval_hours < 0:
             raise ValueError(
@@ -166,10 +218,11 @@ class EventDrivenBackend:
         self.doubling_factor = doubling_factor
         self.dag = dag
         if workflow_arrival is not None:
-            from repro.sched.arrivals import parse_workflow_arrival
+            from repro.sim.arrivals import parse_workflow_arrival
 
             workflow_arrival = parse_workflow_arrival(workflow_arrival)
         self.workflow_arrival = workflow_arrival
+        self.node_outages = parse_node_outages(node_outage)
         if dag is not None or workflow_arrival is not None:
             # DAG scheduling releases tasks as dependencies resolve;
             # a task-level arrival model would be silently ignored, so
@@ -189,12 +242,14 @@ class EventDrivenBackend:
         self,
         dag: object | None = None,
         workflow_arrival: object | None = None,
+        node_outage: object | None = None,
     ) -> "EventDrivenBackend":
         """A copy of this backend with DAG-scheduling options applied.
 
         The seam :class:`~repro.sim.engine.OnlineSimulator` and the grid
-        runner use to layer ``dag=`` / ``workflow_arrival=`` on top of a
-        backend resolved by name, without touching its other settings.
+        runner use to layer ``dag=`` / ``workflow_arrival=`` /
+        ``node_outage=`` on top of a backend resolved by name, without
+        touching its other settings.
         """
         return EventDrivenBackend(
             arrival_interval_hours=self.arrival_interval_hours,
@@ -208,6 +263,9 @@ class EventDrivenBackend:
                 if workflow_arrival is not None
                 else self.workflow_arrival
             ),
+            node_outage=(
+                node_outage if node_outage is not None else self.node_outages
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -219,8 +277,9 @@ class EventDrivenBackend:
         time_to_failure: float,
     ) -> SimulationResult:
         if self.dag is not None or self.workflow_arrival is not None:
-            # DAG-aware scheduling lives in its own subsystem; the flat
-            # pre-ordered stream below stays byte-identical without it.
+            # DAG-aware scheduling plugs its own driver into the same
+            # kernel; the flat pre-ordered stream below stays
+            # byte-identical without it.
             from repro.sched.engine import run_dag_simulation
 
             return run_dag_simulation(
@@ -234,174 +293,18 @@ class EventDrivenBackend:
                 doubling_factor=self.doubling_factor,
                 seed=self.seed,
                 backend_name=self.name,
+                node_outage=self.node_outages,
             )
-        manager.release_all()
-        predictor.begin_trace(
-            TraceContext(
-                workflow=trace.workflow,
-                n_tasks=len(trace),
-                time_to_failure=time_to_failure,
-                backend=self.name,
-            )
+        kernel = SimulationKernel(
+            trace,
+            predictor,
+            manager,
+            time_to_failure,
+            driver=FlatStreamDriver(self.arrival, self.seed),
+            collectors=[ClusterMetricsCollector()],
+            prediction_chunk=self.prediction_chunk,
+            doubling_factor=self.doubling_factor,
+            outages=self.node_outages,
+            backend_name=self.name,
         )
-        ledger = WastageLedger()
-        logs: list[PredictionLog] = []
-
-        rng = np.random.default_rng(self.seed)
-        arrival_times = self.arrival.sample(len(trace), rng)
-        states = [
-            _TaskState(
-                inst=inst,
-                submission=TaskSubmission.from_instance(inst, timestamp),
-                index=timestamp,
-                arrival=float(arrival_times[timestamp]),
-            )
-            for timestamp, inst in enumerate(trace)
-        ]
-
-        # Event heap entries: (time, kind, seq, state).  ``seq`` keeps
-        # ordering deterministic for identical (time, kind) pairs.
-        events: list[tuple[float, int, int, _TaskState]] = []
-        seq = 0
-        for st in states:
-            events.append((st.arrival, _ARRIVAL, seq, st))
-            seq += 1
-        heapq.heapify(events)
-
-        ready: list[tuple[int, _TaskState]] = []  # heap keyed by index
-        queue_waits: list[float] = []
-        makespan = 0.0
-        busy_mbh = {node.node_id: 0.0 for node in manager.nodes}
-        timelines: dict[int, list[tuple[float, float]]] = {
-            node.node_id: [(0.0, 0.0)] for node in manager.nodes
-        }
-
-        def release(st: _TaskState, now: float) -> tuple[float, float]:
-            """Free the task's node slice; returns (allocated, occupied h)."""
-            assert st.running is not None
-            node, task_id, allocated, start = st.running
-            st.running = None
-            node.release(task_id)
-            occupied = now - start
-            busy_mbh[node.node_id] += allocated * occupied
-            timelines[node.node_id].append((now, node.allocated_mb))
-            return allocated, occupied
-
-        def handle_finish(st: _TaskState, now: float) -> None:
-            allocated, _ = release(st, now)
-            commit_success(
-                ledger,
-                predictor,
-                logs,
-                st.inst,
-                attempt=st.attempt,
-                allocated_mb=allocated,
-                timestamp=st.index,
-                first_allocation_mb=st.first_allocation,
-                final_allocation_mb=st.allocation,
-            )
-
-        def handle_kill(st: _TaskState, now: float) -> None:
-            allocated, occupied = release(st, now)
-            st.allocation = commit_failure_and_resize(
-                ledger,
-                predictor,
-                manager,
-                st.inst,
-                st.submission,
-                attempt=st.attempt,
-                allocated_mb=allocated,
-                occupied_hours=occupied,
-                timestamp=st.index,
-                doubling_factor=self.doubling_factor,
-            )
-            st.queued_at = now
-            heapq.heappush(ready, (st.index, st))
-
-        def schedule(now: float) -> None:
-            nonlocal seq
-            while ready:
-                _, head = ready[0]
-                if head.allocation is None:
-                    self._predict_chunk(predictor, manager, ready)
-                node = manager.try_place(head.allocation)
-                if node is None:
-                    # Strict FCFS: the head blocks until memory frees up.
-                    break
-                heapq.heappop(ready)
-                if head.attempt + 1 > MAX_ATTEMPTS:
-                    raise RuntimeError(
-                        f"task {head.inst.instance_id} "
-                        f"({head.inst.task_type.key}) did not finish within "
-                        f"{MAX_ATTEMPTS} attempts; last allocation "
-                        f"{head.allocation:.0f} MB, "
-                        f"peak {head.inst.peak_memory_mb:.0f} MB"
-                    )
-                task_id = manager.next_task_id()
-                node.allocate(task_id, head.allocation)
-                timelines[node.node_id].append((now, node.allocated_mb))
-                head.attempt += 1
-                # Every dispatch pays its wait — including re-queues
-                # after a kill, which otherwise vanish from the totals.
-                queue_waits.append(now - head.queued_at)
-                head.running = (node, task_id, head.allocation, now)
-                success = head.allocation >= head.inst.peak_memory_mb
-                duration = (
-                    head.inst.runtime_hours
-                    if success
-                    else head.inst.runtime_hours * time_to_failure
-                )
-                heapq.heappush(
-                    events, (now + duration, _COMPLETION, seq, head)
-                )
-                seq += 1
-
-        while events:
-            now = events[0][0]
-            while events and events[0][0] == now:
-                _, kind, _, st = heapq.heappop(events)
-                if kind == _ARRIVAL:
-                    st.queued_at = now
-                    heapq.heappush(ready, (st.index, st))
-                elif st.running is not None and (
-                    st.running[2] >= st.inst.peak_memory_mb
-                ):
-                    handle_finish(st, now)
-                else:
-                    handle_kill(st, now)
-                makespan = max(makespan, now)
-            schedule(now)
-
-        predictor.end_trace()
-        logs.sort(key=lambda log: log.timestamp)
-        return SimulationResult(
-            workflow=trace.workflow,
-            method=predictor.name,
-            time_to_failure=time_to_failure,
-            ledger=ledger,
-            predictions=logs,
-            cluster=build_cluster_metrics(
-                manager, makespan, queue_waits, busy_mbh, timelines
-            ),
-        )
-
-    # ------------------------------------------------------------------
-    def _predict_chunk(
-        self,
-        predictor: MemoryPredictor,
-        manager: ResourceManager,
-        ready: list[tuple[int, _TaskState]],
-    ) -> None:
-        """Size the first ``prediction_chunk`` unsized queued tasks.
-
-        One ``predict_batch`` call covers the chunk; chunking (rather
-        than sizing the whole queue up front) keeps predictions close to
-        dispatch time so online learning from earlier completions still
-        reaches later tasks.
-        """
-        chunk = heapq.nsmallest(
-            self.prediction_chunk,
-            (st for _, st in ready if st.allocation is None),
-        )
-        size_first_attempts(predictor, manager, chunk)
-
+        return kernel.run()

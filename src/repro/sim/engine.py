@@ -61,6 +61,11 @@ class OnlineSimulator:
     workflow_arrival:
         Multi-workflow injection spec (event backend only), e.g.
         ``"4@poisson:2"`` — implies DAG-aware scheduling.
+    node_outage:
+        Scheduled node drain windows (event backend only, flat or DAG):
+        one ``"start:duration:node"`` spec or a list of them — the named
+        node stops accepting placements for the window and its running
+        tasks are preempted and re-queued.
     """
 
     def __init__(
@@ -73,6 +78,7 @@ class OnlineSimulator:
         placement: str | PlacementPolicy = "first-fit",
         dag: object | None = None,
         workflow_arrival: object | None = None,
+        node_outage: object | None = None,
     ) -> None:
         if not 0.0 < time_to_failure <= 1.0:
             raise ValueError(
@@ -91,15 +97,22 @@ class OnlineSimulator:
             self.manager = ResourceManager(placement=placement)
         self.time_to_failure = time_to_failure
         self.backend = resolve_backend(backend)
-        if dag is not None or workflow_arrival is not None:
+        if (
+            dag is not None
+            or workflow_arrival is not None
+            or node_outage is not None
+        ):
             configure = getattr(self.backend, "with_workflow_options", None)
             if configure is None:
                 raise ValueError(
-                    f"dag/workflow_arrival require a DAG-capable backend "
-                    f"(the event backend); got {self.backend.name!r}"
+                    f"dag/workflow_arrival/node_outage require a "
+                    f"kernel-driven backend (the event backend); got "
+                    f"{self.backend.name!r}"
                 )
             self.backend = configure(
-                dag=dag, workflow_arrival=workflow_arrival
+                dag=dag,
+                workflow_arrival=workflow_arrival,
+                node_outage=node_outage,
             )
 
     def run(self, predictor: MemoryPredictor) -> SimulationResult:

@@ -1,0 +1,65 @@
+"""The unified discrete-event simulation kernel.
+
+One event loop for every execution mode.  The flat event backend
+(:class:`~repro.sim.backends.event.EventDrivenBackend`) and the DAG
+scheduling engine (:mod:`repro.sched.engine`) are thin drivers over this
+package:
+
+- :mod:`repro.sim.kernel.events` — the typed event heap with
+  deterministic three-level tie-breaking (time, kind, push sequence);
+- :mod:`repro.sim.kernel.core` — :class:`SimulationKernel` (clock,
+  dispatch/placement pass, the size → place → run → kill/re-queue
+  lifecycle with batched ``predict_batch`` sizing) plus the
+  :class:`KernelDriver` / :class:`ReadyQueue` seams drivers implement;
+- :mod:`repro.sim.kernel.collectors` — the pluggable
+  :class:`MetricsCollector` protocol and the stock collectors (wastage
+  ledger, cluster metrics, per-workflow metrics);
+- :mod:`repro.sim.kernel.outage` — scheduled node drain windows, a
+  kernel-level scenario available identically in flat and DAG modes.
+"""
+
+from repro.sim.kernel.collectors import (
+    BaseCollector,
+    ClusterMetricsCollector,
+    MetricsCollector,
+    WastageCollector,
+    WorkflowMetricsCollector,
+)
+from repro.sim.kernel.core import (
+    KernelDriver,
+    ReadyQueue,
+    SimulationKernel,
+    TaskState,
+)
+from repro.sim.kernel.events import (
+    ARRIVAL,
+    COMPLETION,
+    OUTAGE_END,
+    OUTAGE_START,
+    EventHeap,
+)
+from repro.sim.kernel.outage import (
+    NodeOutage,
+    parse_node_outage,
+    parse_node_outages,
+)
+
+__all__ = [
+    "SimulationKernel",
+    "TaskState",
+    "KernelDriver",
+    "ReadyQueue",
+    "EventHeap",
+    "COMPLETION",
+    "OUTAGE_END",
+    "ARRIVAL",
+    "OUTAGE_START",
+    "MetricsCollector",
+    "BaseCollector",
+    "WastageCollector",
+    "ClusterMetricsCollector",
+    "WorkflowMetricsCollector",
+    "NodeOutage",
+    "parse_node_outage",
+    "parse_node_outages",
+]

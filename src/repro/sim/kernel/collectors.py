@@ -1,0 +1,307 @@
+"""Pluggable metrics collectors for the simulation kernel.
+
+The kernel executes the sizing lifecycle; *what gets measured* is the
+business of composable :class:`MetricsCollector` objects that observe
+the run through narrow callbacks and then attach their findings to the
+:class:`~repro.sim.results.SimulationResult`.  The three inline
+accumulations of the pre-kernel engines are now ordinary collectors:
+
+- :class:`WastageCollector` — the wastage ledger and per-task prediction
+  logs (always installed; it produces the core of the result schema);
+- :class:`ClusterMetricsCollector` — queue waits, makespan, per-node
+  busy memory and allocation timelines
+  (:class:`~repro.sim.results.ClusterMetrics`);
+- :class:`WorkflowMetricsCollector` — per-workflow-instance accounting
+  for the DAG engine (:class:`~repro.sim.results.WorkflowMetrics`).
+
+Custom collectors subclass :class:`BaseCollector` (all callbacks are
+no-ops) and are passed to the kernel via ``collectors=[...]``; each
+callback sees the kernel's unified
+:class:`~repro.sim.kernel.core.TaskState`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.cluster.accounting import WastageLedger
+from repro.cluster.machine import Machine
+from repro.cluster.manager import ResourceManager
+from repro.sim.backends.base import build_cluster_metrics
+from repro.sim.results import (
+    PredictionLog,
+    SimulationResult,
+    WorkflowInstanceMetrics,
+    WorkflowMetrics,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.instance import WorkflowInstance
+    from repro.sim.kernel.core import TaskState
+
+__all__ = [
+    "MetricsCollector",
+    "BaseCollector",
+    "WastageCollector",
+    "ClusterMetricsCollector",
+    "WorkflowMetricsCollector",
+]
+
+_MB_PER_GB = 1024.0
+
+
+@runtime_checkable
+class MetricsCollector(Protocol):
+    """Observes one kernel run and contributes metrics to the result.
+
+    Callbacks fire in deterministic simulation order; collectors must
+    not mutate task states or cluster state — they measure.
+    """
+
+    def on_run_start(self, manager: ResourceManager) -> None:
+        """The run is about to start on ``manager``'s (reset) cluster."""
+        ...
+
+    def on_event(self, now: float) -> None:
+        """An event was just handled at simulation time ``now``."""
+        ...
+
+    def on_dispatch(
+        self, state: "TaskState", now: float, node: Machine, wait_hours: float
+    ) -> None:
+        """``state`` was placed on ``node`` after ``wait_hours`` queued."""
+        ...
+
+    def on_release(
+        self,
+        state: "TaskState",
+        now: float,
+        node: Machine,
+        allocated_mb: float,
+        occupied_hours: float,
+    ) -> None:
+        """``state`` freed its node slice (success, kill, or preemption)."""
+        ...
+
+    def on_task_success(
+        self, state: "TaskState", now: float, allocated_mb: float
+    ) -> None:
+        """``state``'s attempt completed within its allocation."""
+        ...
+
+    def on_task_failure(
+        self,
+        state: "TaskState",
+        now: float,
+        allocated_mb: float,
+        occupied_hours: float,
+    ) -> None:
+        """``state``'s attempt was killed for exceeding its allocation."""
+        ...
+
+    def on_preempt(self, state: "TaskState", now: float) -> None:
+        """``state`` was preempted by a node drain (no sizing fault)."""
+        ...
+
+    def contribute(self, result: SimulationResult) -> None:
+        """Attach this collector's metrics to the finished ``result``."""
+        ...
+
+
+class BaseCollector:
+    """No-op implementation of every :class:`MetricsCollector` callback."""
+
+    def on_run_start(self, manager: ResourceManager) -> None:
+        pass
+
+    def on_event(self, now: float) -> None:
+        pass
+
+    def on_dispatch(self, state, now, node, wait_hours) -> None:
+        pass
+
+    def on_release(self, state, now, node, allocated_mb, occupied_hours) -> None:
+        pass
+
+    def on_task_success(self, state, now, allocated_mb) -> None:
+        pass
+
+    def on_task_failure(self, state, now, allocated_mb, occupied_hours) -> None:
+        pass
+
+    def on_preempt(self, state, now) -> None:
+        pass
+
+    def contribute(self, result: SimulationResult) -> None:
+        pass
+
+
+class WastageCollector(BaseCollector):
+    """The paper's core accounting: wastage ledger + prediction logs.
+
+    The kernel installs one unconditionally — the result schema is built
+    from its ledger and logs — but it is an ordinary collector: the same
+    callbacks, no privileged access to the engine.
+    """
+
+    def __init__(self) -> None:
+        self.ledger = WastageLedger()
+        self.logs: list[PredictionLog] = []
+
+    def on_task_success(self, state, now, allocated_mb) -> None:
+        inst = state.inst
+        self.ledger.record_success(
+            task_type=inst.task_type.name,
+            workflow=inst.task_type.workflow,
+            instance_id=inst.instance_id,
+            attempt=state.attempt,
+            allocated_mb=allocated_mb,
+            peak_memory_mb=inst.peak_memory_mb,
+            runtime_hours=inst.runtime_hours,
+        )
+        self.logs.append(
+            PredictionLog(
+                instance_id=inst.instance_id,
+                task_type=inst.task_type.name,
+                workflow=inst.task_type.workflow,
+                timestamp=state.index,
+                input_size_mb=inst.input_size_mb,
+                true_peak_mb=inst.peak_memory_mb,
+                true_runtime_hours=inst.runtime_hours,
+                first_allocation_mb=state.first_allocation,
+                final_allocation_mb=state.allocation,
+                n_attempts=state.attempt,
+            )
+        )
+
+    def on_task_failure(self, state, now, allocated_mb, occupied_hours) -> None:
+        inst = state.inst
+        self.ledger.record_failure(
+            task_type=inst.task_type.name,
+            workflow=inst.task_type.workflow,
+            instance_id=inst.instance_id,
+            attempt=state.attempt,
+            allocated_mb=allocated_mb,
+            peak_memory_mb=inst.peak_memory_mb,
+            time_to_failure_hours=occupied_hours,
+        )
+
+    def contribute(self, result: SimulationResult) -> None:
+        result.predictions = sorted(self.logs, key=lambda log: log.timestamp)
+
+
+class ClusterMetricsCollector(BaseCollector):
+    """Queue waits, makespan, per-node busy memory and timelines."""
+
+    def __init__(self) -> None:
+        self._manager: ResourceManager | None = None
+        self._makespan = 0.0
+        self._queue_waits: list[float] = []
+        self._busy_mbh: dict[int, float] = {}
+        self._timelines: dict[int, list[tuple[float, float]]] = {}
+
+    def on_run_start(self, manager: ResourceManager) -> None:
+        self._manager = manager
+        self._makespan = 0.0
+        self._queue_waits = []
+        self._busy_mbh = {node.node_id: 0.0 for node in manager.nodes}
+        self._timelines = {
+            node.node_id: [(0.0, 0.0)] for node in manager.nodes
+        }
+
+    def on_event(self, now: float) -> None:
+        self._makespan = max(self._makespan, now)
+
+    def on_dispatch(self, state, now, node, wait_hours) -> None:
+        self._timelines[node.node_id].append((now, node.allocated_mb))
+        # Every dispatch pays its wait — including re-queues after a
+        # kill, which otherwise vanish from the totals.
+        self._queue_waits.append(wait_hours)
+
+    def on_release(self, state, now, node, allocated_mb, occupied_hours) -> None:
+        self._busy_mbh[node.node_id] += allocated_mb * occupied_hours
+        self._timelines[node.node_id].append((now, node.allocated_mb))
+
+    def contribute(self, result: SimulationResult) -> None:
+        assert self._manager is not None, "collector never saw on_run_start"
+        result.cluster = build_cluster_metrics(
+            self._manager,
+            self._makespan,
+            self._queue_waits,
+            self._busy_mbh,
+            self._timelines,
+        )
+
+
+class WorkflowMetricsCollector(BaseCollector):
+    """Per-workflow-instance accounting for the DAG scheduling engine.
+
+    Accumulates onto each state's :class:`WorkflowInstance` (queue wait,
+    wastage attribution, failure counts, first dispatch) and reports the
+    :class:`WorkflowMetrics` at the end.  Dependency state — including
+    ``finish_time`` — is owned by the DAG driver; this collector only
+    measures.  Preemptions charge nothing: wastage attribution must keep
+    summing to the ledger, which a drain does not touch.
+    """
+
+    def __init__(self, workflows: "list[WorkflowInstance]") -> None:
+        self._workflows = workflows
+
+    def on_dispatch(self, state, now, node, wait_hours) -> None:
+        wi = state.wi
+        if wi is None:
+            return
+        wi.queue_wait_hours += wait_hours
+        if wi.first_dispatch is None:
+            wi.first_dispatch = now
+
+    def on_task_success(self, state, now, allocated_mb) -> None:
+        wi = state.wi
+        if wi is None:
+            return
+        inst = state.inst
+        wi.wastage_gbh += (
+            (allocated_mb - inst.peak_memory_mb)
+            / _MB_PER_GB
+            * inst.runtime_hours
+        )
+
+    def on_task_failure(self, state, now, allocated_mb, occupied_hours) -> None:
+        wi = state.wi
+        if wi is None:
+            return
+        wi.wastage_gbh += allocated_mb / _MB_PER_GB * occupied_hours
+        wi.n_failures += 1
+
+    def contribute(self, result: SimulationResult) -> None:
+        result.workflows = WorkflowMetrics(
+            instances=[self._instance_metrics(wi) for wi in self._workflows]
+        )
+
+    @staticmethod
+    def _instance_metrics(wi: "WorkflowInstance") -> WorkflowInstanceMetrics:
+        finish = (
+            wi.finish_time if wi.finish_time is not None else wi.submit_time
+        )
+        first = (
+            wi.first_dispatch
+            if wi.first_dispatch is not None
+            else wi.submit_time
+        )
+        makespan = finish - wi.submit_time
+        critical_path = wi.critical_path_hours()
+        return WorkflowInstanceMetrics(
+            key=wi.key,
+            workflow=wi.workflow,
+            tenant=wi.tenant,
+            submit_time_hours=wi.submit_time,
+            first_dispatch_hours=first,
+            finish_time_hours=finish,
+            makespan_hours=makespan,
+            critical_path_hours=critical_path,
+            stretch=(makespan / critical_path if critical_path > 0 else 1.0),
+            queue_wait_hours=wi.queue_wait_hours,
+            wastage_gbh=wi.wastage_gbh,
+            n_tasks=wi.n_tasks,
+            n_failures=wi.n_failures,
+        )

@@ -1,0 +1,442 @@
+"""The unified discrete-event simulation kernel.
+
+One event loop serves every execution mode.  The kernel owns what the
+flat event backend and the DAG scheduling engine used to duplicate:
+
+- the **clock and typed event heap** (:mod:`repro.sim.kernel.events`)
+  with deterministic three-level tie-breaking;
+- the **sizing lifecycle** — size a dispatch wave with one
+  :meth:`~repro.sim.interface.MemoryPredictor.predict_batch` call,
+  place through the manager's policy, run under the strict limit, kill
+  at ``time_to_failure`` of the runtime, re-size with the
+  doubling-factor escalation floor, re-queue at original priority;
+- **metrics dispatch** to pluggable
+  :class:`~repro.sim.kernel.collectors.MetricsCollector` objects;
+- kernel-level scenarios such as scheduled **node drains**
+  (:mod:`repro.sim.kernel.outage`), available to every driver.
+
+What still differs between modes lives in a :class:`KernelDriver`: how
+work *arrives* (per-task arrival times vs. whole workflow instances)
+and how completions *release* more work (a flat stream releases nothing;
+a DAG driver releases successor tasks).  Drivers own their
+:class:`ReadyQueue` so dispatch priority stays their business — the
+kernel only asks for the head, strict FCFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.cluster.machine import Machine
+from repro.cluster.manager import ResourceManager
+from repro.provenance.records import TaskRecord
+from repro.sim.backends.base import (
+    MAX_ATTEMPTS,
+    clamp_allocation_checked,
+    size_first_attempts,
+)
+from repro.sim.interface import MemoryPredictor, TaskSubmission, TraceContext
+from repro.sim.kernel.collectors import MetricsCollector, WastageCollector
+from repro.sim.kernel.events import (
+    ARRIVAL,
+    COMPLETION,
+    OUTAGE_END,
+    OUTAGE_START,
+    EventHeap,
+)
+from repro.sim.kernel.outage import NodeOutage, parse_node_outages
+from repro.sim.results import SimulationResult
+from repro.workflow.task import TaskInstance, WorkflowTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.instance import WorkflowInstance
+
+__all__ = ["TaskState", "ReadyQueue", "KernelDriver", "SimulationKernel"]
+
+
+@dataclass
+class TaskState:
+    """Unified per-task bookkeeping shared by every kernel driver."""
+
+    inst: TaskInstance
+    submission: TaskSubmission
+    #: Dense submission position — the prediction-log timestamp and the
+    #: flat FCFS priority.
+    index: int
+    #: Arrival time (hours); meaningful in flat mode.
+    arrival: float = 0.0
+    #: Owning workflow instance; ``None`` outside DAG mode.
+    wi: "WorkflowInstance | None" = None
+    allocation: float | None = None
+    first_allocation: float | None = None
+    attempt: int = 0
+    #: When the task last entered the ready queue (arrival, re-queue
+    #: after a kill, or preemption); every dispatch charges
+    #: ``now - queued_at`` as queue wait.
+    queued_at: float = 0.0
+    #: (node, task_id, allocated_mb, start_time) while executing.
+    running: tuple[Machine, int, float, float] | None = None
+    #: Incremented on every dispatch and preemption; completion events
+    #: carry the value at dispatch time, so a preempted attempt's
+    #: in-flight completion is recognized as stale and dropped.
+    dispatch_gen: int = 0
+
+    def __lt__(self, other: "TaskState") -> bool:  # heap tie-breaker
+        return self.index < other.index
+
+
+@runtime_checkable
+class ReadyQueue(Protocol):
+    """The driver-owned dispatch queue; the kernel drains it strictly FCFS."""
+
+    def __bool__(self) -> bool:
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+    def head(self) -> TaskState:
+        """The state that must dispatch next."""
+        ...
+
+    def pop(self) -> TaskState:
+        ...
+
+    def unsized(self, limit: int) -> list[TaskState]:
+        """First ``limit`` queued states without an allocation, FCFS order."""
+        ...
+
+    def requeue(self, state: TaskState) -> None:
+        """Re-enter ``state`` at its original dispatch priority."""
+        ...
+
+
+class KernelDriver(Protocol):
+    """Mode-specific behaviour plugged into the kernel.
+
+    After :meth:`seed` the driver exposes ``queue`` (its
+    :class:`ReadyQueue`) and ``n_tasks`` (total task instances of the
+    run, reported to the predictor's trace context).
+    """
+
+    queue: ReadyQueue
+    n_tasks: int
+
+    def seed(self, kernel: "SimulationKernel") -> None:
+        """Build per-task states and push the initial arrival events."""
+        ...
+
+    def on_arrival(self, payload: object, now: float) -> Iterable[TaskState]:
+        """Handle one arrival event; returns the states made ready."""
+        ...
+
+    def on_success(self, state: TaskState, now: float) -> Iterable[TaskState]:
+        """Propagate a success; returns states released into the queue."""
+        ...
+
+    def finish(self, kernel: "SimulationKernel") -> None:
+        """Post-loop invariant checks (e.g. no unfinished workflows)."""
+        ...
+
+
+class SimulationKernel:
+    """One event loop for every simulation mode.
+
+    Parameters
+    ----------
+    trace:
+        The source trace; names the workflow in results and the
+        predictor's trace context.
+    predictor / manager / time_to_failure:
+        The standard backend contract
+        (:class:`~repro.sim.backends.base.SimulatorBackend`).
+    driver:
+        Mode-specific arrival/release behaviour (:class:`KernelDriver`).
+    collectors:
+        Extra :class:`MetricsCollector` instances; a
+        :class:`WastageCollector` is always installed first (the result
+        schema is built from it).
+    prediction_chunk:
+        How many queued tasks are sized per ``predict_batch`` call;
+        chunking keeps predictions close to dispatch time so online
+        learning from earlier completions still reaches later tasks.
+    doubling_factor:
+        Escalation floor after a kill: when the predictor's retry
+        proposal does not grow, the next allocation is
+        ``failed * doubling_factor``.
+    outages:
+        Scheduled node drain windows
+        (:class:`~repro.sim.kernel.outage.NodeOutage` or spec strings);
+        each pauses placement on its node and preempts the attempts
+        running there.
+    backend_name:
+        Reported in the predictor's trace context.
+    """
+
+    def __init__(
+        self,
+        trace: WorkflowTrace,
+        predictor: MemoryPredictor,
+        manager: ResourceManager,
+        time_to_failure: float,
+        *,
+        driver: KernelDriver,
+        collectors: Sequence[MetricsCollector] = (),
+        prediction_chunk: int = 32,
+        doubling_factor: float = 2.0,
+        outages: Sequence[NodeOutage | str] = (),
+        backend_name: str = "event",
+    ) -> None:
+        self.trace = trace
+        self.predictor = predictor
+        self.manager = manager
+        self.time_to_failure = time_to_failure
+        self.driver = driver
+        self.wastage = WastageCollector()
+        self.collectors: tuple[MetricsCollector, ...] = (
+            self.wastage,
+            *collectors,
+        )
+        self.prediction_chunk = prediction_chunk
+        self.doubling_factor = doubling_factor
+        self.outages = parse_node_outages(outages)
+        self.backend_name = backend_name
+
+        self.events = EventHeap()
+        self.now = 0.0
+        #: node_id -> number of currently open drain windows.
+        self._drained: dict[int, int] = {}
+        #: task_id -> state, insertion-ordered (= dispatch order).
+        self._running: dict[int, TaskState] = {}
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        known = {node.node_id for node in self.manager.nodes}
+        for outage in self.outages:
+            if outage.node_id not in known:
+                raise ValueError(
+                    f"node outage {outage.spec!r} names unknown node "
+                    f"{outage.node_id}; cluster has nodes {sorted(known)}"
+                )
+        self.manager.release_all()
+        self.driver.seed(self)
+        for outage in self.outages:
+            self.events.push(outage.start_hours, OUTAGE_START, outage)
+            self.events.push(outage.end_hours, OUTAGE_END, outage)
+        self.predictor.begin_trace(
+            TraceContext(
+                workflow=self.trace.workflow,
+                n_tasks=self.driver.n_tasks,
+                time_to_failure=self.time_to_failure,
+                backend=self.backend_name,
+            )
+        )
+        for collector in self.collectors:
+            collector.on_run_start(self.manager)
+
+        while self.events:
+            now = self.events.next_time
+            self.now = now
+            while self.events and self.events.next_time == now:
+                _, kind, payload = self.events.pop()
+                if kind == COMPLETION:
+                    state, gen = payload
+                    if gen != state.dispatch_gen or state.running is None:
+                        continue  # preempted attempt; completion is stale
+                    self._complete(state, now)
+                elif kind == ARRIVAL:
+                    for state in self.driver.on_arrival(payload, now):
+                        state.queued_at = now
+                elif kind == OUTAGE_END:
+                    self._end_outage(payload, now)
+                    continue  # drains don't extend the measured makespan
+                else:  # OUTAGE_START
+                    self._start_outage(payload, now)
+                    continue
+                for collector in self.collectors:
+                    collector.on_event(now)
+            self._schedule(now)
+
+        self.driver.finish(self)
+        self.predictor.end_trace()
+        result = SimulationResult(
+            workflow=self.trace.workflow,
+            method=self.predictor.name,
+            time_to_failure=self.time_to_failure,
+            ledger=self.wastage.ledger,
+        )
+        for collector in self.collectors:
+            collector.contribute(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # dispatch / placement pass
+    # ------------------------------------------------------------------
+    def _schedule(self, now: float) -> None:
+        queue = self.driver.queue
+        while queue:
+            head = queue.head()
+            if head.allocation is None:
+                self._size_wave()
+            node = self._try_place(head.allocation)
+            if node is None:
+                # Strict FCFS: the head blocks until memory frees up.
+                break
+            queue.pop()
+            if head.attempt + 1 > MAX_ATTEMPTS:
+                raise RuntimeError(
+                    f"task {head.inst.instance_id} "
+                    f"({head.inst.task_type.key}) did not finish within "
+                    f"{MAX_ATTEMPTS} attempts; last allocation "
+                    f"{head.allocation:.0f} MB, "
+                    f"peak {head.inst.peak_memory_mb:.0f} MB"
+                )
+            task_id = self.manager.next_task_id()
+            node.allocate(task_id, head.allocation)
+            head.attempt += 1
+            head.dispatch_gen += 1
+            head.running = (node, task_id, head.allocation, now)
+            self._running[task_id] = head
+            wait = now - head.queued_at
+            for collector in self.collectors:
+                collector.on_dispatch(head, now, node, wait)
+            success = head.allocation >= head.inst.peak_memory_mb
+            duration = (
+                head.inst.runtime_hours
+                if success
+                else head.inst.runtime_hours * self.time_to_failure
+            )
+            self.events.push(
+                now + duration, COMPLETION, (head, head.dispatch_gen)
+            )
+
+    def _size_wave(self) -> None:
+        """Size the next dispatch wave with one ``predict_batch`` call.
+
+        Both flat and DAG queues surface their unsized states in FCFS
+        order, so every mode gets the vectorized one-query-per-model-
+        slot path.
+        """
+        wave = self.driver.queue.unsized(self.prediction_chunk)
+        size_first_attempts(self.predictor, self.manager, wave)
+
+    def _try_place(self, memory_mb: float) -> Machine | None:
+        if self._drained:
+            return self.manager.try_place(
+                memory_mb, exclude=self._drained.keys()
+            )
+        return self.manager.try_place(memory_mb)
+
+    # ------------------------------------------------------------------
+    # lifecycle transitions
+    # ------------------------------------------------------------------
+    def _release(self, state: TaskState, now: float) -> tuple[float, float]:
+        """Free the task's node slice; returns (allocated mb, occupied h)."""
+        assert state.running is not None
+        node, task_id, allocated, start = state.running
+        state.running = None
+        node.release(task_id)
+        del self._running[task_id]
+        occupied = now - start
+        for collector in self.collectors:
+            collector.on_release(state, now, node, allocated, occupied)
+        return allocated, occupied
+
+    def _complete(self, state: TaskState, now: float) -> None:
+        assert state.running is not None
+        if state.running[2] >= state.inst.peak_memory_mb:
+            self._finish(state, now)
+        else:
+            self._kill(state, now)
+
+    def _finish(self, state: TaskState, now: float) -> None:
+        inst = state.inst
+        allocated, _ = self._release(state, now)
+        for collector in self.collectors:
+            collector.on_task_success(state, now, allocated)
+        self.predictor.observe(
+            TaskRecord(
+                task_type=inst.task_type.name,
+                workflow=inst.task_type.workflow,
+                machine=inst.machine,
+                timestamp=state.index,
+                input_size_mb=inst.input_size_mb,
+                peak_memory_mb=inst.peak_memory_mb,
+                runtime_hours=inst.runtime_hours,
+                success=True,
+                attempt=state.attempt,
+                allocated_mb=allocated,
+                instance_id=inst.instance_id,
+            )
+        )
+        for released in self.driver.on_success(state, now):
+            released.queued_at = now
+
+    def _kill(self, state: TaskState, now: float) -> None:
+        inst = state.inst
+        allocated, occupied = self._release(state, now)
+        for collector in self.collectors:
+            collector.on_task_failure(state, now, allocated, occupied)
+        # The failure record's "peak" is the exceeded limit — a lower
+        # bound, flagged via ``success=False``.
+        self.predictor.observe(
+            TaskRecord(
+                task_type=inst.task_type.name,
+                workflow=inst.task_type.workflow,
+                machine=inst.machine,
+                timestamp=state.index,
+                input_size_mb=inst.input_size_mb,
+                peak_memory_mb=allocated,
+                runtime_hours=occupied,
+                success=False,
+                attempt=state.attempt,
+                allocated_mb=allocated,
+                instance_id=inst.instance_id,
+            )
+        )
+        # Retries must strictly grow or the task can never finish; the
+        # escalation floor is the configured doubling factor.
+        next_allocation = float(
+            self.predictor.on_failure(state.submission, allocated, state.attempt)
+        )
+        if next_allocation <= allocated:
+            next_allocation = allocated * self.doubling_factor
+        state.allocation = clamp_allocation_checked(
+            self.manager, inst, next_allocation
+        )
+        state.queued_at = now
+        self.driver.queue.requeue(state)
+
+    # ------------------------------------------------------------------
+    # node drains
+    # ------------------------------------------------------------------
+    def _start_outage(self, outage: NodeOutage, now: float) -> None:
+        self._drained[outage.node_id] = self._drained.get(outage.node_id, 0) + 1
+        # Preempt in dispatch order (``_running`` is insertion-ordered).
+        victims = [
+            st
+            for st in self._running.values()
+            if st.running is not None
+            and st.running[0].node_id == outage.node_id
+        ]
+        for state in victims:
+            self._release(state, now)
+            # Not the sizing method's fault: the attempt budget and the
+            # allocation are untouched, nothing hits the ledger, and the
+            # stale completion event is invalidated by the bumped gen.
+            state.attempt -= 1
+            state.dispatch_gen += 1
+            for collector in self.collectors:
+                collector.on_preempt(state, now)
+            state.queued_at = now
+            self.driver.queue.requeue(state)
+
+    def _end_outage(self, outage: NodeOutage, now: float) -> None:
+        remaining = self._drained.get(outage.node_id, 0) - 1
+        if remaining > 0:
+            self._drained[outage.node_id] = remaining
+        else:
+            self._drained.pop(outage.node_id, None)

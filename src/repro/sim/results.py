@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -15,6 +15,7 @@ __all__ = [
     "WorkflowMetrics",
     "SimulationResult",
     "aggregate_results",
+    "result_to_dict",
 ]
 
 
@@ -241,6 +242,50 @@ class SimulationResult:
             if p.first_allocation_mb >= p.true_peak_mb
         ]
         return float(np.mean(ratios)) if ratios else float("nan")
+
+
+def result_to_dict(result: SimulationResult) -> dict[str, object]:
+    """Canonical JSON-able view of a :class:`SimulationResult`.
+
+    Every measured quantity appears, in deterministic order, with floats
+    untouched (JSON round-trips Python floats exactly), so two results
+    are bit-for-bit identical iff their dicts are equal.  This is what
+    the golden regression tests pin across refactors of the simulation
+    engines, and a convenient export format generally.
+    """
+    out: dict[str, object] = {
+        "workflow": result.workflow,
+        "method": result.method,
+        "time_to_failure": result.time_to_failure,
+        "attempts": [asdict(o) for o in result.ledger.outcomes],
+        "predictions": [asdict(p) for p in result.predictions],
+        "cluster": None,
+        "workflows": None,
+    }
+    if result.cluster is not None:
+        c = result.cluster
+        out["cluster"] = {
+            "makespan_hours": c.makespan_hours,
+            "total_queue_wait_hours": c.total_queue_wait_hours,
+            "mean_queue_wait_hours": c.mean_queue_wait_hours,
+            "max_queue_wait_hours": c.max_queue_wait_hours,
+            "node_busy_memory_gbh": {
+                str(n): v for n, v in sorted(c.node_busy_memory_gbh.items())
+            },
+            "node_utilization": {
+                str(n): v for n, v in sorted(c.node_utilization.items())
+            },
+            "node_capacity_gb": {
+                str(n): v for n, v in sorted(c.node_capacity_gb.items())
+            },
+            "node_timelines": {
+                str(n): [list(point) for point in timeline]
+                for n, timeline in sorted(c.node_timelines.items())
+            },
+        }
+    if result.workflows is not None:
+        out["workflows"] = [asdict(w) for w in result.workflows.instances]
+    return out
 
 
 def aggregate_results(results: list[SimulationResult]) -> dict[str, object]:

@@ -33,6 +33,7 @@ def run_cell(
     placement: str = "first-fit",
     dag: str | None = None,
     workflow_arrival: str | None = None,
+    node_outage: str | tuple[str, ...] | None = None,
 ) -> SimulationResult:
     """Run one (workflow, method) cell with a fresh predictor and cluster.
 
@@ -41,8 +42,9 @@ def run_cell(
     policy name — both are plain strings so cells stay picklable for the
     process pool.  ``dag`` (``"trace"`` / ``"linear"``) and
     ``workflow_arrival`` (e.g. ``"4@poisson:2"``) switch the event
-    backend into DAG-aware multi-workflow scheduling — also plain
-    strings for picklability.
+    backend into DAG-aware multi-workflow scheduling, and ``node_outage``
+    (``"start:duration:node"`` spec(s)) schedules node drains — also
+    plain strings for picklability.
     """
     if cluster is not None:
         manager = ResourceManager.from_spec(cluster, placement=placement)
@@ -55,6 +57,7 @@ def run_cell(
         backend=backend,
         dag=dag,
         workflow_arrival=workflow_arrival,
+        node_outage=node_outage,
     )
     return sim.run(factory())
 
@@ -69,6 +72,7 @@ def _run_cell_star(
         str,
         str | None,
         str | None,
+        str | tuple[str, ...] | None,
     ],
 ) -> SimulationResult:
     return run_cell(*args)
@@ -84,6 +88,7 @@ def run_grid(
     placement: str = "first-fit",
     dag: str | None = None,
     workflow_arrival: str | None = None,
+    node_outage: str | tuple[str, ...] | None = None,
 ) -> dict[str, dict[str, SimulationResult]]:
     """Run every method on every workflow.
 
@@ -95,7 +100,8 @@ def run_grid(
     and ``placement`` describe the per-cell cluster (spec string and
     placement-policy name, as in :func:`run_cell`); ``dag`` and
     ``workflow_arrival`` switch every cell into DAG-aware
-    multi-workflow scheduling (event backend only).
+    multi-workflow scheduling, and ``node_outage`` schedules node
+    drains (event backend only).
     """
     cells = [
         (
@@ -110,6 +116,7 @@ def run_grid(
                 placement,
                 dag,
                 workflow_arrival,
+                node_outage,
             ),
         )
         for method, factory in factories.items()

@@ -207,7 +207,7 @@ class TestWorkflowScheduling:
     def test_default_scenarios_are_well_formed(self):
         from repro.cluster.machine import parse_cluster_spec
         from repro.experiments import workflow_scheduling
-        from repro.sched.arrivals import parse_workflow_arrival
+        from repro.sim.arrivals import parse_workflow_arrival
 
         names = [s.name for s in workflow_scheduling.SCENARIOS]
         assert len(names) == len(set(names))

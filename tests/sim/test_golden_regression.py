@@ -1,0 +1,122 @@
+"""Golden bit-for-bit regression tests for the simulation engines.
+
+The JSON files under ``tests/golden/`` pin the exact
+:class:`~repro.sim.results.SimulationResult` outputs of the pre-kernel
+engines — the PR 2 flat event backend and the PR 3 DAG scheduling
+engine — on small but non-trivial scenarios (contention, kills,
+re-queues, heterogeneous nodes, stochastic arrivals).  Any refactor of
+the simulation layer must keep these outputs *identical to the last
+bit*: the ledger's attempt sequence, every prediction log, the cluster
+metrics including per-node timelines, and the per-workflow metrics.
+
+Regenerate (only when an intentional semantic change is being made,
+never to paper over a refactor diff)::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/sim/test_golden_regression.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.factories import method_factories
+from repro.sim.backends.event import EventDrivenBackend
+from repro.sim.engine import OnlineSimulator
+from repro.sim.results import result_to_dict
+from repro.workflow.nfcore import build_workflow_trace
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+#: name -> (method, backend kwargs, simulator kwargs).  Scenarios are
+#: chosen to exercise kills/re-queues under contention on heterogeneous
+#: nodes; methods are cheap non-learning/lightweight predictors so the
+#: pin stays fast and failure-prone.
+SCENARIOS = {
+    "flat_event_pr2": dict(
+        workflow="iwd",
+        scale=0.05,
+        trace_seed=3,
+        method="Witt-Percentile",
+        backend=dict(arrival="poisson:600", seed=7),
+        sim=dict(
+            time_to_failure=0.7, cluster="4g:1,6g:1", placement="best-fit"
+        ),
+    ),
+    "flat_event_bursty_presets": dict(
+        workflow="iwd",
+        scale=0.05,
+        trace_seed=3,
+        method="Workflow-Presets",
+        backend=dict(arrival="bursty:8x0.005", seed=5),
+        sim=dict(
+            time_to_failure=1.0, cluster="4g:2", placement="first-fit"
+        ),
+    ),
+    "dag_engine_pr3": dict(
+        workflow="iwd",
+        scale=0.05,
+        trace_seed=3,
+        method="Witt-Percentile",
+        backend=dict(
+            dag="trace",
+            workflow_arrival="3@poisson:8@tenants:2",
+            seed=11,
+        ),
+        sim=dict(
+            time_to_failure=0.7, cluster="4g:1,6g:1", placement="best-fit"
+        ),
+    ),
+    "dag_engine_linear": dict(
+        workflow="iwd",
+        scale=0.05,
+        trace_seed=3,
+        method="Workflow-Presets",
+        backend=dict(dag="linear", workflow_arrival="2@fixed:0.05", seed=2),
+        sim=dict(
+            time_to_failure=1.0, cluster="4g:2", placement="first-fit"
+        ),
+    ),
+}
+
+
+def run_scenario(name: str) -> dict:
+    spec = SCENARIOS[name]
+    trace = build_workflow_trace(
+        spec["workflow"], seed=spec["trace_seed"], scale=spec["scale"]
+    )
+    backend = EventDrivenBackend(**spec["backend"])
+    sim = OnlineSimulator(trace, backend=backend, **spec["sim"])
+    predictor = method_factories()[spec["method"]]()
+    return result_to_dict(sim.run(predictor))
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden(name):
+    path = GOLDEN_DIR / f"{name}.json"
+    actual = run_scenario(name)
+    if os.environ.get("REPRO_REGEN_GOLDENS"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=1, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    expected = json.loads(path.read_text())
+    # Round-trip through JSON so float representation is identical on
+    # both sides; any difference is a genuine semantic drift.
+    actual = json.loads(json.dumps(actual))
+    assert actual == expected, f"golden output drifted for {name}"
+
+
+def test_goldens_have_coverage():
+    """The pinned scenarios must exercise the interesting machinery."""
+    flat = run_scenario("flat_event_pr2")
+    dag = run_scenario("dag_engine_pr3")
+    assert any(not a["success"] for a in flat["attempts"]), (
+        "flat golden scenario no longer produces kills/re-queues"
+    )
+    assert any(not a["success"] for a in dag["attempts"]), (
+        "DAG golden scenario no longer produces kills/re-queues"
+    )
+    assert flat["cluster"]["total_queue_wait_hours"] > 0
+    assert dag["workflows"] is not None and len(dag["workflows"]) == 3
