@@ -1,0 +1,103 @@
+"""Ingestion throughput: tasks/sec parsed and streamed per workload source.
+
+The workload layer is the mouth of the whole pipeline — every simulated
+task flows through a source at least once, and grid campaigns re-read
+the same traces for every (workload, method) cell.  This bench measures
+each adapter's end-to-end ingestion rate (parse + construct + iterate)
+on the same mag-derived task set and records it as a ``tasks_per_sec``
+metric in the snapshot, so format-level regressions (schema churn,
+validation overhead) are visible across PRs.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.workflow.io import save_trace, save_trace_jsonl
+from repro.workflow.nfcore import build_workflow_trace
+from repro.workload import (
+    NfCoreSource,
+    TraceFileSource,
+    WfCommonsSource,
+    trace_to_wfcommons,
+)
+
+#: mag at 0.2 is ~1.2k instances over 8 task types — large enough that
+#: per-row parse costs dominate fixture overhead.
+WORKFLOW = "mag"
+SCALE = 0.2
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def base_trace():
+    return build_workflow_trace(WORKFLOW, seed=SEED, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def trace_files(base_trace, tmp_path_factory):
+    root = tmp_path_factory.mktemp("bench_workload")
+    json_path = root / "t.json"
+    jsonl_path = root / "t.jsonl"
+    wfc_path = root / "t_wfcommons.json"
+    save_trace(base_trace, json_path)
+    save_trace_jsonl(base_trace, jsonl_path)
+    wfc_path.write_text(json.dumps(trace_to_wfcommons(base_trace)))
+    return {"json": json_path, "jsonl": jsonl_path, "wfcommons": wfc_path}
+
+
+def _drain(source_factory, rounds=3):
+    """(tasks consumed, seconds) across fresh sources (no cache reuse)."""
+    n = 0
+    start = time.perf_counter()
+    for _ in range(rounds):
+        source = source_factory()
+        for _task in source.iter_tasks():
+            n += 1
+    return n, time.perf_counter() - start
+
+
+def _bench_source(once, bench_metric, source_factory, expected):
+    result = once(_drain, source_factory)
+    n, elapsed = result
+    assert n == expected
+    bench_metric("tasks_per_sec", n / elapsed if elapsed > 0 else 0.0)
+
+
+def test_bench_ingest_synthetic(base_trace, once, bench_metric):
+    _bench_source(
+        once,
+        bench_metric,
+        lambda: NfCoreSource(WORKFLOW, seed=SEED, scale=SCALE),
+        3 * len(base_trace),
+    )
+
+
+def test_bench_ingest_trace_json(base_trace, trace_files, once, bench_metric):
+    _bench_source(
+        once,
+        bench_metric,
+        lambda: TraceFileSource(trace_files["json"]),
+        3 * len(base_trace),
+    )
+
+
+def test_bench_ingest_trace_jsonl_stream(
+    base_trace, trace_files, once, bench_metric
+):
+    _bench_source(
+        once,
+        bench_metric,
+        lambda: TraceFileSource(trace_files["jsonl"]),
+        3 * len(base_trace),
+    )
+
+
+def test_bench_ingest_wfcommons(base_trace, trace_files, once, bench_metric):
+    _bench_source(
+        once,
+        bench_metric,
+        lambda: WfCommonsSource(trace_files["wfcommons"], seed=SEED),
+        3 * len(base_trace),
+    )

@@ -32,6 +32,7 @@ setup(
     install_requires=["numpy"],
     extras_require={
         "test": ["pytest", "hypothesis", "pytest-benchmark", "pytest-xdist"],
+        "lint": ["ruff"],
     },
     entry_points={
         "console_scripts": ["repro=repro.cli:main"],

@@ -2,24 +2,33 @@
 
 Commands
 --------
-simulate      replay one workflow with one method, print the result
+simulate      replay one workload with one method, print the result
 figures       regenerate paper artifacts (all or a selection)
-trace         generate a synthetic workflow trace to JSON/CSV
-compare       run the full method grid on selected workflows
+trace         generate a synthetic workflow trace to JSON/JSONL/CSV/WfCommons
+compare       run the full method grid on selected workloads
+
+Workloads are addressed by spec strings (``--workload``): the six
+synthetic paper workflows (``synthetic:iwd``), recorded repro-trace
+files including streaming JSONL (``trace:runs/mag.jsonl``), and
+WfCommons instance JSON (``wfcommons:traces/blast.json``).
+``--workflow iwd`` remains as the historical alias for
+``--workload synthetic:iwd``.
 
 Examples::
 
     python -m repro simulate --workflow rnaseq --method Sizey --scale 0.3
-    python -m repro simulate --workflow rnaseq --backend event --scale 0.3
+    python -m repro simulate --workload wfcommons:blast.json --backend event
+    python -m repro simulate --workload wfcommons:blast.json --backend event \
+        --dag trace --workflow-arrival 4@poisson:2 --cluster "128g:4,256g:4"
     python -m repro simulate --workflow iwd --backend event \
         --cluster "128g:4,256g:4" --placement best-fit --arrival poisson:0.5
-    python -m repro simulate --workflow iwd --backend event --dag trace \
-        --workflow-arrival 4@poisson:2 --cluster "128g:4,256g:4"
     python -m repro simulate --workflow iwd --backend event \
         --node-outage 0.05:0.2:0 --cluster "64g:4"
     python -m repro figures --only fig11 fig12
     python -m repro trace --workflow mag --scale 0.1 --out mag.json --csv mag.csv
+    python -m repro trace --workflow iwd --wfcommons iwd_wfcommons.json
     python -m repro compare --workflows chipseq iwd --scale 0.2 --backend event
+    python -m repro compare --workloads wfcommons:blast.json synthetic:iwd
 """
 
 from __future__ import annotations
@@ -53,6 +62,7 @@ _ARTIFACTS = (
     "ablations",
     "cluster",
     "workflow-sched",
+    "wfcommons-replay",
 )
 
 
@@ -107,6 +117,21 @@ def _workflow_arrival_spec(value: str) -> str:
     return value
 
 
+def _workload_spec(value: str) -> str:
+    """Validate a --workload spec eagerly so bad specs fail at parse time.
+
+    Construction checks the scheme and (for file-backed sources) that
+    the file exists; the actual parse/ingestion stays lazy.
+    """
+    from repro.workload import parse_workload
+
+    try:
+        parse_workload(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
 def _add_cluster_options(sub: argparse.ArgumentParser) -> None:
     """Cluster-scenario options shared by ``simulate`` and ``compare``."""
     sub.add_argument("--cluster", type=_cluster_spec, default=None,
@@ -148,8 +173,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sim = sub.add_parser("simulate", help="replay one workflow with one method")
-    sim.add_argument("--workflow", choices=WORKFLOW_NAMES, required=True)
+    sim = sub.add_parser("simulate", help="replay one workload with one method")
+    which = sim.add_mutually_exclusive_group(required=True)
+    which.add_argument("--workflow", choices=WORKFLOW_NAMES,
+                       help="synthetic paper workflow (alias for "
+                            "--workload synthetic:NAME)")
+    which.add_argument("--workload", type=_workload_spec, metavar="SPEC",
+                       help="workload source spec: 'synthetic:iwd', "
+                            "'wfcommons:path.json', or 'trace:path.json[l]'")
     sim.add_argument("--method", choices=METHOD_ORDER, default="Sizey")
     sim.add_argument("--scale", type=float, default=1.0)
     sim.add_argument("--seed", type=int, default=0)
@@ -175,11 +206,19 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--scale", type=float, default=1.0)
     tr.add_argument("--seed", type=int, default=0)
     tr.add_argument("--out", help="write JSON trace here")
+    tr.add_argument("--jsonl", help="write streaming JSONL trace here")
     tr.add_argument("--csv", help="write CSV table here")
+    tr.add_argument("--wfcommons",
+                    help="write a WfCommons instance document here")
 
     cmp_ = sub.add_parser("compare", help="run the method grid")
-    cmp_.add_argument("--workflows", nargs="+", choices=WORKFLOW_NAMES,
-                      default=list(WORKFLOW_NAMES))
+    which_cmp = cmp_.add_mutually_exclusive_group()
+    which_cmp.add_argument("--workflows", nargs="+", choices=WORKFLOW_NAMES,
+                           default=None)
+    which_cmp.add_argument("--workloads", nargs="+", type=_workload_spec,
+                           default=None, metavar="SPEC",
+                           help="workload source specs (see simulate "
+                                "--workload)")
     cmp_.add_argument("--scale", type=float, default=0.2)
     cmp_.add_argument("--seed", type=int, default=0)
     cmp_.add_argument("--ttf", type=float, default=1.0)
@@ -236,6 +275,14 @@ def _validate_args(
                      "drop --arrival/--arrival-interval")
 
 
+def _resolve_cli_workload(args: argparse.Namespace):
+    """The simulate command's workload source (--workload or --workflow)."""
+    from repro.workload import parse_workload
+
+    spec = args.workload or f"synthetic:{args.workflow}"
+    return parse_workload(spec, seed=args.seed, scale=args.scale)
+
+
 def _resolve_cli_backend(args: argparse.Namespace):
     """Backend name, or a configured instance when options require one."""
     dag = getattr(args, "dag", None)
@@ -270,17 +317,18 @@ def _resolve_cli_backend(args: argparse.Namespace):
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    trace = build_workflow_trace(args.workflow, seed=args.seed, scale=args.scale)
+    source = _resolve_cli_workload(args)
     predictor = method_factories()[args.method]()
     res = OnlineSimulator(
-        trace,
+        source,
         time_to_failure=args.ttf,
         backend=_resolve_cli_backend(args),
         cluster=args.cluster,
         placement=args.placement,
     ).run(predictor)
     rows = [
-        ["workflow", args.workflow],
+        ["workload", source.name],
+        ["workflow", res.workflow],
         ["method", args.method],
         ["backend", args.backend],
         ["tasks", res.num_tasks],
@@ -335,6 +383,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments import (
         ablations,
         cluster_scenarios,
+        wfcommons_replay,
         workflow_scheduling,
         fig1_distributions,
         fig2_input_relation,
@@ -378,6 +427,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         cluster_scenarios.run(seed=seed, scale=min(s, 0.1))
     if "workflow-sched" in wanted:
         workflow_scheduling.run(seed=seed, scale=min(s, 0.05))
+    if "wfcommons-replay" in wanted:
+        wfcommons_replay.run(seed=seed, scale=min(s, 0.1))
     return 0
 
 
@@ -391,21 +442,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.out:
         save_trace(trace, args.out)
         print(f"wrote JSON trace to {args.out}")
+    if args.jsonl:
+        from repro.workflow.io import save_trace_jsonl
+
+        save_trace_jsonl(trace, args.jsonl)
+        print(f"wrote JSONL trace to {args.jsonl}")
     if args.csv:
         export_csv(trace, args.csv)
         print(f"wrote CSV table to {args.csv}")
-    if not args.out and not args.csv:
-        print("(use --out/--csv to persist the trace)")
+    if args.wfcommons:
+        import json as _json
+
+        from repro.workload import trace_to_wfcommons
+
+        with open(args.wfcommons, "w") as fh:
+            _json.dump(trace_to_wfcommons(trace), fh)
+        print(f"wrote WfCommons instance to {args.wfcommons}")
+    if not (args.out or args.jsonl or args.csv or args.wfcommons):
+        print("(use --out/--jsonl/--csv/--wfcommons to persist the trace)")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    traces = {
-        wf: build_workflow_trace(wf, seed=args.seed, scale=args.scale)
-        for wf in args.workflows
-    }
+    if args.workloads is not None:
+        from repro.workload import parse_workload
+
+        workloads = {
+            spec: parse_workload(spec, seed=args.seed, scale=args.scale)
+            for spec in args.workloads
+        }
+        names = list(workloads)
+    else:
+        wanted = args.workflows or list(WORKFLOW_NAMES)
+        workloads = {
+            wf: build_workflow_trace(wf, seed=args.seed, scale=args.scale)
+            for wf in wanted
+        }
+        names = list(workloads)
     results = run_grid(
-        traces,
+        workloads,
         method_factories(),
         time_to_failure=args.ttf,
         n_workers=args.workers,
@@ -463,7 +538,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         render_table(
             header,
             rows,
-            title=f"workflows: {', '.join(args.workflows)} "
+            title=f"workloads: {', '.join(names)} "
             f"(scale={args.scale}, ttf={args.ttf}, backend={args.backend})",
         )
     )

@@ -21,6 +21,7 @@ Fig. 12   Prokka prediction-error trend                          ``fig12_error_t
 (ours)    gating/offset/granularity/pool ablations               ``ablations``
 (ours)    methods across heterogeneous cluster shapes            ``cluster_scenarios``
 (ours)    sizing method x cluster x workflow arrival makespans   ``workflow_scheduling``
+(ours)    method grid over an ingested WfCommons instance        ``wfcommons_replay``
 ========  =====================================================  ============================
 
 All regenerators accept ``scale`` (trace subsampling fraction) and

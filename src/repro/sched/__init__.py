@@ -13,8 +13,8 @@ dependency-driven, multi-tenant:
   only when all DAG predecessor types' instances have succeeded;
   killed-and-requeued tasks hold their successors back; global FCFS
   queue across all tenants' instances.
-- :class:`~repro.sim.arrivals.WorkflowArrivals` (re-exported here;
-  :mod:`repro.sched.arrivals` is a deprecated shim) — injects whole
+- :class:`~repro.sim.arrivals.WorkflowArrivals` (canonically defined in
+  :mod:`repro.sim.arrivals`, re-exported here) — injects whole
   workflow instances (fixed / Poisson / bursty, seeded) owned by
   round-robin tenants.
 - :mod:`repro.sched.engine` — the discrete-event loop gluing the above

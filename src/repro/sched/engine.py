@@ -48,6 +48,7 @@ from repro.sim.kernel.outage import NodeOutage
 from repro.sim.results import SimulationResult
 from repro.workflow.dag import WorkflowDAG
 from repro.workflow.task import WorkflowTrace
+from repro.workload.base import WorkloadSource, as_source
 
 __all__ = ["resolve_dag", "run_dag_simulation", "DagWorkflowDriver"]
 
@@ -92,33 +93,57 @@ def resolve_dag(dag: object | None, trace: WorkflowTrace) -> WorkflowDAG:
 
 
 def _instantiate_workflows(
-    trace: WorkflowTrace,
-    dag: WorkflowDAG,
+    source: WorkloadSource,
+    dag_option: object | None,
     arrivals: WorkflowArrivals,
     rng: np.random.Generator,
 ) -> list[WorkflowInstance]:
-    """Replicate the trace into arriving workflow instances.
+    """Draw arriving workflow instances from a workload source.
 
-    Each copy keeps the ground-truth task data; copy ``k`` offsets every
-    task's *original* instance id by ``k * stride`` (stride = largest
-    trace id + 1), so ids stay globally unique yet joinable back to
-    ``trace.instances`` — copy 0 preserves them exactly, even for
-    subsampled traces with sparse ids.  Each copy gets its sampled
-    submit time and a round-robin tenant.
+    The source's traces are consumed in order; when it yields fewer
+    traces than ``arrivals.n_instances``, the produced ones are reused
+    round-robin — a single-trace source (every synthetic workload)
+    therefore replicates exactly as before.  Each copy keeps the
+    ground-truth task data; copy ``k`` offsets every task's *original*
+    instance id past all earlier copies' id ranges (``k * stride`` for
+    a single-trace source, stride = largest trace id + 1), so ids stay
+    globally unique yet joinable back to the source trace — copy 0
+    preserves them exactly, even for subsampled traces with sparse ids.
+    Each copy gets its sampled submit time, a round-robin tenant, and
+    its trace's resolved DAG.
     """
     times = arrivals.sample(rng)
-    id_stride = 1 + max((t.instance_id for t in trace), default=0)
+    trace_iter: "object | None" = source.iter_traces()
+    produced: list[WorkflowTrace] = []
+    resolved: dict[int, WorkflowDAG] = {}
     instances: list[WorkflowInstance] = []
+    id_offset = 0
     for k in range(arrivals.n_instances):
+        trace: WorkflowTrace | None = None
+        if trace_iter is not None:
+            trace = next(trace_iter, None)  # type: ignore[arg-type]
+            if trace is None:
+                trace_iter = None
+            else:
+                produced.append(trace)
+        if trace is None:
+            if not produced:
+                raise ValueError(
+                    f"workload source {source.name!r} yielded no traces"
+                )
+            trace = produced[k % len(produced)]
+        if id(trace) not in resolved:
+            resolved[id(trace)] = resolve_dag(dag_option, trace)
         tasks = [
-            replace(inst, instance_id=inst.instance_id + k * id_stride)
+            replace(inst, instance_id=inst.instance_id + id_offset)
             for inst in trace
         ]
+        id_offset += 1 + max((t.instance_id for t in trace), default=0)
         instances.append(
             WorkflowInstance(
                 key=f"{trace.workflow}#{k}",
                 workflow=trace.workflow,
-                dag=dag,
+                dag=resolved[id(trace)],
                 tasks=tasks,
                 submit_time=float(times[k]),
                 tenant=arrivals.tenant(k),
@@ -167,10 +192,12 @@ class DagWorkflowDriver:
 
     def __init__(
         self,
-        dag: WorkflowDAG,
+        dag: object | None,
         arrivals: WorkflowArrivals,
         seed: int,
     ) -> None:
+        #: Raw ``dag=`` option; resolved per produced trace during
+        #: :meth:`seed` (multi-trace sources may carry distinct DAGs).
         self.dag = dag
         self.arrivals = arrivals
         self.rng_seed = seed
@@ -181,26 +208,27 @@ class DagWorkflowDriver:
         self.n_tasks = 0
 
     def seed(self, kernel: SimulationKernel) -> None:
-        trace = kernel.trace
         rng = np.random.default_rng(self.rng_seed)
         self.workflows.extend(
-            _instantiate_workflows(trace, self.dag, self.arrivals, rng)
+            _instantiate_workflows(kernel.source, self.dag, self.arrivals, rng)
         )
         self.n_tasks = sum(wi.n_tasks for wi in self.workflows)
-        n = len(trace)
-        for k, wi in enumerate(self.workflows):
+        offset = 0
+        for wi in self.workflows:
             # ``index`` is the dense submission position (copy k owns
-            # positions [k*n, (k+1)*n)) — the flat backends' timestamp
-            # convention — while instance ids keep their trace values.
+            # the positions past all earlier copies' tasks) — the flat
+            # backends' timestamp convention — while instance ids keep
+            # their trace values.
             self._states[wi.key] = {
                 t.instance_id: TaskState(
                     inst=t,
-                    submission=TaskSubmission.from_instance(t, k * n + i),
-                    index=k * n + i,
+                    submission=TaskSubmission.from_instance(t, offset + i),
+                    index=offset + i,
                     wi=wi,
                 )
                 for i, t in enumerate(wi.tasks)
             }
+            offset += wi.n_tasks
         for wi in self.workflows:
             kernel.events.push(wi.submit_time, ARRIVAL, wi)
 
@@ -232,7 +260,7 @@ class DagWorkflowDriver:
 
 
 def run_dag_simulation(
-    trace: WorkflowTrace,
+    workload: "WorkloadSource | WorkflowTrace | str",
     predictor: MemoryPredictor,
     manager: ResourceManager,
     time_to_failure: float,
@@ -245,20 +273,26 @@ def run_dag_simulation(
     backend_name: str = "event",
     node_outage: Sequence[NodeOutage | str] | None = None,
 ) -> SimulationResult:
-    """Execute ``workflow_arrival`` copies of ``trace`` under ``dag``.
+    """Execute ``workflow_arrival`` source-produced instances under ``dag``.
 
     The entry point :class:`~repro.sim.backends.event.EventDrivenBackend`
     delegates to when ``dag=`` / ``workflow_arrival=`` is configured.
-    Returns a :class:`SimulationResult` whose ``cluster`` *and*
-    ``workflows`` metrics are populated.
+    ``workload`` is anything :func:`~repro.workload.base.as_source`
+    accepts; the driver pulls whole workflow instances from it.  Returns
+    a :class:`SimulationResult` whose ``cluster`` *and* ``workflows``
+    metrics are populated.
     """
-    resolved_dag = resolve_dag(dag, trace)
+    source = as_source(workload)
+    # Validate the dag option eagerly against the source's first trace,
+    # so a missing/mismatched DAG fails here with the resolve_dag error
+    # rather than deep inside the event loop.
+    resolve_dag(dag, source.trace())
     arrivals = parse_workflow_arrival(
         workflow_arrival if workflow_arrival is not None else 1
     )
-    driver = DagWorkflowDriver(resolved_dag, arrivals, seed)
+    driver = DagWorkflowDriver(dag, arrivals, seed)
     kernel = SimulationKernel(
-        trace,
+        source,
         predictor,
         manager,
         time_to_failure,

@@ -49,11 +49,16 @@ MAX_ATTEMPTS = 30
 class SimulatorBackend(Protocol):
     """What :class:`~repro.sim.engine.OnlineSimulator` delegates to.
 
-    A backend replays ``trace`` against ``predictor`` on ``manager``
+    A backend replays a workload against ``predictor`` on ``manager``
     under the given ``time_to_failure`` and returns a fully populated
-    :class:`~repro.sim.results.SimulationResult`.  Implementations must
-    call the predictor's ``begin_trace``/``end_trace`` lifecycle hooks
-    and reset the manager's bookkeeping at the start of each run.
+    :class:`~repro.sim.results.SimulationResult`.  ``workload`` is
+    anything :func:`~repro.workload.base.as_source` accepts — a
+    :class:`~repro.workload.base.WorkloadSource`, a materialized
+    :class:`~repro.workflow.task.WorkflowTrace`, or a workload spec
+    string — and implementations pull tasks from it lazily.
+    Implementations must call the predictor's
+    ``begin_trace``/``end_trace`` lifecycle hooks and reset the
+    manager's bookkeeping at the start of each run.
     """
 
     #: Registry / CLI name of the backend.
@@ -61,7 +66,7 @@ class SimulatorBackend(Protocol):
 
     def run(
         self,
-        trace: WorkflowTrace,
+        workload: "object | WorkflowTrace",
         predictor: MemoryPredictor,
         manager: ResourceManager,
         time_to_failure: float,

@@ -44,7 +44,12 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.cluster.manager import ResourceManager
-from repro.sim.arrivals import ArrivalModel, FixedArrivals, parse_arrival
+from repro.sim.arrivals import (
+    ArrivalModel,
+    FixedArrivals,
+    iter_arrival_times,
+    parse_arrival,
+)
 from repro.sim.interface import MemoryPredictor, TaskSubmission
 from repro.sim.kernel.collectors import ClusterMetricsCollector
 from repro.sim.kernel.core import SimulationKernel, TaskState
@@ -52,6 +57,7 @@ from repro.sim.kernel.events import ARRIVAL
 from repro.sim.kernel.outage import NodeOutage, parse_node_outages
 from repro.sim.results import SimulationResult
 from repro.workflow.task import WorkflowTrace
+from repro.workload.base import WorkloadSource
 
 __all__ = ["EventDrivenBackend", "FlatStreamDriver"]
 
@@ -91,7 +97,12 @@ class FlatStreamDriver:
     """Kernel driver for a flat, pre-ordered task stream.
 
     Arrival events carry task states; nothing is released on success —
-    the stream has no dependencies, only submission times.
+    the stream has no dependencies, only submission times.  Tasks are
+    pulled lazily from the kernel's workload source and zipped with the
+    arrival model's schedule: a sized source uses the vectorized
+    ``sample(n, rng)`` path, an unsized (streaming) source the
+    draw-for-draw-identical ``times(rng)`` iterator — the same schedule
+    either way, so trace files and streams replay identically.
     """
 
     def __init__(self, arrival: ArrivalModel, seed: int) -> None:
@@ -100,24 +111,34 @@ class FlatStreamDriver:
         self.queue = _FlatQueue()
         self.n_tasks = 0
 
-    def seed_states(self, trace: WorkflowTrace) -> list[TaskState]:
+    def seed(self, kernel: SimulationKernel) -> None:
+        source = kernel.source
         rng = np.random.default_rng(self.rng_seed)
-        arrival_times = self.arrival.sample(len(trace), rng)
-        return [
-            TaskState(
+        n = source.n_tasks
+        if n is not None:
+            tasks: Iterable = source.iter_tasks()
+            times: Iterable[float] = iter(self.arrival.sample(n, rng))
+        else:
+            try:
+                times = iter_arrival_times(self.arrival, rng)
+                tasks = source.iter_tasks()
+            except ValueError:
+                # The model cannot stream: materialize to learn the
+                # count, then schedule exactly as the sized path would.
+                materialized = list(source.iter_tasks())
+                times = iter(self.arrival.sample(len(materialized), rng))
+                tasks = iter(materialized)
+        count = 0
+        for timestamp, (inst, arrival_time) in enumerate(zip(tasks, times)):
+            state = TaskState(
                 inst=inst,
                 submission=TaskSubmission.from_instance(inst, timestamp),
                 index=timestamp,
-                arrival=float(arrival_times[timestamp]),
+                arrival=float(arrival_time),
             )
-            for timestamp, inst in enumerate(trace)
-        ]
-
-    def seed(self, kernel: SimulationKernel) -> None:
-        states = self.seed_states(kernel.trace)
-        self.n_tasks = len(states)
-        for state in states:
             kernel.events.push(state.arrival, ARRIVAL, state)
+            count += 1
+        self.n_tasks = count
 
     def on_arrival(self, payload: object, now: float) -> Iterable[TaskState]:
         state = payload
@@ -271,7 +292,7 @@ class EventDrivenBackend:
     # ------------------------------------------------------------------
     def run(
         self,
-        trace: WorkflowTrace,
+        workload: "WorkloadSource | WorkflowTrace | str",
         predictor: MemoryPredictor,
         manager: ResourceManager,
         time_to_failure: float,
@@ -283,7 +304,7 @@ class EventDrivenBackend:
             from repro.sched.engine import run_dag_simulation
 
             return run_dag_simulation(
-                trace,
+                workload,
                 predictor,
                 manager,
                 time_to_failure,
@@ -296,7 +317,7 @@ class EventDrivenBackend:
                 node_outage=self.node_outages,
             )
         kernel = SimulationKernel(
-            trace,
+            workload,
             predictor,
             manager,
             time_to_failure,

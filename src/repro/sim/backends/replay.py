@@ -26,6 +26,7 @@ from repro.sim.backends.base import MAX_ATTEMPTS, clamp_allocation_checked
 from repro.sim.interface import MemoryPredictor, TaskSubmission, TraceContext
 from repro.sim.results import PredictionLog, SimulationResult
 from repro.workflow.task import WorkflowTrace
+from repro.workload.base import WorkloadSource, as_source
 
 __all__ = ["ReplayBackend"]
 
@@ -54,16 +55,21 @@ class ReplayBackend:
 
     def run(
         self,
-        trace: WorkflowTrace,
+        workload: "WorkloadSource | WorkflowTrace | str",
         predictor: MemoryPredictor,
         manager: ResourceManager,
         time_to_failure: float,
     ) -> SimulationResult:
+        source = as_source(workload)
         manager.release_all()
         predictor.begin_trace(
             TraceContext(
-                workflow=trace.workflow,
-                n_tasks=len(trace),
+                workflow=source.workflow,
+                # Streaming sources cannot know their length without
+                # exhausting themselves; -1 tells the predictor the
+                # count is unknown (this loop is one-task-at-a-time, so
+                # it never needs to materialize the stream).
+                n_tasks=-1 if source.n_tasks is None else source.n_tasks,
                 time_to_failure=time_to_failure,
                 backend=self.name,
             )
@@ -71,7 +77,7 @@ class ReplayBackend:
         ledger = WastageLedger()
         logs: list[PredictionLog] = []
 
-        for timestamp, inst in enumerate(trace):
+        for timestamp, inst in enumerate(source.iter_tasks()):
             submission = TaskSubmission.from_instance(inst, timestamp)
             allocation = clamp_allocation_checked(
                 manager, inst, float(predictor.predict(submission))
@@ -174,7 +180,7 @@ class ReplayBackend:
 
         predictor.end_trace()
         return SimulationResult(
-            workflow=trace.workflow,
+            workflow=source.workflow,
             method=predictor.name,
             time_to_failure=time_to_failure,
             ledger=ledger,

@@ -24,17 +24,23 @@ from repro.sim.backends.base import MAX_ATTEMPTS as _MAX_ATTEMPTS  # noqa: F401
 from repro.sim.interface import MemoryPredictor
 from repro.sim.results import SimulationResult
 from repro.workflow.task import WorkflowTrace
+from repro.workload.base import WorkloadSource, as_source
 
 __all__ = ["OnlineSimulator"]
 
 
 class OnlineSimulator:
-    """Replay one workflow trace against one memory predictor.
+    """Replay one workload against one memory predictor.
 
     Parameters
     ----------
     trace:
-        The workflow trace to replay (instances in submission order).
+        The workload to replay: a materialized
+        :class:`~repro.workflow.task.WorkflowTrace` (instances in
+        submission order), a :class:`~repro.workload.base.WorkloadSource`,
+        or a workload spec string such as ``"synthetic:iwd"`` /
+        ``"wfcommons:traces/blast.json"``.  The equivalent keyword
+        ``workload=`` reads better when not passing a trace object.
     manager:
         Cluster model; defaults to the paper's 8-node 128 GB cluster.
         Mutually exclusive with ``cluster``.
@@ -70,7 +76,7 @@ class OnlineSimulator:
 
     def __init__(
         self,
-        trace: WorkflowTrace,
+        trace: WorkloadSource | WorkflowTrace | str | None = None,
         manager: ResourceManager | None = None,
         time_to_failure: float = 1.0,
         backend: str | SimulatorBackend = "replay",
@@ -79,6 +85,7 @@ class OnlineSimulator:
         dag: object | None = None,
         workflow_arrival: object | None = None,
         node_outage: object | None = None,
+        workload: WorkloadSource | WorkflowTrace | str | None = None,
     ) -> None:
         if not 0.0 < time_to_failure <= 1.0:
             raise ValueError(
@@ -86,7 +93,11 @@ class OnlineSimulator:
             )
         if manager is not None and cluster is not None:
             raise ValueError("pass either manager or cluster, not both")
-        self.trace = trace
+        if (trace is None) == (workload is None):
+            raise ValueError(
+                "pass exactly one of trace (positional) or workload="
+            )
+        self.source = as_source(workload if workload is not None else trace)
         if manager is not None:
             self.manager = manager
         elif cluster is not None:
@@ -115,8 +126,13 @@ class OnlineSimulator:
                 node_outage=node_outage,
             )
 
+    @property
+    def trace(self) -> WorkflowTrace:
+        """The workload's materialized trace (back-compat accessor)."""
+        return self.source.trace()
+
     def run(self, predictor: MemoryPredictor) -> SimulationResult:
-        """Replay the whole trace; returns the filled-in result object."""
+        """Replay the whole workload; returns the filled-in result object."""
         return self.backend.run(
-            self.trace, predictor, self.manager, self.time_to_failure
+            self.source, predictor, self.manager, self.time_to_failure
         )

@@ -48,6 +48,7 @@ from repro.sim.kernel.events import (
 from repro.sim.kernel.outage import NodeOutage, parse_node_outages
 from repro.sim.results import SimulationResult
 from repro.workflow.task import TaskInstance, WorkflowTrace
+from repro.workload.base import WorkloadSource, as_source
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sched.instance import WorkflowInstance
@@ -145,9 +146,15 @@ class SimulationKernel:
 
     Parameters
     ----------
-    trace:
-        The source trace; names the workflow in results and the
-        predictor's trace context.
+    workload:
+        Where tasks come from: a
+        :class:`~repro.workload.base.WorkloadSource`, a materialized
+        :class:`~repro.workflow.task.WorkflowTrace`, or a workload spec
+        string — normalized through
+        :func:`~repro.workload.base.as_source`.  Drivers pull tasks and
+        whole workflow instances from the source lazily; the source
+        also names the workflow in results and the predictor's trace
+        context.
     predictor / manager / time_to_failure:
         The standard backend contract
         (:class:`~repro.sim.backends.base.SimulatorBackend`).
@@ -176,7 +183,7 @@ class SimulationKernel:
 
     def __init__(
         self,
-        trace: WorkflowTrace,
+        workload: WorkloadSource | WorkflowTrace | str,
         predictor: MemoryPredictor,
         manager: ResourceManager,
         time_to_failure: float,
@@ -188,7 +195,7 @@ class SimulationKernel:
         outages: Sequence[NodeOutage | str] = (),
         backend_name: str = "event",
     ) -> None:
-        self.trace = trace
+        self.source = as_source(workload)
         self.predictor = predictor
         self.manager = manager
         self.time_to_failure = time_to_failure
@@ -210,6 +217,15 @@ class SimulationKernel:
         #: task_id -> state, insertion-ordered (= dispatch order).
         self._running: dict[int, TaskState] = {}
 
+    @property
+    def trace(self) -> WorkflowTrace:
+        """The workload's materialized trace (back-compat accessor).
+
+        Prefer :attr:`source` — accessing ``trace`` forces a streaming
+        source to materialize.
+        """
+        return self.source.trace()
+
     # ------------------------------------------------------------------
     # the event loop
     # ------------------------------------------------------------------
@@ -228,7 +244,7 @@ class SimulationKernel:
             self.events.push(outage.end_hours, OUTAGE_END, outage)
         self.predictor.begin_trace(
             TraceContext(
-                workflow=self.trace.workflow,
+                workflow=self.source.workflow,
                 n_tasks=self.driver.n_tasks,
                 time_to_failure=self.time_to_failure,
                 backend=self.backend_name,
@@ -263,7 +279,7 @@ class SimulationKernel:
         self.driver.finish(self)
         self.predictor.end_trace()
         result = SimulationResult(
-            workflow=self.trace.workflow,
+            workflow=self.source.workflow,
             method=self.predictor.name,
             time_to_failure=self.time_to_failure,
             ledger=self.wastage.ledger,

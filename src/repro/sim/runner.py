@@ -1,10 +1,15 @@
-"""Experiment grid runner: (workflow x method) cells, optionally parallel.
+"""Experiment grid runner: (workload x method) cells, optionally parallel.
 
 Each cell is independent — a fresh predictor instance replays one
-workflow trace — so the grid fans out over a process pool when asked.
+workload — so the grid fans out over a process pool when asked.
 Predictors are supplied as zero-argument factories (not instances) so
 every cell starts untrained and the work ships to workers as picklable
-callables.
+callables.  Workloads are equally flexible: a materialized
+:class:`~repro.workflow.task.WorkflowTrace`, a
+:class:`~repro.workload.base.WorkloadSource`, or a workload spec string
+(``"synthetic:iwd"``, ``"wfcommons:traces/blast.json"``,
+``"trace:runs/mag.jsonl"``) — spec strings are the cheapest to pickle
+across the pool; workers construct the source locally.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from repro.sim.engine import OnlineSimulator
 from repro.sim.interface import MemoryPredictor
 from repro.sim.results import SimulationResult
 from repro.workflow.task import WorkflowTrace
+from repro.workload.base import WorkloadSource
 
 __all__ = ["run_cell", "run_grid"]
 
@@ -25,8 +31,8 @@ PredictorFactory = Callable[[], MemoryPredictor]
 
 
 def run_cell(
-    trace: WorkflowTrace,
-    factory: PredictorFactory,
+    trace: WorkloadSource | WorkflowTrace | str | None = None,
+    factory: PredictorFactory | None = None,
     time_to_failure: float = 1.0,
     backend: str | SimulatorBackend = "replay",
     cluster: str | None = None,
@@ -34,24 +40,31 @@ def run_cell(
     dag: str | None = None,
     workflow_arrival: str | None = None,
     node_outage: str | tuple[str, ...] | None = None,
+    workload: WorkloadSource | WorkflowTrace | str | None = None,
 ) -> SimulationResult:
-    """Run one (workflow, method) cell with a fresh predictor and cluster.
+    """Run one (workload, method) cell with a fresh predictor and cluster.
 
-    ``cluster`` is a spec string (``"128g:4,256g:4"``; ``None`` = the
-    paper's 8-node 128 GB cluster) and ``placement`` the node-placement
-    policy name — both are plain strings so cells stay picklable for the
-    process pool.  ``dag`` (``"trace"`` / ``"linear"``) and
-    ``workflow_arrival`` (e.g. ``"4@poisson:2"``) switch the event
-    backend into DAG-aware multi-workflow scheduling, and ``node_outage``
-    (``"start:duration:node"`` spec(s)) schedules node drains — also
-    plain strings for picklability.
+    The workload goes in either positionally (``trace``, the historical
+    name) or as ``workload=`` — a trace object, a source, or a spec
+    string.  ``cluster`` is a spec string (``"128g:4,256g:4"``; ``None``
+    = the paper's 8-node 128 GB cluster) and ``placement`` the
+    node-placement policy name — both are plain strings so cells stay
+    picklable for the process pool.  ``dag`` (``"trace"`` /
+    ``"linear"``) and ``workflow_arrival`` (e.g. ``"4@poisson:2"``)
+    switch the event backend into DAG-aware multi-workflow scheduling,
+    and ``node_outage`` (``"start:duration:node"`` spec(s)) schedules
+    node drains — also plain strings for picklability.
     """
+    if factory is None:
+        raise ValueError("run_cell requires a predictor factory")
+    if (trace is None) == (workload is None):
+        raise ValueError("pass exactly one of trace or workload=")
     if cluster is not None:
         manager = ResourceManager.from_spec(cluster, placement=placement)
     else:
         manager = ResourceManager(placement=placement)
     sim = OnlineSimulator(
-        trace,
+        trace if trace is not None else workload,
         manager=manager,
         time_to_failure=time_to_failure,
         backend=backend,
@@ -64,7 +77,7 @@ def run_cell(
 
 def _run_cell_star(
     args: tuple[
-        WorkflowTrace,
+        "WorkloadSource | WorkflowTrace | str",
         PredictorFactory,
         float,
         str | SimulatorBackend,
@@ -79,8 +92,8 @@ def _run_cell_star(
 
 
 def run_grid(
-    traces: Mapping[str, WorkflowTrace],
-    factories: Mapping[str, PredictorFactory],
+    traces: Mapping[str, WorkloadSource | WorkflowTrace | str] | None = None,
+    factories: Mapping[str, PredictorFactory] | None = None,
     time_to_failure: float = 1.0,
     n_workers: int = 1,
     backend: str | SimulatorBackend = "replay",
@@ -89,26 +102,35 @@ def run_grid(
     dag: str | None = None,
     workflow_arrival: str | None = None,
     node_outage: str | tuple[str, ...] | None = None,
+    workloads: Mapping[str, WorkloadSource | WorkflowTrace | str] | None = None,
 ) -> dict[str, dict[str, SimulationResult]]:
-    """Run every method on every workflow.
+    """Run every method on every workload.
 
-    Returns ``results[method][workflow]``.  With ``n_workers > 1`` the
-    cells run in separate processes; traces and factories must then be
-    picklable (all built-ins here are).  ``backend`` selects the
-    simulation backend for every cell — a registry name, or a backend
-    instance (picklable when fanning out over processes).  ``cluster``
-    and ``placement`` describe the per-cell cluster (spec string and
-    placement-policy name, as in :func:`run_cell`); ``dag`` and
-    ``workflow_arrival`` switch every cell into DAG-aware
+    Returns ``results[method][workload_name]``.  The workloads go in
+    either as ``traces`` (the historical name) or ``workloads`` — one
+    mapping of name to trace object, source, or spec string.  With
+    ``n_workers > 1`` the cells run in separate processes; workloads and
+    factories must then be picklable (spec strings always are; the
+    built-in sources drop their caches on pickling).  ``backend``
+    selects the simulation backend for every cell — a registry name, or
+    a backend instance (picklable when fanning out over processes).
+    ``cluster`` and ``placement`` describe the per-cell cluster (spec
+    string and placement-policy name, as in :func:`run_cell`); ``dag``
+    and ``workflow_arrival`` switch every cell into DAG-aware
     multi-workflow scheduling, and ``node_outage`` schedules node
     drains (event backend only).
     """
+    if factories is None:
+        raise ValueError("run_grid requires predictor factories")
+    if (traces is None) == (workloads is None):
+        raise ValueError("pass exactly one of traces or workloads=")
+    cells_in = traces if traces is not None else workloads
     cells = [
         (
             method,
             wf,
             (
-                trace,
+                cell_workload,
                 factory,
                 time_to_failure,
                 backend,
@@ -120,7 +142,7 @@ def run_grid(
             ),
         )
         for method, factory in factories.items()
-        for wf, trace in traces.items()
+        for wf, cell_workload in cells_in.items()
     ]
     results: dict[str, dict[str, SimulationResult]] = {
         m: {} for m in factories

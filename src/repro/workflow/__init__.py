@@ -14,10 +14,14 @@ inputs (paper §I).  This package provides:
 - :mod:`repro.workflow.nfcore` -- the six evaluation workflows (eager,
   methylseq, chipseq, rnaseq, mag, iwd) parameterised with the paper's
   Table I statistics.
+- :mod:`repro.workflow.io` -- versioned trace serialisation (JSON
+  v1/v2, streaming JSONL, CSV) with typed
+  :class:`~repro.workflow.io.TraceFormatError` validation.
 """
 
 from repro.workflow.dag import WorkflowDAG
 from repro.workflow.generator import TaskTypeSpec, WorkflowSpec, generate_trace
+from repro.workflow.io import TraceFormatError, load_trace, save_trace
 from repro.workflow.task import TaskInstance, TaskType, WorkflowTrace
 
 __all__ = [
@@ -28,4 +32,7 @@ __all__ = [
     "TaskTypeSpec",
     "WorkflowSpec",
     "generate_trace",
+    "TraceFormatError",
+    "load_trace",
+    "save_trace",
 ]

@@ -123,11 +123,18 @@ class WorkflowTrace:
     making generator and scheduler agree on one dependency source of
     truth.  ``None`` for hand-built or legacy traces — the DAG-aware
     engine then needs an explicit ``dag=`` option.
+
+    ``instance_edges`` optionally records *per-instance* dependencies as
+    ``(parent_instance_id, child_instance_id)`` pairs — finer-grained
+    than the type-level ``dag``.  Real provenance formats (WfCommons)
+    declare dependencies per instance; trace schema v2
+    (:mod:`repro.workflow.io`) round-trips them losslessly.
     """
 
     workflow: str
     instances: list[TaskInstance] = field(default_factory=list)
     dag: "WorkflowDAG | None" = None
+    instance_edges: list[tuple[int, int]] | None = None
 
     def __post_init__(self) -> None:
         dag_nodes = set(self.dag.nodes) if self.dag is not None else None
@@ -143,6 +150,14 @@ class WorkflowTrace:
                     f"{inst.task_type.name!r} which is not a node of the "
                     f"trace's DAG"
                 )
+        if self.instance_edges is not None:
+            ids = {inst.instance_id for inst in self.instances}
+            for up, down in self.instance_edges:
+                if up not in ids or down not in ids:
+                    raise ValueError(
+                        f"instance edge ({up}, {down}) references an "
+                        f"instance id not present in the trace"
+                    )
 
     def __len__(self) -> int:
         return len(self.instances)
@@ -197,4 +212,12 @@ class WorkflowTrace:
             chosen = rng.choice(len(ids), size=n_keep, replace=False)
             keep.update(ids[c] for c in chosen)
         kept = [i for i in self.instances if i.instance_id in keep]
-        return WorkflowTrace(self.workflow, kept, dag=self.dag)
+        edges = None
+        if self.instance_edges is not None:
+            edges = [
+                (u, v) for u, v in self.instance_edges
+                if u in keep and v in keep
+            ]
+        return WorkflowTrace(
+            self.workflow, kept, dag=self.dag, instance_edges=edges
+        )

@@ -1,0 +1,70 @@
+"""Unified workload layer: where simulated work comes from.
+
+The :class:`WorkloadSource` protocol (:mod:`repro.workload.base`)
+decouples every consumer — replay backend, event kernel, DAG scheduling
+engine, grid runner, CLI — from materialized task lists.  Sources
+produce task instances and whole trace+DAG instances lazily and
+deterministically under a seed:
+
+- :class:`SyntheticSource` / :class:`NfCoreSource`
+  (:mod:`repro.workload.synthetic`) — the seeded generator and the six
+  paper workflows, bit-for-bit identical to the direct helpers;
+- :class:`TraceFileSource` (:mod:`repro.workload.tracefile`) —
+  repro-trace JSON v1/v2 files and streaming ``.jsonl`` traces;
+- :class:`WfCommonsSource` (:mod:`repro.workload.wfcommons`) — the
+  community-standard WfCommons instance format, with unit normalization
+  and seeded fallbacks for missing measurements.
+
+Spec strings (``synthetic:iwd``, ``trace:runs/mag.jsonl``,
+``wfcommons:traces/blast.json``) address registered sources everywhere
+a ``workload`` option exists: :func:`~repro.sim.runner.run_cell`,
+:func:`~repro.sim.runner.run_grid`,
+:class:`~repro.sim.engine.OnlineSimulator`, and the CLI's
+``--workload``.
+"""
+
+from repro.workload.base import (
+    TraceSource,
+    WorkloadSource,
+    as_source,
+    parse_workload,
+    register_workload,
+    workload_schemes,
+)
+from repro.workload.synthetic import NfCoreSource, SyntheticSource
+from repro.workload.tracefile import TraceFileSource
+from repro.workload.wfcommons import (
+    WfCommonsSource,
+    load_wfcommons,
+    trace_to_wfcommons,
+    wfcommons_to_trace,
+)
+
+register_workload(
+    "synthetic", lambda arg, seed, scale: NfCoreSource(arg, seed, scale)
+)
+register_workload(
+    "nfcore", lambda arg, seed, scale: NfCoreSource(arg, seed, scale)
+)
+register_workload(
+    "trace", lambda arg, seed, scale: TraceFileSource(arg, seed, scale)
+)
+register_workload(
+    "wfcommons", lambda arg, seed, scale: WfCommonsSource(arg, seed, scale)
+)
+
+__all__ = [
+    "WorkloadSource",
+    "TraceSource",
+    "SyntheticSource",
+    "NfCoreSource",
+    "TraceFileSource",
+    "WfCommonsSource",
+    "as_source",
+    "parse_workload",
+    "register_workload",
+    "workload_schemes",
+    "load_wfcommons",
+    "wfcommons_to_trace",
+    "trace_to_wfcommons",
+]

@@ -214,3 +214,44 @@ class TestWorkflowScheduling:
         for s in workflow_scheduling.SCENARIOS:
             parse_cluster_spec(s.cluster)  # must not raise
             parse_workflow_arrival(s.workflow_arrival)
+
+
+class TestWfCommonsReplay:
+    def test_cell_replays_in_both_modes(self, capsys):
+        from repro.experiments import wfcommons_replay
+
+        data = wfcommons_replay.run(
+            seed=0, scale=0.05, methods=("Workflow-Presets",), verbose=True
+        )
+        out = capsys.readouterr().out
+        assert set(data) == {"flat", "dag"}
+        flat = data["flat"]["Workflow-Presets"]
+        dag = data["dag"]["Workflow-Presets"]
+        assert flat["wastage_gbh"] > 0
+        assert flat["makespan_hours"] > 0
+        assert dag["mean_wf_makespan_hours"] > 0
+        assert dag["mean_stretch"] >= 1.0 - 1e-9
+        assert "wfcommons replay (flat event)" in out
+        assert "wfcommons replay (DAG" in out
+
+    def test_cell_accepts_external_instance(self, tmp_path):
+        from repro.experiments import wfcommons_replay
+
+        path = wfcommons_replay.fabricate_instance(
+            tmp_path / "wf.json", workflow="iwd", seed=1, scale=0.05
+        )
+        data = wfcommons_replay.collect(
+            seed=1, methods=("Workflow-Presets",), path=path
+        )
+        assert data["flat"]["Workflow-Presets"]["wastage_gbh"] > 0
+
+    def test_cell_is_deterministic(self):
+        from repro.experiments import wfcommons_replay
+
+        a = wfcommons_replay.collect(
+            seed=3, scale=0.05, methods=("Workflow-Presets",)
+        )
+        b = wfcommons_replay.collect(
+            seed=3, scale=0.05, methods=("Workflow-Presets",)
+        )
+        assert a == b

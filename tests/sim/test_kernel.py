@@ -270,15 +270,19 @@ class TestCrossModeDeterminism:
         assert runs[0] == runs[1]
 
 
-class TestArrivalsShim:
-    def test_sched_arrivals_warns_and_reexports(self):
+class TestArrivalsShimRemoved:
+    def test_sched_arrivals_shim_is_gone(self):
+        # The PR 4 deprecation shim has been dropped; the single source
+        # of truth is repro.sim.arrivals (re-exported by repro.sched).
         import importlib
-        import sys
 
-        sys.modules.pop("repro.sched.arrivals", None)
-        with pytest.warns(DeprecationWarning, match="repro.sim.arrivals"):
-            shim = importlib.import_module("repro.sched.arrivals")
-        from repro.sim.arrivals import WorkflowArrivals, parse_workflow_arrival
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.sched.arrivals")
+        from repro.sched import WorkflowArrivals, parse_workflow_arrival
+        from repro.sim.arrivals import (
+            WorkflowArrivals as canonical,
+            parse_workflow_arrival as canonical_parse,
+        )
 
-        assert shim.WorkflowArrivals is WorkflowArrivals
-        assert shim.parse_workflow_arrival is parse_workflow_arrival
+        assert WorkflowArrivals is canonical
+        assert parse_workflow_arrival is canonical_parse

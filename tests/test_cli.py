@@ -241,3 +241,111 @@ class TestCommands:
         assert rc == 0
         assert "mean wf makespan h" in out
         assert "mean stretch" in out
+
+
+class TestWorkloadOption:
+    def test_simulate_requires_some_workload(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--method", "Sizey"])
+
+    def test_workflow_and_workload_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--workflow", "iwd",
+                 "--workload", "synthetic:iwd"]
+            )
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--workload", "carrier-pigeon:x"]
+            )
+
+    def test_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--workload", f"trace:{tmp_path}/ghost.json"]
+            )
+
+    def test_simulate_workload_synthetic_matches_workflow_alias(self, capsys):
+        rc = main(
+            ["simulate", "--workload", "synthetic:iwd", "--method",
+             "Workflow-Presets", "--scale", "0.05"]
+        )
+        via_workload = capsys.readouterr().out
+        assert rc == 0
+        rc = main(
+            ["simulate", "--workflow", "iwd", "--method",
+             "Workflow-Presets", "--scale", "0.05"]
+        )
+        via_workflow = capsys.readouterr().out
+        assert rc == 0
+        # identical metrics; only the workload label differs
+        strip = (
+            lambda text: [
+                line for line in text.splitlines()
+                if not line.startswith("workload")
+            ]
+        )
+        assert strip(via_workload) == strip(via_workflow)
+
+    def test_simulate_trace_file_workload(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        assert main(
+            ["trace", "--workflow", "iwd", "--scale", "0.05",
+             "--out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        rc = main(
+            ["simulate", "--workload", f"trace:{path}",
+             "--method", "Workflow-Presets"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"trace:{path}" in out
+
+    def test_trace_writes_jsonl_and_wfcommons(self, tmp_path, capsys):
+        jsonl = tmp_path / "t.jsonl"
+        wfc = tmp_path / "wf.json"
+        rc = main(
+            ["trace", "--workflow", "iwd", "--scale", "0.05",
+             "--jsonl", str(jsonl), "--wfcommons", str(wfc)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wrote JSONL trace" in out
+        assert "wrote WfCommons instance" in out
+        # header line + one line per instance
+        assert len(jsonl.read_text().splitlines()) > 1
+        doc = json.loads(wfc.read_text())
+        assert doc["schemaVersion"] == "1.5"
+        assert doc["workflow"]["specification"]["tasks"]
+
+    def test_compare_workloads_specs(self, tmp_path, capsys):
+        wfc = tmp_path / "wf.json"
+        assert main(
+            ["trace", "--workflow", "iwd", "--scale", "0.05",
+             "--wfcommons", str(wfc)]
+        ) == 0
+        capsys.readouterr()
+        rc = main(
+            ["compare", "--workloads", f"wfcommons:{wfc}",
+             "--backend", "event"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Sizey" in out
+        assert f"wfcommons:{wfc}" in out
+
+    def test_compare_workflows_and_workloads_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compare", "--workflows", "iwd",
+                 "--workloads", "synthetic:iwd"]
+            )
+
+    def test_figures_wfcommons_replay_artifact_listed(self):
+        args = build_parser().parse_args(
+            ["figures", "--only", "wfcommons-replay"]
+        )
+        assert args.only == ["wfcommons-replay"]

@@ -1,0 +1,400 @@
+"""WfCommons ingestion tests: schemas, units, DAG collapse, edge cases."""
+
+import json
+
+import pytest
+
+from repro.sim.engine import OnlineSimulator
+from repro.sim.results import result_to_dict
+from repro.workflow.io import TraceFormatError
+from repro.workflow.nfcore import build_workflow_trace
+from repro.workload import (
+    WfCommonsSource,
+    load_wfcommons,
+    trace_to_wfcommons,
+    wfcommons_to_trace,
+)
+
+MB = 1024.0 * 1024.0
+
+
+def modern_doc(tasks, files=(), execution=(), name="wf"):
+    return {
+        "name": name,
+        "schemaVersion": "1.5",
+        "workflow": {
+            "specification": {"tasks": list(tasks), "files": list(files)},
+            "execution": {"tasks": list(execution)},
+        },
+    }
+
+
+def legacy_doc(tasks, name="wf"):
+    return {
+        "name": name,
+        "schemaVersion": "1.3",
+        "workflow": {"tasks": list(tasks)},
+    }
+
+
+class TestModernSchema:
+    def test_basic_ingestion_with_units(self):
+        doc = modern_doc(
+            tasks=[
+                {"id": "blast_ID01", "parents": [], "children": ["merge_ID02"],
+                 "inputFiles": ["f1"]},
+                {"id": "merge_ID02", "parents": ["blast_ID01"], "children": [],
+                 "inputFiles": []},
+            ],
+            files=[{"id": "f1", "sizeInBytes": 512 * MB}],
+            execution=[
+                {"id": "blast_ID01", "runtimeInSeconds": 3600.0,
+                 "memoryInBytes": 2048 * MB, "avgCPU": 250.0,
+                 "readBytes": 10 * MB, "writtenBytes": 5 * MB,
+                 "machines": ["node-a"]},
+                {"id": "merge_ID02", "runtimeInSeconds": 1800.0,
+                 "memoryInBytes": 1024 * MB},
+            ],
+        )
+        trace = wfcommons_to_trace(doc)
+        assert trace.workflow == "wf"
+        assert [i.task_type.name for i in trace] == ["blast", "merge"]
+        blast, merge = trace.instances
+        # memoryInBytes -> MB, runtimeInSeconds -> hours, sizes -> MB
+        assert blast.peak_memory_mb == pytest.approx(2048.0)
+        assert blast.runtime_hours == pytest.approx(1.0)
+        assert blast.input_size_mb == pytest.approx(512.0)
+        assert blast.cpu_percent == pytest.approx(250.0)
+        assert blast.io_read_mb == pytest.approx(10.0)
+        assert blast.io_write_mb == pytest.approx(5.0)
+        assert blast.machine == "node-a"
+        assert merge.peak_memory_mb == pytest.approx(1024.0)
+        assert merge.runtime_hours == pytest.approx(0.5)
+        # the type-level DAG and the per-instance edges both round-trip
+        assert trace.dag is not None
+        assert trace.dag.edges == [("blast", "merge")]
+        assert trace.instance_edges == [(0, 1)]
+
+    def test_category_beats_id_stem(self):
+        doc = modern_doc(
+            tasks=[{"id": "weird-name", "category": "blast", "parents": []}],
+            execution=[{"id": "weird-name", "runtimeInSeconds": 60,
+                        "memoryInBytes": MB}],
+        )
+        trace = wfcommons_to_trace(doc)
+        assert trace.instances[0].task_type.name == "blast"
+
+    def test_submission_order_follows_depth(self):
+        # File order deliberately inverted vs dependency order.
+        doc = modern_doc(
+            tasks=[
+                {"id": "sink_ID02", "parents": ["src_ID01"]},
+                {"id": "src_ID01", "parents": []},
+            ],
+            execution=[
+                {"id": "sink_ID02", "runtimeInSeconds": 60, "memoryInBytes": MB},
+                {"id": "src_ID01", "runtimeInSeconds": 60, "memoryInBytes": MB},
+            ],
+        )
+        trace = wfcommons_to_trace(doc)
+        assert [i.task_type.name for i in trace] == ["src", "sink"]
+        assert [i.instance_id for i in trace] == [0, 1]
+
+
+class TestLegacySchema:
+    def test_legacy_units_kb_and_bytes(self):
+        doc = legacy_doc(
+            [
+                {"name": "blast_ID01", "runtime": 7200.0,
+                 "memory": 2048 * 1024.0,  # KB -> 2048 MB
+                 "parents": [], "children": [],
+                 "files": [
+                     {"link": "input", "name": "a", "size": 256 * MB},
+                     {"link": "output", "name": "b", "size": 999 * MB},
+                 ]},
+            ]
+        )
+        trace = wfcommons_to_trace(doc)
+        inst = trace.instances[0]
+        assert inst.peak_memory_mb == pytest.approx(2048.0)
+        assert inst.runtime_hours == pytest.approx(2.0)
+        # only input-linked files count toward the prediction feature
+        assert inst.input_size_mb == pytest.approx(256.0)
+
+    def test_unit_mismatch_modern_vs_legacy(self):
+        """The same physical 2 GiB peak via bytes (modern) and KB
+        (legacy) must normalize to the same MB value."""
+        modern = wfcommons_to_trace(
+            modern_doc(
+                tasks=[{"id": "t_ID01", "parents": []}],
+                execution=[{"id": "t_ID01", "runtimeInSeconds": 60,
+                            "memoryInBytes": 2 * 1024 * MB}],
+            )
+        )
+        legacy = wfcommons_to_trace(
+            legacy_doc(
+                [{"name": "t_ID01", "runtime": 60,
+                  "memory": 2 * 1024 * 1024.0, "parents": []}]
+            )
+        )
+        assert modern.instances[0].peak_memory_mb == pytest.approx(
+            legacy.instances[0].peak_memory_mb
+        )
+        assert modern.instances[0].peak_memory_mb == pytest.approx(2048.0)
+
+    def test_jobs_key_accepted(self):
+        doc = {
+            "name": "wf",
+            "workflow": {
+                "jobs": [
+                    {"name": "t_ID01", "runtime": 60, "memory": 1024.0,
+                     "parents": []}
+                ]
+            },
+        }
+        assert len(wfcommons_to_trace(doc)) == 1
+
+
+class TestMalformedDocuments:
+    def test_malformed_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceFormatError, match="not valid JSON"):
+            load_wfcommons(path)
+
+    def test_missing_workflow_key(self):
+        with pytest.raises(TraceFormatError, match="workflow"):
+            wfcommons_to_trace({"name": "wf"})
+
+    def test_non_object_document(self):
+        with pytest.raises(TraceFormatError, match="JSON object"):
+            wfcommons_to_trace([1, 2, 3])
+
+    def test_no_tasks_anywhere(self):
+        with pytest.raises(TraceFormatError, match="'specification'"):
+            wfcommons_to_trace({"name": "wf", "workflow": {}})
+
+    def test_empty_task_list(self):
+        with pytest.raises(TraceFormatError, match="no tasks"):
+            wfcommons_to_trace(modern_doc(tasks=[]))
+
+    def test_unknown_parent_names_offending_path(self):
+        doc = modern_doc(
+            tasks=[{"id": "a_ID01", "parents": ["ghost_ID99"]}],
+        )
+        with pytest.raises(TraceFormatError, match="ghost_ID99") as exc:
+            wfcommons_to_trace(doc)
+        assert "parents" in str(exc.value)
+
+    def test_duplicate_task_id(self):
+        doc = modern_doc(
+            tasks=[{"id": "a_ID01", "parents": []},
+                   {"id": "a_ID01", "parents": []}],
+        )
+        with pytest.raises(TraceFormatError, match="duplicate task id"):
+            wfcommons_to_trace(doc)
+
+    def test_negative_memory_rejected(self):
+        doc = modern_doc(
+            tasks=[{"id": "a_ID01", "parents": []}],
+            execution=[{"id": "a_ID01", "memoryInBytes": -5}],
+        )
+        with pytest.raises(TraceFormatError, match="memoryInBytes"):
+            wfcommons_to_trace(doc)
+
+    def test_non_numeric_aux_fields_are_typed_errors(self):
+        modern = modern_doc(
+            tasks=[{"id": "a_ID01", "parents": []}],
+            execution=[{"id": "a_ID01", "runtimeInSeconds": 60,
+                        "memoryInBytes": MB, "avgCPU": "n/a"}],
+        )
+        with pytest.raises(TraceFormatError, match="avgCPU"):
+            wfcommons_to_trace(modern)
+        legacy = legacy_doc(
+            [{"name": "a_ID01", "runtime": 60, "memory": 1024.0,
+              "parents": [], "bytesRead": {}}]
+        )
+        with pytest.raises(TraceFormatError, match="bytesRead"):
+            wfcommons_to_trace(legacy)
+
+
+class TestCyclicLinks:
+    def test_instance_cycle_raises(self):
+        doc = modern_doc(
+            tasks=[
+                {"id": "a_ID01", "parents": ["b_ID02"]},
+                {"id": "b_ID02", "parents": ["a_ID01"]},
+            ],
+        )
+        with pytest.raises(TraceFormatError, match="cyclic parent/child"):
+            wfcommons_to_trace(doc)
+
+    def test_self_loop_raises(self):
+        doc = modern_doc(tasks=[{"id": "a_ID01", "parents": ["a_ID01"]}])
+        with pytest.raises(TraceFormatError, match="itself"):
+            wfcommons_to_trace(doc)
+
+    def test_cycle_error_blames_only_cycle_members(self):
+        # c/d are innocent descendants of the a<->b cycle and must not
+        # be named in the error.
+        doc = modern_doc(
+            tasks=[
+                {"id": "a_ID01", "parents": ["b_ID02"]},
+                {"id": "b_ID02", "parents": ["a_ID01"]},
+                {"id": "c_ID03", "parents": ["b_ID02"]},
+                {"id": "d_ID04", "parents": ["c_ID03"]},
+            ],
+        )
+        with pytest.raises(TraceFormatError) as exc:
+            wfcommons_to_trace(doc)
+        message = str(exc.value)
+        assert "a_ID01" in message and "b_ID02" in message
+        assert "c_ID03" not in message and "d_ID04" not in message
+
+    def test_type_level_cycle_is_collapsed_acyclically(self):
+        """a0 -> b0 -> a1 collapses to an acyclic type DAG (min-depth
+        staging): only a -> b survives, never both directions."""
+        doc = modern_doc(
+            tasks=[
+                {"id": "a_ID01", "parents": []},
+                {"id": "b_ID01", "parents": ["a_ID01"]},
+                {"id": "a_ID02", "parents": ["b_ID01"]},
+            ],
+        )
+        trace = wfcommons_to_trace(doc)
+        assert trace.dag is not None
+        assert trace.dag.edges == [("a", "b")]
+        # the full instance-level truth is still preserved
+        assert trace.instance_edges == [(0, 1), (1, 2)]
+
+
+class TestSeededFallbacks:
+    def test_zero_memory_falls_back_to_type_median(self):
+        doc = modern_doc(
+            tasks=[{"id": f"t_ID0{i}", "parents": []} for i in (1, 2, 3)],
+            execution=[
+                {"id": "t_ID01", "runtimeInSeconds": 60,
+                 "memoryInBytes": 4096 * MB},
+                {"id": "t_ID02", "runtimeInSeconds": 60,
+                 "memoryInBytes": 0},  # zero = missing
+                # t_ID03 has no execution record at all
+            ],
+        )
+        trace = wfcommons_to_trace(doc, seed=1)
+        measured, zero, absent = trace.instances
+        assert measured.peak_memory_mb == pytest.approx(4096.0)
+        # fallbacks land near the type median (log-normal sigma 0.1)
+        for inst in (zero, absent):
+            assert 2500.0 < inst.peak_memory_mb < 6500.0
+            assert inst.peak_memory_mb != pytest.approx(4096.0)
+
+    def test_wholly_unmeasured_type_uses_prior(self):
+        doc = modern_doc(tasks=[{"id": "t_ID01", "parents": []}])
+        trace = wfcommons_to_trace(doc, seed=0)
+        inst = trace.instances[0]
+        assert inst.peak_memory_mb > 0
+        assert inst.runtime_hours > 0
+
+    def test_fallback_is_deterministic_per_seed(self):
+        doc = modern_doc(
+            tasks=[{"id": f"t_ID{i:02d}", "parents": []} for i in range(8)],
+        )
+        a = wfcommons_to_trace(doc, seed=5)
+        b = wfcommons_to_trace(doc, seed=5)
+        c = wfcommons_to_trace(doc, seed=6)
+        assert [i.peak_memory_mb for i in a] == [i.peak_memory_mb for i in b]
+        assert [i.runtime_hours for i in a] == [i.runtime_hours for i in b]
+        assert [i.peak_memory_mb for i in a] != [i.peak_memory_mb for i in c]
+
+    def test_missing_input_files_draw_is_seeded(self):
+        doc = modern_doc(tasks=[{"id": "t_ID01", "parents": []}])
+        a = wfcommons_to_trace(doc, seed=3).instances[0]
+        b = wfcommons_to_trace(doc, seed=3).instances[0]
+        assert a.input_size_mb == b.input_size_mb
+        assert a.input_size_mb > 0
+
+
+class TestExportRoundTrip:
+    def test_synthetic_trace_roundtrips(self):
+        trace = build_workflow_trace("iwd", seed=3, scale=0.05)
+        back = wfcommons_to_trace(trace_to_wfcommons(trace))
+        assert back.workflow == trace.workflow
+        assert len(back) == len(trace)
+        assert sorted(t.name for t in back.task_types) == sorted(
+            t.name for t in trace.task_types
+        )
+        # memory round-trips exactly (power-of-two scaling is lossless)
+        assert sorted(i.peak_memory_mb for i in back) == sorted(
+            i.peak_memory_mb for i in trace
+        )
+        assert sorted(back.dag.edges) == sorted(trace.dag.edges)
+
+    def test_preset_convention_matches_generator(self):
+        doc = modern_doc(
+            tasks=[{"id": "t_ID01", "parents": []}],
+            execution=[{"id": "t_ID01", "runtimeInSeconds": 60,
+                        "memoryInBytes": 3000 * MB}],
+        )
+        trace = wfcommons_to_trace(doc)
+        # ceil(3000 * 2 / 1024) GB = 6 GB
+        assert trace.task_types[0].preset_memory_mb == 6144.0
+
+    def test_small_peak_gets_4gb_preset_floor(self):
+        doc = modern_doc(
+            tasks=[{"id": "t_ID01", "parents": []}],
+            execution=[{"id": "t_ID01", "runtimeInSeconds": 60,
+                        "memoryInBytes": 10 * MB}],
+        )
+        assert wfcommons_to_trace(doc).task_types[0].preset_memory_mb == 4096.0
+
+
+class TestDeterministicReplay:
+    """Acceptance: a WfCommons file runs deterministically in both modes."""
+
+    @pytest.fixture
+    def instance_path(self, tmp_path):
+        trace = build_workflow_trace("iwd", seed=3, scale=0.05)
+        path = tmp_path / "iwd_wfcommons.json"
+        path.write_text(json.dumps(trace_to_wfcommons(trace)))
+        return path
+
+    def _run(self, path, **options):
+        from repro.baselines import WorkflowPresets
+        from repro.sim.backends import EventDrivenBackend
+
+        return OnlineSimulator(
+            workload=WfCommonsSource(path, seed=4),
+            backend=EventDrivenBackend(seed=9, **options),
+            cluster="64g:2",
+        ).run(WorkflowPresets())
+
+    def test_flat_mode_repeat_run_identical(self, instance_path):
+        a = self._run(instance_path)
+        b = self._run(instance_path)
+        assert result_to_dict(a) == result_to_dict(b)
+        assert a.num_tasks > 0
+
+    def test_dag_mode_repeat_run_identical(self, instance_path):
+        opts = dict(dag="trace", workflow_arrival="2@poisson:8")
+        a = self._run(instance_path, **opts)
+        b = self._run(instance_path, **opts)
+        assert result_to_dict(a) == result_to_dict(b)
+        assert a.workflows is not None and a.workflows.n_instances == 2
+
+    def test_cli_workload_wfcommons_both_modes(self, instance_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "simulate", "--workload", f"wfcommons:{instance_path}",
+            "--method", "Workflow-Presets", "--backend", "event",
+        ]) == 0
+        flat_out = capsys.readouterr().out
+        assert "wfcommons:" in flat_out
+        assert main([
+            "simulate", "--workload", f"wfcommons:{instance_path}",
+            "--method", "Workflow-Presets", "--backend", "event",
+            "--dag", "trace", "--workflow-arrival", "2@fixed:0.05",
+            "--cluster", "64g:2",
+        ]) == 0
+        dag_out = capsys.readouterr().out
+        assert "per-workflow-instance metrics" in dag_out
