@@ -1,0 +1,36 @@
+"""Bench: sizing-service latency and throughput under loadgen traffic.
+
+The load generator replays a synthetic workload against an in-thread
+:class:`~repro.serve.server.SizingServer` with two tenants and the full
+predict -> observe feedback loop, so the measured p50/p99 ``/predict``
+latencies and the request rate cover the whole serving stack: HTTP
+parsing, tenant routing, pool queries under the pool lock, and the
+executor hop.  The arrival rate is set far above what the server can
+absorb, making the numbers server-bound rather than schedule-bound.
+"""
+
+from repro.serve.loadgen import run_loadgen
+from repro.serve.server import ServerThread
+
+SEED = 0
+N_TASKS = 192
+
+
+def test_bench_serve_loadgen(once, bench_metric):
+    with ServerThread(base_seed=SEED) as srv:
+        report = once(
+            run_loadgen,
+            "synthetic:rnaseq",
+            host=srv.host,
+            port=srv.port,
+            tenants=2,
+            rate_rps=2000.0,
+            batch=8,
+            max_tasks=N_TASKS,
+            seed=SEED,
+        )
+    assert report.n_errors == 0
+    assert report.n_tasks == N_TASKS
+    bench_metric("predict_p50_ms", report.predict_p50_ms)
+    bench_metric("predict_p99_ms", report.predict_p99_ms)
+    bench_metric("requests_per_sec", report.requests_per_sec)

@@ -6,6 +6,9 @@ simulate      replay one workload with one method, print the result
 figures       regenerate paper artifacts (all or a selection)
 trace         generate a synthetic workflow trace to JSON/JSONL/CSV/WfCommons
 compare       run the full method grid on selected workloads
+serve         run the resident sizing server (see repro.serve)
+client        talk to a running sizing server (healthz/metrics/predict/observe)
+loadgen       replay a workload source against a running sizing server
 
 Workloads are addressed by spec strings (``--workload``): the six
 synthetic paper workflows (``synthetic:iwd``), recorded repro-trace
@@ -24,6 +27,11 @@ Examples::
         --cluster "128g:4,256g:4" --placement best-fit --arrival poisson:0.5
     python -m repro simulate --workflow iwd --backend event \
         --node-outage 0.05:0.2:0 --cluster "64g:4"
+    python -m repro serve --port 8713
+    python -m repro client predict --tenant alice --task-type align \
+        --input-mb 1024
+    python -m repro loadgen --workload synthetic:rnaseq --tenants 2 \
+        --rate 200 --max-tasks 256
     python -m repro figures --only fig11 fig12
     python -m repro trace --workflow mag --scale 0.1 --out mag.json --csv mag.csv
     python -m repro trace --workflow iwd --wfcommons iwd_wfcommons.json
@@ -230,7 +238,75 @@ def build_parser() -> argparse.ArgumentParser:
                       help="hours between submissions (event backend only; "
                            "shorthand for --arrival fixed:H)")
     _add_cluster_options(cmp_)
+
+    _add_serve_parsers(sub)
     return parser
+
+
+def _add_serve_parsers(sub) -> None:
+    """The ``serve`` / ``client`` / ``loadgen`` command trio."""
+    from repro.serve.server import DEFAULT_PORT
+
+    def _endpoint(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=DEFAULT_PORT)
+
+    srv = sub.add_parser("serve", help="run the resident sizing server")
+    _endpoint(srv)
+    srv.add_argument("--seed", type=int, default=0,
+                     help="base seed mixed into every tenant's model seed")
+    srv.add_argument("--max-tenants", type=int, default=64,
+                     help="LRU capacity of the tenant registry")
+
+    cli = sub.add_parser("client", help="talk to a running sizing server")
+    actions = cli.add_subparsers(dest="action", required=True)
+
+    hz = actions.add_parser("healthz", help="liveness probe")
+    _endpoint(hz)
+    mt = actions.add_parser("metrics", help="dump the /metrics payload")
+    _endpoint(mt)
+
+    pr = actions.add_parser("predict", help="size one task")
+    _endpoint(pr)
+    pr.add_argument("--tenant", default="default")
+    pr.add_argument("--task-type", required=True)
+    pr.add_argument("--input-mb", type=float, required=True)
+    pr.add_argument("--machine", default="default")
+    pr.add_argument("--task-workflow", default="serve", metavar="NAME")
+    pr.add_argument("--preset-mb", type=float, default=4096.0)
+    pr.add_argument("--instance-id", type=int, default=-1)
+
+    ob = actions.add_parser("observe", help="report one measured peak")
+    _endpoint(ob)
+    ob.add_argument("--tenant", default="default")
+    ob.add_argument("--task-type", required=True)
+    ob.add_argument("--input-mb", type=float, required=True)
+    ob.add_argument("--peak-mb", type=float, required=True)
+    ob.add_argument("--machine", default="default")
+    ob.add_argument("--task-workflow", default="serve", metavar="NAME")
+    ob.add_argument("--runtime-h", type=float, default=0.0)
+    ob.add_argument("--allocated-mb", type=float, default=0.0)
+    ob.add_argument("--instance-id", type=int, default=-1)
+
+    lg = sub.add_parser(
+        "loadgen", help="replay a workload against a running server"
+    )
+    _endpoint(lg)
+    lg.add_argument("--workload", type=_workload_spec, required=True,
+                    metavar="SPEC",
+                    help="workload source spec (see simulate --workload)")
+    lg.add_argument("--tenants", type=int, default=2)
+    lg.add_argument("--rate", type=float, default=200.0,
+                    help="predict-request arrival rate (requests/sec)")
+    lg.add_argument("--batch", type=int, default=8,
+                    help="tasks per /predict request")
+    lg.add_argument("--max-tasks", type=int, default=256,
+                    help="stop after this many tasks (0 = whole workload)")
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--no-observe", action="store_true",
+                    help="skip the /observe feedback after each batch")
+    lg.add_argument("--json", dest="json_out", default=None, metavar="PATH",
+                    help="also write the report as JSON here")
 
 
 def _validate_args(
@@ -545,11 +621,117 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve.server import SizingServer
+
+    server = SizingServer(
+        args.host,
+        args.port,
+        base_seed=args.seed,
+        max_tenants=args.max_tenants,
+    )
+
+    async def _main() -> None:
+        await server.start()
+        print(f"sizing server listening on {server.url}", flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(server.stop())
+                )
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - fallback path
+        pass
+    print("sizing server stopped")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.client import SizingClient
+
+    with SizingClient(args.host, args.port) as client:
+        if args.action == "healthz":
+            payload = client.healthz()
+        elif args.action == "metrics":
+            payload = client.metrics()
+        elif args.action == "predict":
+            payload = client.predict(
+                args.tenant,
+                [
+                    {
+                        "task_type": args.task_type,
+                        "workflow": args.task_workflow,
+                        "machine": args.machine,
+                        "input_size_mb": args.input_mb,
+                        "preset_memory_mb": args.preset_mb,
+                        "instance_id": args.instance_id,
+                    }
+                ],
+            )
+        else:
+            payload = client.observe(
+                args.tenant,
+                [
+                    {
+                        "task_type": args.task_type,
+                        "workflow": args.task_workflow,
+                        "machine": args.machine,
+                        "input_size_mb": args.input_mb,
+                        "peak_memory_mb": args.peak_mb,
+                        "runtime_hours": args.runtime_h,
+                        "allocated_mb": args.allocated_mb,
+                        "instance_id": args.instance_id,
+                    }
+                ],
+            )
+    print(_json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.loadgen import run_loadgen
+
+    report = run_loadgen(
+        args.workload,
+        host=args.host,
+        port=args.port,
+        tenants=args.tenants,
+        rate_rps=args.rate,
+        batch=args.batch,
+        max_tasks=args.max_tasks or None,
+        observe=not args.no_observe,
+        seed=args.seed,
+    )
+    rows = [[key, value] for key, value in report.as_dict().items()]
+    print(render_table(["metric", "value"], rows, title="loadgen report"))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            _json.dump(report.as_dict(), fh, indent=2)
+        print(f"wrote JSON report to {args.json_out}")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "figures": _cmd_figures,
     "trace": _cmd_trace,
     "compare": _cmd_compare,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -98,6 +98,12 @@ class ResourceManager:
         self.config = self.pools[0][0]
         self.placement = resolve_placement(placement)
         self._next_task_id = 0
+        # The node list is fixed for the manager's lifetime, so the
+        # largest capacity is too; the event kernel reads it once per
+        # sized task, which made the per-call max() measurable.
+        self._max_allocation_mb = max(
+            node.config.memory_mb for node in self.nodes
+        )
 
     @classmethod
     def from_spec(
@@ -126,7 +132,7 @@ class ResourceManager:
         node — the only node type that bounds what a task could ever be
         granted.
         """
-        return max(node.config.memory_mb for node in self.nodes)
+        return self._max_allocation_mb
 
     def node_capacities_mb(self) -> dict[int, float]:
         """Per-node memory capacity, keyed by node id."""

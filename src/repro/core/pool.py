@@ -9,6 +9,7 @@ Fig. 3 (online learning); ``predict`` is Phase 2 steps 2.1-2.2
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -143,6 +144,24 @@ class ModelPool:
         self._active: list[ModelSlot] = []
         self._active_names: tuple[str, ...] = ()
         self._active_accuracy = np.empty(0, dtype=np.float64)
+        # One pool may now be shared by concurrently interleaved
+        # predict/observe callers (the sizing server's event loop, the
+        # threaded regression tests): a single reentrant lock serializes
+        # update() against predict()/predict_batch(), so a reader never
+        # queries a half-trained slot or a fitted-slot cache mid-rebuild.
+        # Uncontended acquisition is ~100 ns per *call* (not per task),
+        # which is noise next to a model query.
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        # Locks are not picklable; a deserialized pool gets a fresh one.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # state
@@ -157,7 +176,10 @@ class ModelPool:
         return any(s.fitted for s in self.slots)
 
     def accuracy_scores(self) -> np.ndarray:
-        return np.array([a.score for a in self._accuracy], dtype=np.float64)
+        with self._lock:
+            return np.array(
+                [a.score for a in self._accuracy], dtype=np.float64
+            )
 
     # ------------------------------------------------------------------
     # Phase 3: online learning
@@ -169,37 +191,38 @@ class ModelPool:
         point (prequential accuracy update, honest out-of-sample), then
         the point joins the history, then every model trains.
         """
-        x = np.asarray(x, dtype=np.float64).reshape(1, -1)
-        if self.accuracy_mode == "prequential":
-            for slot, acc in zip(self.slots, self._accuracy):
-                if slot.fitted:
-                    acc.update(slot.predict_one(x), y)
+        with self._lock:
+            x = np.asarray(x, dtype=np.float64).reshape(1, -1)
+            if self.accuracy_mode == "prequential":
+                for slot, acc in zip(self.slots, self._accuracy):
+                    if slot.fitted:
+                        acc.update(slot.predict_one(x), y)
 
-        self._history.append(x, float(y))
-        self._n_updates += 1
-        n = self._n_updates
+            self._history.append(x, float(y))
+            self._n_updates += 1
+            n = self._n_updates
 
-        t0 = time.perf_counter()
-        X_all, y_all = self._history.X, self._history.y
-        if self.training_mode == "full":
-            do_hpo = n == 1 or (n % self.hpo_interval == 0)
-            for slot in self.slots:
-                slot.train_full(X_all, y_all, do_hpo=do_hpo)
-        else:
-            w = min(self.mlp_window, n)
-            X_win, y_win = X_all[-w:], y_all[-w:]
-            for slot in self.slots:
-                slot.update_incremental(x, float(y), X_win, y_win, n)
-        self.last_update_seconds = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            X_all, y_all = self._history.X, self._history.y
+            if self.training_mode == "full":
+                do_hpo = n == 1 or (n % self.hpo_interval == 0)
+                for slot in self.slots:
+                    slot.train_full(X_all, y_all, do_hpo=do_hpo)
+            else:
+                w = min(self.mlp_window, n)
+                X_win, y_win = X_all[-w:], y_all[-w:]
+                for slot in self.slots:
+                    slot.update_incremental(x, float(y), X_win, y_win, n)
+            self.last_update_seconds = time.perf_counter() - t0
 
-        if self.accuracy_mode == "retrospective":
-            # Re-score the whole history with the just-trained models.
-            for slot, acc in zip(self.slots, self._accuracy):
-                if slot.fitted:
-                    terms = accuracy_terms(slot.predict(X_all), y_all)
-                    acc.reset_to(terms)
-        self._refresh_active()
-        return self.last_update_seconds
+            if self.accuracy_mode == "retrospective":
+                # Re-score the whole history with the just-trained models.
+                for slot, acc in zip(self.slots, self._accuracy):
+                    if slot.fitted:
+                        terms = accuracy_terms(slot.predict(X_all), y_all)
+                        acc.reset_to(terms)
+            self._refresh_active()
+            return self.last_update_seconds
 
     def _refresh_active(self) -> None:
         """Rebuild the fitted-slot cache after training/scoring changed."""
@@ -219,14 +242,18 @@ class ModelPool:
     # ------------------------------------------------------------------
     def predict(self, x: np.ndarray) -> PoolPrediction:
         """Gated prediction for feature vector ``x`` (shape ``(1, d)``)."""
-        if not self._active:
-            raise RuntimeError("pool has no fitted models; call update() first")
-        x = np.asarray(x, dtype=np.float64).reshape(1, -1)
-        names = self._active_names
-        preds = np.array([slot.predict_one(x) for slot in self._active])
-        # Copy: PoolPrediction is a transparency record callers may hold
-        # onto; handing out the cache itself would let them corrupt it.
-        acc = self._active_accuracy.copy()
+        with self._lock:
+            if not self._active:
+                raise RuntimeError(
+                    "pool has no fitted models; call update() first"
+                )
+            x = np.asarray(x, dtype=np.float64).reshape(1, -1)
+            names = self._active_names
+            preds = np.array([slot.predict_one(x) for slot in self._active])
+            # Copy: PoolPrediction is a transparency record callers may
+            # hold onto; handing out the cache itself would let them
+            # corrupt it.
+            acc = self._active_accuracy.copy()
         eff = efficiency_scores(preds)
         raq = raq_scores(acc, eff, self.alpha)
         decision = gate(preds, raq, self.gating, self.beta)
@@ -250,20 +277,23 @@ class ModelPool:
         ``n`` queries per slot.  Scoring and gating stay per-row because
         efficiency scores compare the models within one submission.
         """
-        if not self._active:
-            raise RuntimeError("pool has no fitted models; call update() first")
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValueError(f"X must have shape (n, d), got {X.shape}")
-        names = self._active_names
-        # (n_models, n_rows): the single vectorized query per slot.
-        pred_matrix = np.stack([slot.predict(X) for slot in self._active])
-        acc = self._active_accuracy
+        with self._lock:
+            if not self._active:
+                raise RuntimeError(
+                    "pool has no fitted models; call update() first"
+                )
+            names = self._active_names
+            # (n_models, n_rows): the single vectorized query per slot.
+            pred_matrix = np.stack([slot.predict(X) for slot in self._active])
+            acc = self._active_accuracy.copy()
         out: list[PoolPrediction] = []
         for j in range(X.shape[0]):
             # Copies: rows must not be views into the shared matrix (a
             # retained PoolPrediction would pin it alive and expose it
-            # to mutation), and ``acc`` must not alias the pool's cache.
+            # to mutation), and rows must not share one accuracy array.
             preds = np.ascontiguousarray(pred_matrix[:, j])
             eff = efficiency_scores(preds)
             raq = raq_scores(acc, eff, self.alpha)

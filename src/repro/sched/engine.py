@@ -28,7 +28,6 @@ instances) and release (dependency resolution) via
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -47,7 +46,7 @@ from repro.sim.kernel.events import ARRIVAL
 from repro.sim.kernel.outage import NodeOutage
 from repro.sim.results import SimulationResult
 from repro.workflow.dag import WorkflowDAG
-from repro.workflow.task import WorkflowTrace
+from repro.workflow.task import TaskInstance, WorkflowTrace
 from repro.workload.base import WorkloadSource, as_source
 
 __all__ = ["resolve_dag", "run_dag_simulation", "DagWorkflowDriver"]
@@ -92,6 +91,28 @@ def resolve_dag(dag: object | None, trace: WorkflowTrace) -> WorkflowDAG:
     return resolved
 
 
+def _offset_task_ids(
+    trace: WorkflowTrace, id_offset: int
+) -> list[TaskInstance]:
+    """Copy a trace's tasks with ``instance_id`` shifted by ``id_offset``.
+
+    Copy 0 (offset 0) shares the trace's frozen instances directly; later
+    copies clone via ``__dict__`` instead of ``dataclasses.replace`` —
+    every field except the id comes from an already-validated instance,
+    so re-running ``__post_init__`` per task is pure overhead (it
+    dominated the DAG driver's seed phase at high replication counts).
+    """
+    if id_offset == 0:
+        return list(trace)
+    tasks: list[TaskInstance] = []
+    for inst in trace:
+        clone = object.__new__(TaskInstance)
+        clone.__dict__.update(inst.__dict__)
+        clone.__dict__["instance_id"] = inst.instance_id + id_offset
+        tasks.append(clone)
+    return tasks
+
+
 def _instantiate_workflows(
     source: WorkloadSource,
     dag_option: object | None,
@@ -134,10 +155,7 @@ def _instantiate_workflows(
             trace = produced[k % len(produced)]
         if id(trace) not in resolved:
             resolved[id(trace)] = resolve_dag(dag_option, trace)
-        tasks = [
-            replace(inst, instance_id=inst.instance_id + id_offset)
-            for inst in trace
-        ]
+        tasks = _offset_task_ids(trace, id_offset)
         id_offset += 1 + max((t.instance_id for t in trace), default=0)
         instances.append(
             WorkflowInstance(
@@ -165,9 +183,9 @@ class _DagQueue:
         return self._scheduler.pop()
 
     def unsized(self, limit: int) -> list[TaskState]:
-        return [
-            st for st in self._scheduler.queued() if st.allocation is None
-        ][:limit]
+        return self._scheduler.queued_matching(
+            lambda st: st.allocation is None, limit
+        )
 
     def requeue(self, state: TaskState) -> None:
         assert state.wi is not None

@@ -95,6 +95,21 @@ class ReadySetScheduler(Generic[S]):
         """All queued states, FCFS order (non-destructive)."""
         return [s for _, _, s in sorted(self._ready)]
 
+    def queued_matching(self, predicate, limit: int) -> list[S]:
+        """The first ``limit`` queued states (FCFS) passing ``predicate``.
+
+        ``nsmallest`` over the filtered heap entries is O(n log limit)
+        versus ``queued()``'s full O(n log n) sort — the sizing wave asks
+        for a small fixed chunk out of a ready set that can hold every
+        queued task on a saturated cluster.
+        """
+        return [
+            s
+            for _, _, s in heapq.nsmallest(
+                limit, (e for e in self._ready if predicate(e[2]))
+            )
+        ]
+
     # ------------------------------------------------------------------
     def _push_all(
         self, wi: WorkflowInstance, released: list[TaskInstance]

@@ -1,0 +1,48 @@
+"""Sizing as a service: a resident async prediction server.
+
+The paper frames memory sizing as an *online* loop — predict, observe
+the measured peak, update the models — but the CLI runs that loop in
+batch, one simulated workload at a time.  This package keeps the loop
+resident: an asyncio HTTP server (:mod:`repro.serve.server`) holds warm
+per-tenant :class:`~repro.core.predictor.SizeyPredictor` instances
+(:mod:`repro.serve.tenants`) and exposes the loop as four endpoints:
+
+========  ============  ====================================================
+method    path          purpose
+========  ============  ====================================================
+POST      /predict      batch memory sizing for a list of task submissions
+POST      /observe      peak-memory feedback -> per-tenant model update
+GET       /metrics      wastage ledger, per-model accuracy, request counters
+GET       /healthz      liveness probe
+========  ============  ====================================================
+
+Tenants are isolated: each name lazily creates its own predictor with a
+deterministic per-tenant seed, so feedback for one tenant never moves
+another tenant's estimates, and restarting the server reproduces the
+same predictions given the same observation history.  The wire protocol
+(:mod:`repro.serve.protocol`) is plain JSON; :mod:`repro.serve.client`
+is the blocking client and :mod:`repro.serve.loadgen` replays any
+:class:`~repro.workload.base.WorkloadSource` against a live server at a
+configured arrival rate.
+
+Everything is standard library + numpy — no web framework.
+"""
+
+from repro.serve.client import ServeError, SizingClient
+from repro.serve.loadgen import LoadgenReport, run_loadgen
+from repro.serve.protocol import ProtocolError
+from repro.serve.server import ServerThread, SizingServer
+from repro.serve.tenants import TenantRegistry, TenantSession, tenant_seed
+
+__all__ = [
+    "LoadgenReport",
+    "ProtocolError",
+    "ServeError",
+    "ServerThread",
+    "SizingClient",
+    "SizingServer",
+    "TenantRegistry",
+    "TenantSession",
+    "run_loadgen",
+    "tenant_seed",
+]

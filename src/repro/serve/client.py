@@ -1,0 +1,118 @@
+"""Blocking client for the sizing service (stdlib ``http.client``).
+
+The client keeps one persistent connection and transparently reopens it
+once if the server closed an idle keep-alive — so long-lived callers
+(the CLI, the examples) don't need their own retry logic.  Error
+responses surface as :class:`ServeError` carrying the HTTP status and
+the typed field path from the server's 400 payload.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.serve.server import DEFAULT_PORT
+
+__all__ = ["ServeError", "SizingClient"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the sizing server."""
+
+    def __init__(self, status: int, field: str, message: str) -> None:
+        super().__init__(f"HTTP {status} [{field}]: {message}")
+        self.status = status
+        self.field = field
+        self.message = message
+
+
+class SizingClient:
+    """Thin blocking wrapper over the four endpoints."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def predict(self, tenant: str, tasks: list[dict]) -> dict:
+        """``POST /predict``: tasks are plain dicts (see protocol docs)."""
+        return self._request(
+            "POST", "/predict", {"tenant": tenant, "tasks": tasks}
+        )
+
+    def observe(self, tenant: str, observations: list[dict]) -> dict:
+        """``POST /observe``: feed measured peaks back to the tenant."""
+        return self._request(
+            "POST",
+            "/observe",
+            {"tenant": tenant, "observations": observations},
+        )
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "SizingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        body = None
+        headers = {"Connection": "keep-alive"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_error: Exception | None = None
+        for attempt in range(2):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(method, path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, OSError) as exc:
+                # Stale keep-alive (server dropped the idle socket):
+                # reconnect once; a second failure is a real outage.
+                self.close()
+                last_error = exc
+        else:
+            assert last_error is not None
+            raise ServeError(0, "connection", str(last_error))
+        try:
+            parsed = json.loads(data.decode("utf-8"))
+        except ValueError:
+            raise ServeError(
+                response.status, "body", "server returned non-JSON body"
+            ) from None
+        if response.status >= 400:
+            error = parsed.get("error", {}) if isinstance(parsed, dict) else {}
+            raise ServeError(
+                response.status,
+                error.get("field", "unknown"),
+                error.get("message", "request failed"),
+            )
+        return parsed

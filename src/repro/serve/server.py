@@ -1,0 +1,350 @@
+"""The asyncio sizing server: HTTP/1.1 on stdlib streams, no framework.
+
+One :class:`SizingServer` owns a :class:`~repro.serve.tenants.
+TenantRegistry` and serves the four-endpoint protocol documented in
+:mod:`repro.serve`.  The HTTP layer is deliberately minimal — request
+line, headers, ``Content-Length`` body, JSON in/out, keep-alive — which
+keeps the dependency surface at zero while still talking to ``curl``
+and any HTTP client.
+
+Model work (training steps, pool queries) runs on the default executor
+so a slow update never stalls the event loop; that is exactly the
+concurrency the pool-level lock in :class:`~repro.core.pool.ModelPool`
+exists for.  :class:`ServerThread` wraps the server in a background
+thread with its own event loop — the harness used by the tests, the
+benchmark, and the load generator's self-hosted mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+from collections import Counter
+
+from repro.core.config import SizeyConfig
+from repro.serve.protocol import (
+    ProtocolError,
+    parse_observe_request,
+    parse_predict_request,
+)
+from repro.serve.tenants import TenantRegistry
+
+__all__ = ["SizingServer", "ServerThread", "DEFAULT_PORT"]
+
+DEFAULT_PORT = 8713
+#: Requests beyond this body size are rejected with 413.
+MAX_BODY_BYTES = 8 << 20
+#: Idle keep-alive connections are dropped after this many seconds.
+IDLE_TIMEOUT_S = 60.0
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class SizingServer:
+    """Resident prediction service over a tenant registry."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        registry: TenantRegistry | None = None,
+        config: SizeyConfig | None = None,
+        base_seed: int = 0,
+        max_tenants: int = 64,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.registry = registry if registry is not None else TenantRegistry(
+            config, base_seed=base_seed, max_tenants=max_tenants
+        )
+        self.requests: Counter[str] = Counter()
+        self.errors = 0
+        self.started_at: float | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._stopped: asyncio.Event | None = None
+        self._handlers: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting; ``port=0`` picks a free port."""
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain open connections, release serve_forever().
+
+        Idle keep-alive connections are closed so their handlers exit on
+        EOF instead of being cancelled mid-read when the loop shuts down
+        — a clean shutdown, not a cancellation storm.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            writer.close()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` is called (or cancellation)."""
+        assert self._stopped is not None, "call start() first"
+        await self._stopped.wait()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader), timeout=IDLE_TIMEOUT_S
+                    )
+                except (
+                    asyncio.TimeoutError,
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                ):
+                    break
+                if request is None:
+                    break
+                method, path, headers, body, status = request
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                if status is not None:  # transport-level reject (413, ...)
+                    self.errors += 1
+                    await self._write_response(
+                        writer,
+                        status,
+                        {"error": {"field": "body", "message": _REASONS[status]}},
+                        keep_alive=False,
+                    )
+                    break
+                status, payload = await self._dispatch(method, path, body)
+                if status >= 400:
+                    self.errors += 1
+                await self._write_response(
+                    writer, status, payload, keep_alive=keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+            with contextlib.suppress(BaseException):
+                await writer.wait_closed()
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one HTTP/1.1 request; ``None`` on clean EOF."""
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, path, _version = line.decode("ascii").split(None, 2)
+        except (UnicodeDecodeError, ValueError):
+            return "GET", "/", {}, b"", 400
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return method, path, headers, b"", 400
+        if length > MAX_BODY_BYTES:
+            return method, path, headers, b"", 413
+        body = await reader.readexactly(length) if length else b""
+        return method, path.split("?", 1)[0], headers, body, None
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        *,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict]:
+        route = (method.upper(), path)
+        if path not in ("/predict", "/observe", "/metrics", "/healthz"):
+            return 404, {
+                "error": {"field": "path", "message": f"unknown path {path!r}"}
+            }
+        expected = "POST" if path in ("/predict", "/observe") else "GET"
+        if route[0] != expected:
+            return 405, {
+                "error": {
+                    "field": "method",
+                    "message": f"{path} requires {expected}",
+                }
+            }
+        self.requests[path.lstrip("/")] += 1
+        if path == "/healthz":
+            return 200, self._healthz_payload()
+        if path == "/metrics":
+            return 200, self._metrics_payload()
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return 400, ProtocolError(
+                "body", "request body is not valid JSON"
+            ).to_payload()
+        loop = asyncio.get_running_loop()
+        try:
+            if path == "/predict":
+                tenant, tasks = parse_predict_request(payload)
+                session = self.registry.get(tenant)
+                results = await loop.run_in_executor(
+                    None, session.predict, tasks
+                )
+                return 200, {"tenant": tenant, "results": results}
+            tenant, observations = parse_observe_request(payload)
+            session = self.registry.get(tenant)
+            n = await loop.run_in_executor(
+                None, session.observe, observations
+            )
+            return 200, {"tenant": tenant, "n_observed": n}
+        except ProtocolError as exc:
+            return 400, exc.to_payload()
+        except Exception as exc:  # noqa: BLE001 - last-resort boundary
+            return 500, {
+                "error": {"field": "server", "message": repr(exc)}
+            }
+
+    def _healthz_payload(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "n_tenants": len(self.registry),
+        }
+
+    def _metrics_payload(self) -> dict:
+        return {
+            "server": {
+                "uptime_s": (
+                    time.time() - self.started_at if self.started_at else 0.0
+                ),
+                "requests": dict(self.requests),
+                "errors": self.errors,
+            },
+            "registry": self.registry.metrics(),
+        }
+
+
+class ServerThread:
+    """A :class:`SizingServer` on a background thread, as a context manager.
+
+    ::
+
+        with ServerThread(base_seed=0) as srv:
+            client = SizingClient(srv.host, srv.port)
+
+    Binds ``port=0`` by default so parallel test workers never collide.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, **kwargs) -> None:
+        self.server = SizingServer(host, port, **kwargs)
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._startup_error: BaseException | None = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="sizing-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("sizing server failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "sizing server failed to start"
+            ) from self._startup_error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None:
+            asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop
+            ).result(timeout=10)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                await self.server.start()
+                self._loop = asyncio.get_running_loop()
+            except BaseException as exc:  # pragma: no cover - startup race
+                self._startup_error = exc
+                return
+            finally:
+                self._ready.set()
+            await self.server.serve_forever()
+
+        asyncio.run(main())

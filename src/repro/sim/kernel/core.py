@@ -37,7 +37,11 @@ from repro.sim.backends.base import (
     size_first_attempts,
 )
 from repro.sim.interface import MemoryPredictor, TaskSubmission, TraceContext
-from repro.sim.kernel.collectors import MetricsCollector, WastageCollector
+from repro.sim.kernel.collectors import (
+    BaseCollector,
+    MetricsCollector,
+    WastageCollector,
+)
 from repro.sim.kernel.events import (
     ARRIVAL,
     COMPLETION,
@@ -205,6 +209,14 @@ class SimulationKernel:
             self.wastage,
             *collectors,
         )
+        # Per-event dispatch list: only collectors that actually override
+        # on_event get the call — it fires once per heap event, and most
+        # collectors (including WastageCollector) inherit the no-op.
+        self._event_collectors: tuple[MetricsCollector, ...] = tuple(
+            c
+            for c in self.collectors
+            if getattr(type(c), "on_event", None) is not BaseCollector.on_event
+        )
         self.prediction_chunk = prediction_chunk
         self.doubling_factor = doubling_factor
         self.outages = parse_node_outages(outages)
@@ -272,7 +284,7 @@ class SimulationKernel:
                 else:  # OUTAGE_START
                     self._start_outage(payload, now)
                     continue
-                for collector in self.collectors:
+                for collector in self._event_collectors:
                     collector.on_event(now)
             self._schedule(now)
 

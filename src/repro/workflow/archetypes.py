@@ -37,9 +37,54 @@ class MemoryArchetype:
     def sample(self, input_mb: float, rng: np.random.Generator) -> float:
         raise NotImplementedError
 
+    def sample_batch(
+        self, inputs_mb: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorized :meth:`sample` over a whole input array.
+
+        Must consume the RNG stream exactly as ``[sample(x, rng) for x
+        in inputs_mb]`` would, so batched and per-task generation stay
+        bit-for-bit identical (the golden trace tests pin this).  The
+        built-in archetypes override with true vectorized draws — one
+        ``standard_normal`` array in instance-major order replaces the
+        per-call scalar draws, which is where the generator's time went;
+        this fallback keeps third-party archetypes correct unchanged.
+        """
+        return np.array(
+            [self.sample(float(x), rng) for x in inputs_mb],
+            dtype=np.float64,
+        )
+
     def _positive(self, value: float, floor: float = 16.0) -> float:
         """Clamp to a sane positive floor (tasks never use < ~16 MB)."""
         return max(float(value), floor)
+
+    def _noisy_batch(
+        self,
+        base: np.ndarray,
+        rng: np.random.Generator,
+        noise_frac: float,
+        noise_mb: float,
+    ) -> np.ndarray:
+        """Apply the shared frac-then-mb noise scheme to a base array.
+
+        One ``standard_normal((n, k))`` draw in instance-major (row)
+        order consumes the stream exactly like the scalar path's
+        per-instance ``normal(0, frac)`` / ``normal(0, mb)`` pairs —
+        ``normal(loc, scale)`` is ``loc + scale * standard_normal()``
+        draw for draw.
+        """
+        k = (1 if noise_frac else 0) + (1 if noise_mb else 0)
+        value = base
+        if k:
+            z = rng.standard_normal((base.shape[0], k))
+            col = 0
+            if noise_frac:
+                value = base * (1.0 + noise_frac * z[:, col])
+                col += 1
+            if noise_mb:
+                value = value + noise_mb * z[:, col]
+        return np.maximum(value, 16.0)
 
 
 @dataclass
@@ -65,6 +110,13 @@ class LinearMemory(MemoryArchetype):
             value += rng.normal(0.0, self.noise_mb)
         return self._positive(value)
 
+    def sample_batch(
+        self, inputs_mb: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        inputs = np.asarray(inputs_mb, dtype=np.float64)
+        base = self.slope * inputs + self.intercept_mb
+        return self._noisy_batch(base, rng, self.noise_frac, self.noise_mb)
+
 
 @dataclass
 class SublinearMemory(MemoryArchetype):
@@ -86,6 +138,13 @@ class SublinearMemory(MemoryArchetype):
         if self.noise_mb:
             value += rng.normal(0.0, self.noise_mb)
         return self._positive(value)
+
+    def sample_batch(
+        self, inputs_mb: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        inputs = np.asarray(inputs_mb, dtype=np.float64)
+        base = self.coef * inputs**self.exponent + self.intercept_mb
+        return self._noisy_batch(base, rng, self.noise_frac, self.noise_mb)
 
 
 @dataclass
@@ -109,6 +168,13 @@ class PolynomialMemory(MemoryArchetype):
             value += rng.normal(0.0, self.noise_mb)
         return self._positive(value)
 
+    def sample_batch(
+        self, inputs_mb: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        inputs = np.asarray(inputs_mb, dtype=np.float64)
+        base = self.coef * inputs**self.exponent + self.intercept_mb
+        return self._noisy_batch(base, rng, self.noise_frac, self.noise_mb)
+
 
 @dataclass
 class BimodalMemory(MemoryArchetype):
@@ -131,6 +197,16 @@ class BimodalMemory(MemoryArchetype):
         base += self.slope * input_mb
         return self._positive(base * (1.0 + rng.normal(0.0, self.noise_frac)))
 
+    def sample_batch(
+        self, inputs_mb: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        inputs = np.asarray(inputs_mb, dtype=np.float64)
+        base = np.where(inputs >= self.threshold_mb, self.high_mb, self.low_mb)
+        base = base + self.slope * inputs
+        # The scalar path draws unconditionally (no noise_frac guard).
+        z = rng.standard_normal(inputs.shape[0])
+        return np.maximum(base * (1.0 + self.noise_frac * z), 16.0)
+
 
 @dataclass
 class ConstantHeavyTailMemory(MemoryArchetype):
@@ -150,6 +226,13 @@ class ConstantHeavyTailMemory(MemoryArchetype):
         value = self.median_mb * np.exp(rng.normal(0.0, self.sigma))
         return self._positive(min(value, self.cap_mb))
 
+    def sample_batch(
+        self, inputs_mb: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        n = np.asarray(inputs_mb, dtype=np.float64).shape[0]
+        value = self.median_mb * np.exp(self.sigma * rng.standard_normal(n))
+        return np.maximum(np.minimum(value, self.cap_mb), 16.0)
+
 
 @dataclass
 class SaturatingMemory(MemoryArchetype):
@@ -168,6 +251,15 @@ class SaturatingMemory(MemoryArchetype):
         frac = input_mb / (input_mb + self.half_input_mb)
         base = self.plateau_mb - self.scale_mb * (1.0 - frac)
         return self._positive(base * (1.0 + rng.normal(0.0, self.noise_frac)))
+
+    def sample_batch(
+        self, inputs_mb: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        inputs = np.asarray(inputs_mb, dtype=np.float64)
+        frac = inputs / (inputs + self.half_input_mb)
+        base = self.plateau_mb - self.scale_mb * (1.0 - frac)
+        z = rng.standard_normal(inputs.shape[0])
+        return np.maximum(base * (1.0 + self.noise_frac * z), 16.0)
 
 
 @dataclass
@@ -198,6 +290,30 @@ class RuntimeModel:
         io_read = input_mb * self.io_read_factor * np.exp(rng.normal(0.0, 0.3))
         io_write = input_mb * self.io_write_factor * np.exp(rng.normal(0.0, 0.3))
         return max(runtime, 1e-4), max(cpu, 1.0), max(io_read, 0.0), max(io_write, 0.0)
+
+    def sample_batch(
+        self, inputs_mb: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`sample`, RNG-stream-identical to the loop.
+
+        The scalar path draws four normals per instance in the order
+        (runtime jitter, cpu, io read, io write); a row-major ``(n, 4)``
+        standard-normal block consumes the stream the same way.
+        """
+        inputs = np.asarray(inputs_mb, dtype=np.float64)
+        z = rng.standard_normal((inputs.shape[0], 4))
+        runtime = (
+            self.base_hours + self.hours_per_gb * inputs / 1024.0
+        ) * np.exp(self.jitter_sigma * z[:, 0])
+        cpu = self.cpu_percent * np.exp(self.cpu_sigma * z[:, 1])
+        io_read = inputs * self.io_read_factor * np.exp(0.3 * z[:, 2])
+        io_write = inputs * self.io_write_factor * np.exp(0.3 * z[:, 3])
+        return (
+            np.maximum(runtime, 1e-4),
+            np.maximum(cpu, 1.0),
+            np.maximum(io_read, 0.0),
+            np.maximum(io_write, 0.0),
+        )
 
 
 #: Name -> constructor map so workflow specs can be declared as plain data.

@@ -1,0 +1,128 @@
+"""Concurrency regression tests for :class:`repro.core.pool.ModelPool`.
+
+The sizing server shares one pool between interleaved predict and
+observe requests, so ``update()`` racing ``predict_batch()`` from
+multiple threads must never raise, never expose a half-rebuilt
+fitted-slot cache, and always leave the pool in the same state a serial
+execution of the same updates would.
+"""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.pool import ModelPool
+
+
+def _make_pool(**kwargs):
+    return ModelPool(
+        ("linear", "knn"),
+        hpo_interval=1000,
+        **kwargs,
+    )
+
+
+def _seed_pool(pool, n=4, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        x = float(rng.uniform(100.0, 2000.0))
+        pool.update(np.array([[x]]), 4.0 * x + 512.0)
+
+
+class TestConcurrentPredictUpdate:
+    N_UPDATES = 40
+    N_PREDICT_BATCHES = 120
+
+    def test_interleaved_update_predict_batch_never_raises(self):
+        pool = _make_pool()
+        _seed_pool(pool)
+        errors: list[BaseException] = []
+        stop = threading.Event()
+        rng = np.random.default_rng(1)
+        xs = rng.uniform(100.0, 2000.0, size=self.N_UPDATES)
+
+        def writer():
+            try:
+                for x in xs:
+                    pool.update(np.array([[x]]), 4.0 * x + 512.0)
+            except BaseException as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader():
+            X = np.array([[300.0], [900.0], [1500.0]])
+            try:
+                while not stop.is_set():
+                    for pp in pool.predict_batch(X):
+                        # The record must be internally coherent: one
+                        # prediction, accuracy, and RAQ entry per model
+                        # named — a stale cache mid-rebuild would tear
+                        # these apart.
+                        n = len(pp.model_names)
+                        assert pp.predictions.shape == (n,)
+                        assert pp.accuracy.shape == (n,)
+                        assert pp.raq.shape == (n,)
+                        assert 0 <= pp.selected_index < n
+                        assert np.isfinite(pp.estimate)
+            except BaseException as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        writer_t = threading.Thread(target=writer)
+        for t in readers:
+            t.start()
+        writer_t.start()
+        writer_t.join(timeout=60)
+        for t in readers:
+            t.join(timeout=60)
+        assert not errors, errors
+        assert pool.n_observations == 4 + self.N_UPDATES
+
+    def test_threaded_updates_match_serial_history(self):
+        """Racing updates must serialize: no lost observations."""
+        pool = _make_pool()
+        barrier = threading.Barrier(4)
+        rng = np.random.default_rng(2)
+        chunks = [rng.uniform(100.0, 2000.0, size=10) for _ in range(4)]
+
+        def writer(chunk):
+            barrier.wait()
+            for x in chunk:
+                pool.update(np.array([[x]]), 4.0 * x + 512.0)
+
+        threads = [threading.Thread(target=writer, args=(c,)) for c in chunks]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert pool.n_observations == 40
+        # Every fitted slot participates in the refreshed cache.
+        pp = pool.predict(np.array([[800.0]]))
+        assert len(pp.model_names) == len(
+            [s for s in pool.slots if s.fitted]
+        )
+
+    def test_predict_during_update_sees_old_or_new_cache_never_torn(self):
+        """Accuracy arrays handed out are snapshots, not live views."""
+        pool = _make_pool(accuracy_window=5)
+        _seed_pool(pool, n=6)
+        before = pool.predict(np.array([[500.0]]))
+        frozen = before.accuracy.copy()
+        pool.update(np.array([[777.0]]), 4.0 * 777.0 + 512.0)
+        # The retained record must not have been mutated by the update.
+        np.testing.assert_array_equal(before.accuracy, frozen)
+
+    def test_pool_pickles_without_lock(self):
+        pool = _make_pool()
+        _seed_pool(pool, n=3)
+        clone = pickle.loads(pickle.dumps(pool))
+        x = np.array([[640.0]])
+        assert clone.predict(x).estimate == pytest.approx(
+            pool.predict(x).estimate
+        )
+        # The restored pool has a working lock: update still serializes.
+        clone.update(x, 3000.0)
+        assert clone.n_observations == pool.n_observations + 1

@@ -1,0 +1,65 @@
+"""Loadgen smoke at tiny scale against a real in-thread server."""
+
+import pytest
+
+from repro.serve.client import SizingClient
+from repro.serve.loadgen import run_loadgen
+from repro.serve.server import ServerThread
+
+
+class TestLoadgenSmoke:
+    def test_replays_workload_and_reports_percentiles(self):
+        with ServerThread(base_seed=0) as srv:
+            report = run_loadgen(
+                "synthetic:eager",
+                host=srv.host,
+                port=srv.port,
+                tenants=2,
+                rate_rps=1000.0,
+                batch=8,
+                max_tasks=48,
+                seed=0,
+            )
+            with SizingClient(srv.host, srv.port) as client:
+                registry = client.metrics()["registry"]
+        assert report.n_errors == 0
+        assert report.n_tasks == 48
+        assert report.n_predict_requests == 6
+        # The feedback loop ran: every predict got its observe.
+        assert report.n_observe_requests == report.n_predict_requests
+        assert report.requests_per_sec > 0
+        assert (
+            0
+            < report.predict_p50_ms
+            <= report.predict_p95_ms
+            <= report.predict_p99_ms
+        )
+        # Both tenants served traffic and hold trained pools.
+        assert set(registry["tenants"]) == {"tenant-0", "tenant-1"}
+        for tenant in registry["tenants"].values():
+            assert tenant["n_predictions"] > 0
+            assert tenant["n_observations"] > 0
+
+    def test_observe_can_be_disabled(self):
+        with ServerThread(base_seed=0) as srv:
+            report = run_loadgen(
+                "synthetic:eager",
+                host=srv.host,
+                port=srv.port,
+                tenants=1,
+                rate_rps=1000.0,
+                batch=16,
+                max_tasks=32,
+                observe=False,
+                seed=0,
+            )
+        assert report.n_observe_requests == 0
+        assert report.n_predict_requests == 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="tenants"):
+            run_loadgen("synthetic:eager", port=1, tenants=0)
+        with pytest.raises(ValueError, match="rate_rps"):
+            run_loadgen("synthetic:eager", port=1, rate_rps=0.0)
+        with pytest.raises(ValueError, match="batch"):
+            run_loadgen("synthetic:eager", port=1, batch=0)

@@ -1,0 +1,149 @@
+"""Wire-protocol contract: every rejection names the offending field."""
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_TASKS_PER_REQUEST,
+    ProtocolError,
+    parse_observe_request,
+    parse_predict_request,
+)
+
+
+def _predict_body(**overrides):
+    task = {"task_type": "align", "input_size_mb": 512.0}
+    task.update(overrides)
+    return {"tenant": "alice", "tasks": [task]}
+
+
+def _observe_body(**overrides):
+    obs = {
+        "task_type": "align",
+        "input_size_mb": 512.0,
+        "peak_memory_mb": 2048.0,
+    }
+    obs.update(overrides)
+    return {"tenant": "alice", "observations": [obs]}
+
+
+class TestPredictParsing:
+    def test_minimal_request_fills_defaults(self):
+        tenant, tasks = parse_predict_request(_predict_body())
+        assert tenant == "alice"
+        (sub,) = tasks
+        assert sub.task_type == "align"
+        assert sub.workflow == "serve"
+        assert sub.machine == "default"
+        assert sub.preset_memory_mb == 4096.0
+        assert sub.instance_id == -1
+
+    def test_non_object_body(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_predict_request([1, 2])
+        assert exc.value.field == "body"
+
+    def test_missing_tenant(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_predict_request({"tasks": []})
+        assert exc.value.field == "tenant"
+
+    @pytest.mark.parametrize(
+        "tenant", ["", "has space", "tab\there", 129 * "x", 42]
+    )
+    def test_bad_tenant_names(self, tenant):
+        with pytest.raises(ProtocolError) as exc:
+            parse_predict_request({"tenant": tenant, "tasks": [{}]})
+        assert exc.value.field == "tenant"
+
+    def test_empty_task_list(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_predict_request({"tenant": "a", "tasks": []})
+        assert exc.value.field == "tasks"
+
+    def test_oversized_task_list(self):
+        body = {
+            "tenant": "a",
+            "tasks": [{}] * (MAX_TASKS_PER_REQUEST + 1),
+        }
+        with pytest.raises(ProtocolError) as exc:
+            parse_predict_request(body)
+        assert exc.value.field == "tasks"
+
+    def test_missing_input_size_names_indexed_field(self):
+        body = {"tenant": "a", "tasks": [{"task_type": "align"}]}
+        with pytest.raises(ProtocolError) as exc:
+            parse_predict_request(body)
+        assert exc.value.field == "tasks[0].input_size_mb"
+
+    def test_wrong_type_names_indexed_field(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_predict_request(_predict_body(input_size_mb="big"))
+        assert exc.value.field == "tasks[0].input_size_mb"
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_predict_request(_predict_body(input_size_mb=True))
+        assert exc.value.field == "tasks[0].input_size_mb"
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_predict_request(_predict_body(input_size_mb=-1.0))
+        assert exc.value.field == "tasks[0].input_size_mb"
+
+    def test_zero_preset_rejected(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_predict_request(_predict_body(preset_memory_mb=0.0))
+        assert exc.value.field == "tasks[0].preset_memory_mb"
+
+    def test_error_payload_shape(self):
+        try:
+            parse_predict_request(_predict_body(input_size_mb="big"))
+        except ProtocolError as exc:
+            payload = exc.to_payload()
+        assert payload["error"]["field"] == "tasks[0].input_size_mb"
+        assert "number" in payload["error"]["message"]
+
+
+class TestObserveParsing:
+    def test_minimal_request(self):
+        tenant, items = parse_observe_request(_observe_body())
+        assert tenant == "alice"
+        (item,) = items
+        assert item.record.peak_memory_mb == 2048.0
+        assert item.record.success is True
+        assert item.allocated_mb == 0.0
+
+    def test_missing_peak(self):
+        body = {
+            "tenant": "a",
+            "observations": [{"task_type": "t", "input_size_mb": 1.0}],
+        }
+        with pytest.raises(ProtocolError) as exc:
+            parse_observe_request(body)
+        assert exc.value.field == "observations[0].peak_memory_mb"
+
+    def test_success_with_under_allocation_rejected(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_observe_request(
+                _observe_body(success=True, allocated_mb=1024.0)
+            )
+        assert exc.value.field == "observations[0].allocated_mb"
+
+    def test_failure_with_sufficient_allocation_rejected(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_observe_request(
+                _observe_body(success=False, allocated_mb=4096.0)
+            )
+        assert exc.value.field == "observations[0].allocated_mb"
+
+    def test_failure_with_under_allocation_accepted(self):
+        _, items = parse_observe_request(
+            _observe_body(success=False, allocated_mb=1024.0)
+        )
+        assert items[0].record.success is False
+        assert items[0].allocated_mb == 1024.0
+
+    def test_non_boolean_success(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_observe_request(_observe_body(success="yes"))
+        assert exc.value.field == "observations[0].success"

@@ -1,0 +1,134 @@
+"""Tenant registry: lazy creation, deterministic seeds, LRU eviction."""
+
+import numpy as np
+
+from repro.serve.protocol import parse_observe_request, parse_predict_request
+from repro.serve.tenants import TenantRegistry, TenantSession, tenant_seed
+
+
+def _observe(session: TenantSession, xs, slope=4.0):
+    _, items = parse_observe_request(
+        {
+            "tenant": session.name,
+            "observations": [
+                {
+                    "task_type": "align",
+                    "input_size_mb": float(x),
+                    "peak_memory_mb": slope * float(x) + 512.0,
+                    "runtime_hours": 0.1,
+                }
+                for x in xs
+            ],
+        }
+    )
+    session.observe(items)
+
+
+def _predict_one(session: TenantSession, x=1024.0):
+    _, tasks = parse_predict_request(
+        {
+            "tenant": session.name,
+            "tasks": [{"task_type": "align", "input_size_mb": float(x)}],
+        }
+    )
+    return session.predict(tasks)[0]
+
+
+class TestSeeding:
+    def test_seed_is_deterministic_per_name(self):
+        assert tenant_seed("alice", 7) == tenant_seed("alice", 7)
+        assert tenant_seed("alice", 7) != tenant_seed("bob", 7)
+        assert tenant_seed("alice", 7) != tenant_seed("alice", 8)
+
+    def test_fresh_sessions_reproduce_estimates(self):
+        """Same name + base seed + history => identical predictions."""
+        estimates = []
+        for _ in range(2):
+            session = TenantSession("alice", base_seed=3)
+            _observe(session, np.linspace(100, 2000, 8))
+            estimates.append(_predict_one(session)["estimate_mb"])
+        assert estimates[0] == estimates[1]
+
+
+class TestSessionBehaviour:
+    def test_cold_tenant_answers_from_preset(self):
+        session = TenantSession("cold")
+        result = _predict_one(session)
+        assert result["source"] == "preset"
+        assert result["estimate_mb"] == 4096.0
+
+    def test_observe_feedback_switches_to_model(self):
+        session = TenantSession("warm")
+        _observe(session, np.linspace(100, 2000, 6))
+        result = _predict_one(session)
+        assert result["source"] == "model"
+        assert result["estimate_mb"] != 4096.0
+
+    def test_ledger_only_records_opted_in_observations(self):
+        session = TenantSession("ledger")
+        _, items = parse_observe_request(
+            {
+                "tenant": "ledger",
+                "observations": [
+                    {
+                        "task_type": "t",
+                        "input_size_mb": 10.0,
+                        "peak_memory_mb": 100.0,
+                        "runtime_hours": 1.0,
+                        "allocated_mb": 1124.0,
+                    },
+                    {  # trains the models but skips accounting
+                        "task_type": "t",
+                        "input_size_mb": 11.0,
+                        "peak_memory_mb": 100.0,
+                        "runtime_hours": 1.0,
+                    },
+                ],
+            }
+        )
+        session.observe(items)
+        assert len(session.ledger.outcomes) == 1
+        assert session.ledger.total_wastage_gbh == (1124.0 - 100.0) / 1024.0
+
+    def test_metrics_shape(self):
+        session = TenantSession("metrics")
+        _observe(session, [100.0, 200.0, 300.0])
+        _predict_one(session)
+        m = session.metrics()
+        assert m["n_observations"] == 3
+        assert m["n_predictions"] == 1
+        assert m["n_pools"] == 1
+        (scores,) = m["model_accuracy"].values()
+        assert set(scores) == set(session.config.model_classes)
+
+
+class TestRegistry:
+    def test_lazy_creation_and_identity(self):
+        registry = TenantRegistry(max_tenants=4)
+        a = registry.get("alice")
+        assert registry.get("alice") is a
+        assert len(registry) == 1
+        assert registry.peek("bob") is None
+
+    def test_lru_eviction_at_capacity(self):
+        registry = TenantRegistry(max_tenants=2)
+        registry.get("a")
+        registry.get("b")
+        registry.get("a")  # bump: "b" is now least recently used
+        registry.get("c")
+        assert registry.names() == ["a", "c"]
+        assert registry.evictions == 1
+
+    def test_evicted_tenant_recreates_with_same_seed(self):
+        registry = TenantRegistry(max_tenants=1, base_seed=5)
+        first = registry.get("alice").seed
+        registry.get("bob")  # evicts alice
+        assert registry.get("alice").seed == first
+
+    def test_registry_metrics(self):
+        registry = TenantRegistry(max_tenants=8)
+        registry.get("a")
+        registry.get("b")
+        m = registry.metrics()
+        assert m["n_tenants"] == 2
+        assert set(m["tenants"]) == {"a", "b"}

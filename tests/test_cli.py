@@ -349,3 +349,70 @@ class TestWorkloadOption:
             ["figures", "--only", "wfcommons-replay"]
         )
         assert args.only == ["wfcommons-replay"]
+
+
+class TestServeCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8713
+        assert args.max_tenants == 64
+
+    def test_client_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client"])
+
+    def test_client_predict_requires_task_fields(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["client", "predict", "--tenant", "a"]
+            )
+
+    def test_loadgen_validates_workload_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["loadgen", "--workload", "bogus:nope"]
+            )
+
+    def test_client_predict_against_live_server(self, capsys):
+        from repro.serve.server import ServerThread
+
+        with ServerThread() as srv:
+            rc = main(
+                ["client", "predict", "--host", srv.host,
+                 "--port", str(srv.port), "--tenant", "cli",
+                 "--task-type", "align", "--input-mb", "512"]
+            )
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert '"estimate_mb": 4096.0' in out
+            rc = main(
+                ["client", "observe", "--host", srv.host,
+                 "--port", str(srv.port), "--tenant", "cli",
+                 "--task-type", "align", "--input-mb", "512",
+                 "--peak-mb", "2000"]
+            )
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert '"n_observed": 1' in out
+
+    def test_loadgen_against_live_server(self, tmp_path, capsys):
+        import json
+
+        from repro.serve.server import ServerThread
+
+        out_json = tmp_path / "report.json"
+        with ServerThread() as srv:
+            rc = main(
+                ["loadgen", "--host", srv.host, "--port", str(srv.port),
+                 "--workload", "synthetic:eager", "--tenants", "2",
+                 "--rate", "1000", "--max-tasks", "32",
+                 "--json", str(out_json)]
+            )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "loadgen report" in out
+        report = json.loads(out_json.read_text())
+        assert report["n_tasks"] == 32
+        assert report["n_errors"] == 0
