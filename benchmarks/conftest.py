@@ -4,7 +4,7 @@ Every benchmark regenerates one paper artifact end-to-end, so a single
 round is the meaningful unit of measurement (these are throughput
 benchmarks of the full experiment pipeline, not micro-benchmarks).
 
-Each session also emits a machine-readable ``BENCH_6.json`` next to the
+Each session also emits a machine-readable ``BENCH_7.json`` next to the
 repo root — wall-clock seconds per benchmark cell keyed by the pytest
 node id — so the perf trajectory across PRs can be tracked by diffing
 the committed snapshots.  Override the output path with the
@@ -19,7 +19,7 @@ from pathlib import Path
 import pytest
 
 #: PR-numbered snapshot written at session end: {nodeid: seconds}.
-_BENCH_FILE = "BENCH_6.json"
+_BENCH_FILE = "BENCH_7.json"
 
 _cells: dict[str, float] = {}
 #: Extra named measurements (e.g. kernel events/sec), merged alongside
@@ -39,6 +39,13 @@ def once(benchmark, request):
             )
         finally:
             _cells[request.node.nodeid] = time.perf_counter() - start
+            # Memory alongside wall-clock for every cell.  ru_maxrss is
+            # the *process-lifetime* high watermark, so within a session
+            # the series is non-decreasing — the number pins the cell
+            # that first pushed the watermark, later cells inherit it.
+            from repro.sim.runner import peak_rss_mb
+
+            _metrics[f"{request.node.nodeid}::peak_rss_mb"] = peak_rss_mb()
 
     return _run
 
@@ -104,7 +111,7 @@ def pytest_sessionfinish(session, exitstatus):
     )
     payload = {
         "format": "repro-bench",
-        "pr": 6,
+        "pr": 7,
         "unit": "seconds",
         "cells": dict(sorted(cells.items())),
         "metrics": dict(sorted(metrics.items())),

@@ -6,7 +6,9 @@ wall-clock is dominated by the event heap, the dispatch/placement pass,
 and collector dispatch.  The events/sec figure (2 events per attempt:
 arrival-or-release + completion) is the headline number for "runs as
 fast as the hardware allows" and lands in the snapshot's ``metrics``
-section.
+section.  Each cell runs best-of-``ROUNDS``: the minimum wall-clock of
+five identical runs drives the metric, which filters scheduler noise
+out of the committed perf trajectory.
 """
 
 import time
@@ -21,6 +23,37 @@ from repro.workflow.nfcore import build_workflow_trace
 
 SCALE = 0.5
 SEED = 0
+#: Throughput cells report the best of this many rounds — the minimum
+#: is the least-noisy estimator for a deterministic workload (all
+#: variance is scheduler/cache interference, always additive).
+ROUNDS = 5
+
+
+def _make_manager() -> ResourceManager:
+    # Fresh manager per round: ResourceManager is mutated by a run.
+    return ResourceManager(
+        MachineConfig(name="big", memory_mb=512.0 * 1024), n_nodes=8
+    )
+
+
+def _best_of(once, backend, trace):
+    """(first-round result, best elapsed) over ``ROUNDS`` runs.
+
+    Round 0 goes through ``once`` so the cell's wall-clock still lands
+    in the snapshot; the extra rounds are timed bare, and the minimum
+    drives the events/sec metric.
+    """
+    best = float("inf")
+    result = None
+    for i in range(ROUNDS):
+        manager = _make_manager()
+        start = time.perf_counter()
+        if i == 0:
+            result = once(backend.run, trace, _CheapPredictor(), manager, 1.0)
+        else:
+            backend.run(trace, _CheapPredictor(), manager, 1.0)
+        best = min(best, time.perf_counter() - start)
+    return result, best
 
 
 class _CheapPredictor(MemoryPredictor):
@@ -42,27 +75,17 @@ def trace():
 
 def test_bench_kernel_throughput_flat(trace, once, bench_metric):
     backend = EventDrivenBackend(arrival="poisson:50", seed=SEED)
-    manager = ResourceManager(
-        MachineConfig(name="big", memory_mb=512.0 * 1024), n_nodes=8
-    )
-    start = time.perf_counter()
-    res = once(backend.run, trace, _CheapPredictor(), manager, 1.0)
-    elapsed = time.perf_counter() - start
+    res, best = _best_of(once, backend, trace)
     n_events = 2 * len(res.ledger.outcomes)  # arrival/requeue + completion
     assert res.num_tasks == len(trace)
-    bench_metric("events_per_sec", n_events / elapsed)
+    bench_metric("events_per_sec", n_events / best)
 
 
 def test_bench_kernel_throughput_dag(trace, once, bench_metric):
     backend = EventDrivenBackend(
         dag="trace", workflow_arrival="4@poisson:2", seed=SEED
     )
-    manager = ResourceManager(
-        MachineConfig(name="big", memory_mb=512.0 * 1024), n_nodes=8
-    )
-    start = time.perf_counter()
-    res = once(backend.run, trace, _CheapPredictor(), manager, 1.0)
-    elapsed = time.perf_counter() - start
+    res, best = _best_of(once, backend, trace)
     n_events = 2 * len(res.ledger.outcomes) + 4  # + workflow arrivals
     assert res.num_tasks == 4 * len(trace)
-    bench_metric("events_per_sec", n_events / elapsed)
+    bench_metric("events_per_sec", n_events / best)

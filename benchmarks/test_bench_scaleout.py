@@ -1,0 +1,32 @@
+"""Bench: the million-task sharded scale-out flagship.
+
+Runs :data:`repro.experiments.million_task.FLAGSHIP` end-to-end — one
+million WfCommons-derived DAG tasks from 100 tenants on a 1000-node
+cluster, fanned over 8 shard processes with streaming collectors — and
+records the two numbers the scale-out stack exists to bound: wall-clock
+seconds and peak resident set size.
+
+This is by far the heaviest cell (~1-2 minutes), so it is deliberately
+left *out* of the CI bench-smoke ``-k`` filter; CI instead smokes a
+reduced configuration through ``examples/million_task.py`` with a hard
+RSS budget.  Run ``pytest benchmarks`` without filters to refresh the
+committed snapshot.
+
+Note on the RSS metric: ``ru_maxrss`` is a process-lifetime high
+watermark, so within a full bench session this cell's parent-process
+number inherits whatever earlier artifact cells peaked at.  The shard
+workers are fresh processes, so the child watermark — which dominates
+at this scale — is the honest scale-out figure.
+"""
+
+from repro.experiments.million_task import FLAGSHIP, collect
+
+
+def test_bench_scaleout_million_task(once, bench_metric):
+    row = once(collect, FLAGSHIP)
+    assert row["n_tasks"] >= 1_000_000
+    assert row["n_instances"] >= FLAGSHIP.tenants  # every tenant occupied
+    bench_metric("wall_clock_seconds", row["wall_clock_seconds"])
+    bench_metric("peak_rss_mb", row["peak_rss_mb"])
+    bench_metric("tasks_per_second", row["tasks_per_second"])
+    bench_metric("n_tasks", row["n_tasks"])

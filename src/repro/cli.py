@@ -81,6 +81,13 @@ def _nonnegative_hours(value: str) -> float:
     return hours
 
 
+def _positive_hours(value: str) -> float:
+    hours = float(value)
+    if hours <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0 hours, got {hours}")
+    return hours
+
+
 def _cluster_spec(value: str) -> str:
     """Validate a --cluster spec eagerly so bad specs fail at parse time."""
     from repro.cluster.machine import parse_cluster_spec
@@ -182,7 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="replay one workload with one method")
-    which = sim.add_mutually_exclusive_group(required=True)
+    # Not required=True: --resume carries the workload inside the
+    # checkpoint; _validate_args enforces the choice for fresh runs.
+    which = sim.add_mutually_exclusive_group(required=False)
     which.add_argument("--workflow", choices=WORKFLOW_NAMES,
                        help="synthetic paper workflow (alias for "
                             "--workload synthetic:NAME)")
@@ -203,6 +212,43 @@ def build_parser() -> argparse.ArgumentParser:
                           "0 = submit the whole trace at once; shorthand "
                           "for --arrival fixed:H)")
     _add_cluster_options(sim)
+    scale_grp = sim.add_argument_group(
+        "scale-out (event backend only)",
+        "streaming collectors, kernel checkpoint/resume, sharded fan-out",
+    )
+    scale_grp.add_argument("--stream-collectors", action="store_true",
+                           help="bounded-memory online aggregates instead "
+                                "of per-task logs; prints/exports the run "
+                                "summary (quantile sketches, totals)")
+    scale_grp.add_argument("--spill", metavar="PATH", default=None,
+                           help="append per-task prediction logs to this "
+                                "JSONL file in completion order")
+    scale_grp.add_argument("--shards", type=int, default=1, metavar="N",
+                           help="partition the workload and cluster across "
+                                "N worker processes and merge their "
+                                "summaries (implies --stream-collectors)")
+    scale_grp.add_argument("--shard-workers", type=int, default=None,
+                           metavar="N",
+                           help="process-pool size for --shards (default: "
+                                "min(shards, cpu count); 1 = sequential)")
+    scale_grp.add_argument("--checkpoint", metavar="PATH", default=None,
+                           help="write the paused kernel state here "
+                                "(with --checkpoint-every / --stop-after)")
+    scale_grp.add_argument("--checkpoint-every", type=_positive_hours,
+                           default=None, metavar="HOURS",
+                           help="overwrite --checkpoint at least every "
+                                "HOURS of simulation time")
+    scale_grp.add_argument("--stop-after", type=_positive_hours,
+                           default=None, metavar="HOURS",
+                           help="stop once the simulation clock passes "
+                                "HOURS, leaving --checkpoint resumable")
+    scale_grp.add_argument("--resume", metavar="PATH", default=None,
+                           help="continue a checkpointed run (bit-for-bit "
+                                "equal to the uninterrupted run); replaces "
+                                "the workload/method/cluster options")
+    scale_grp.add_argument("--summary-json", metavar="PATH", default=None,
+                           help="write the run summary as JSON ('-' for "
+                                "stdout)")
 
     fig = sub.add_parser("figures", help="regenerate paper artifacts")
     fig.add_argument("--only", nargs="*", choices=_ARTIFACTS, default=None)
@@ -349,6 +395,48 @@ def _validate_args(
     if (has_dag or has_wf_arrival) and (has_arrival or has_interval):
         parser.error("DAG-aware scheduling replaces per-task arrivals; "
                      "drop --arrival/--arrival-interval")
+    if args.command == "simulate":
+        _validate_scale_args(parser, args, node_outages)
+
+
+def _validate_scale_args(
+    parser: argparse.ArgumentParser,
+    args: argparse.Namespace,
+    node_outages,
+) -> None:
+    """Scale-out flag combinations for ``simulate``."""
+    resume = args.resume is not None
+    if not resume and args.workflow is None and args.workload is None:
+        parser.error("one of --workflow or --workload is required "
+                     "(or --resume to continue a checkpointed run)")
+    if resume and (args.workflow is not None or args.workload is not None):
+        parser.error("--resume restores the workload from the checkpoint; "
+                     "drop --workflow/--workload")
+    scale_flags = (
+        args.stream_collectors
+        or args.spill is not None
+        or args.shards != 1
+        or args.checkpoint is not None
+        or args.checkpoint_every is not None
+        or args.stop_after is not None
+    )
+    if scale_flags and not resume and args.backend != "event":
+        parser.error("--stream-collectors/--spill/--shards/--checkpoint "
+                     "options only shape the event backend; add "
+                     "--backend event")
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
+    if args.shards > 1:
+        if args.checkpoint or args.checkpoint_every or args.stop_after or resume:
+            parser.error("--shards cannot be combined with checkpoint/"
+                         "resume options (checkpoint single-shard runs)")
+        if node_outages:
+            parser.error("--shards cannot be combined with --node-outage "
+                         "(node ids are renumbered per shard)")
+    if (args.checkpoint_every is not None or args.stop_after is not None) \
+            and args.checkpoint is None and not resume:
+        parser.error("--checkpoint-every/--stop-after need --checkpoint "
+                     "(or --resume) to keep the paused state")
 
 
 def _resolve_cli_workload(args: argparse.Namespace):
@@ -392,20 +480,85 @@ def _resolve_cli_backend(args: argparse.Namespace):
     return args.backend
 
 
+def _write_summary_json(res, path: str) -> None:
+    import json
+
+    from repro.sim.results import summary_to_dict
+
+    payload = json.dumps(summary_to_dict(res.summary), indent=1,
+                         sort_keys=True)
+    if path == "-":
+        print(payload)
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    source = _resolve_cli_workload(args)
-    predictor = method_factories()[args.method]()
-    res = OnlineSimulator(
-        source,
-        time_to_failure=args.ttf,
-        backend=_resolve_cli_backend(args),
-        cluster=args.cluster,
-        placement=args.placement,
-    ).run(predictor)
+    if args.resume is not None:
+        res = OnlineSimulator.resume(
+            args.resume,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            stop_after=args.stop_after,
+        )
+        if res is None:
+            ck = args.checkpoint or args.resume
+            print(f"paused at --stop-after; state checkpointed to {ck}")
+            return 0
+        workload_name = res.workflow
+        args.backend = "event"  # checkpoints only come from kernel runs
+    elif args.shards > 1:
+        from repro.sim.runner import run_sharded
+
+        source = _resolve_cli_workload(args)
+        res = run_sharded(
+            source,
+            method_factories()[args.method],
+            shards=args.shards,
+            time_to_failure=args.ttf,
+            backend=_resolve_cli_backend(args),
+            cluster=args.cluster,
+            placement=args.placement,
+            dag=args.dag,
+            workflow_arrival=args.workflow_arrival,
+            n_workers=args.shard_workers,
+        )
+        workload_name = source.name
+    else:
+        source = _resolve_cli_workload(args)
+        predictor = method_factories()[args.method]()
+        res = OnlineSimulator(
+            source,
+            time_to_failure=args.ttf,
+            backend=_resolve_cli_backend(args),
+            cluster=args.cluster,
+            placement=args.placement,
+            stream_collectors=args.stream_collectors,
+            spill=args.spill,
+        ).run(
+            predictor,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            stop_after=args.stop_after,
+        )
+        if res is None:
+            print(f"paused at --stop-after; state checkpointed to "
+                  f"{args.checkpoint}")
+            return 0
+        workload_name = source.name
+    if args.summary_json is not None:
+        if res.summary is None:
+            raise SystemExit(
+                "--summary-json needs a kernel run (event backend)"
+            )
+        _write_summary_json(res, args.summary_json)
+        if args.summary_json == "-":
+            return 0
     rows = [
-        ["workload", source.name],
+        ["workload", workload_name],
         ["workflow", res.workflow],
-        ["method", args.method],
+        ["method", res.method],
         ["backend", args.backend],
         ["tasks", res.num_tasks],
         ["wastage GBh", res.total_wastage_gbh],
@@ -413,6 +566,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ["runtime h", res.total_runtime_hours],
         ["mean over-allocation ratio", res.over_allocation_ratio()],
     ]
+    if args.shards > 1:
+        rows.insert(4, ["shards", args.shards])
     if res.cluster is not None:
         rows += [
             ["makespan h", res.cluster.makespan_hours],
@@ -434,6 +589,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ["max workflow makespan h", wm.max_makespan_hours],
             ["mean stretch", wm.mean_stretch],
             ["max stretch", wm.max_stretch],
+        ]
+    summary = res.summary
+    if summary is not None and res.cluster is None and summary.n_nodes:
+        # Streaming/sharded runs: the raw metrics objects were dropped,
+        # but the online summary still carries the cluster view.
+        rows += [
+            ["nodes", summary.n_nodes],
+            ["makespan h", summary.makespan_hours],
+            ["mean queue wait h", summary.queue_wait.mean],
+            ["p99 queue wait h", summary.queue_wait_sketch.quantile(0.99)],
+            ["mean node utilization", summary.mean_utilization],
+        ]
+    if (
+        summary is not None
+        and res.workflows is None
+        and summary.n_workflow_instances
+    ):
+        rows += [
+            ["workflow instances", summary.n_workflow_instances],
+            ["mean workflow makespan h", summary.workflow_makespan.mean],
+            ["mean stretch", summary.workflow_stretch.mean],
         ]
     print(render_table(["metric", "value"], rows))
     if res.workflows is not None:

@@ -45,14 +45,24 @@ class AttemptOutcome:
 
 
 class WastageLedger:
-    """Accumulates wastage, runtime, and failure statistics per task type."""
+    """Accumulates wastage, runtime, and failure statistics per task type.
 
-    def __init__(self) -> None:
+    With ``keep_outcomes=False`` the per-attempt :class:`AttemptOutcome`
+    list is dropped and only the running aggregates are maintained —
+    the streaming-collector mode for million-task runs, where the
+    outcome list would be the largest allocation of the whole process.
+    Totals, per-type breakdowns, and :meth:`merge` behave identically
+    either way.
+    """
+
+    def __init__(self, keep_outcomes: bool = True) -> None:
+        self.keep_outcomes = keep_outcomes
         self._outcomes: list[AttemptOutcome] = []
         self._wastage_by_type: dict[str, float] = defaultdict(float)
         self._failures_by_type: dict[str, int] = defaultdict(int)
         self._runtime_hours = 0.0
         self._total_wastage = 0.0
+        self._n_attempts = 0
 
     def record_success(
         self,
@@ -119,10 +129,12 @@ class WastageLedger:
         return out
 
     def _commit(self, out: AttemptOutcome) -> None:
-        self._outcomes.append(out)
+        if self.keep_outcomes:
+            self._outcomes.append(out)
         self._wastage_by_type[out.task_type] += out.wastage_gbh
         self._total_wastage += out.wastage_gbh
         self._runtime_hours += out.runtime_hours
+        self._n_attempts += 1
 
     # ------------------------------------------------------------------
     # aggregates
@@ -143,6 +155,11 @@ class WastageLedger:
     def num_failures(self) -> int:
         return sum(self._failures_by_type.values())
 
+    @property
+    def num_attempts(self) -> int:
+        """Total attempts committed — valid even with dropped outcomes."""
+        return self._n_attempts
+
     def wastage_by_task_type(self) -> dict[str, float]:
         return dict(self._wastage_by_type)
 
@@ -150,12 +167,19 @@ class WastageLedger:
         return dict(self._failures_by_type)
 
     def merge(self, other: "WastageLedger") -> "WastageLedger":
-        """Fold ``other`` into this ledger (for multi-workflow aggregation)."""
-        for out in other._outcomes:
-            self._outcomes.append(out)
-            self._wastage_by_type[out.task_type] += out.wastage_gbh
-            self._total_wastage += out.wastage_gbh
-            self._runtime_hours += out.runtime_hours
+        """Fold ``other`` into this ledger (multi-workflow or shard merge).
+
+        Aggregates come from ``other``'s running counters, so merging
+        works whether or not either side kept its outcome list; outcome
+        lists concatenate when present.
+        """
+        if self.keep_outcomes:
+            self._outcomes.extend(other._outcomes)
+        for t, w in other._wastage_by_type.items():
+            self._wastage_by_type[t] += w
         for t, n in other._failures_by_type.items():
             self._failures_by_type[t] += n
+        self._total_wastage += other._total_wastage
+        self._runtime_hours += other._runtime_hours
+        self._n_attempts += other._n_attempts
         return self

@@ -49,7 +49,12 @@ from repro.workflow.dag import WorkflowDAG
 from repro.workflow.task import TaskInstance, WorkflowTrace
 from repro.workload.base import WorkloadSource, as_source
 
-__all__ = ["resolve_dag", "run_dag_simulation", "DagWorkflowDriver"]
+__all__ = [
+    "resolve_dag",
+    "run_dag_simulation",
+    "build_dag_kernel",
+    "DagWorkflowDriver",
+]
 
 
 def resolve_dag(dag: object | None, trace: WorkflowTrace) -> WorkflowDAG:
@@ -118,6 +123,9 @@ def _instantiate_workflows(
     dag_option: object | None,
     arrivals: WorkflowArrivals,
     rng: np.random.Generator,
+    *,
+    shard: int = 0,
+    shards: int = 1,
 ) -> list[WorkflowInstance]:
     """Draw arriving workflow instances from a workload source.
 
@@ -132,6 +140,13 @@ def _instantiate_workflows(
     preserves them exactly, even for subsampled traces with sparse ids.
     Each copy gets its sampled submit time, a round-robin tenant, and
     its trace's resolved DAG.
+
+    Sharding (``shard`` of ``shards``): only copies with
+    ``k % shards == shard`` are materialized, but the arrival schedule,
+    trace round-robin, and id-offset accounting run over *all* copies —
+    a sharded instance therefore has exactly the submit time, tenant,
+    and task ids it would have in the unsharded run, which is what makes
+    shard merges meaningful.
     """
     times = arrivals.sample(rng)
     trace_iter: "object | None" = source.iter_traces()
@@ -153,16 +168,18 @@ def _instantiate_workflows(
                     f"workload source {source.name!r} yielded no traces"
                 )
             trace = produced[k % len(produced)]
+        offset = id_offset
+        id_offset += 1 + max((t.instance_id for t in trace), default=0)
+        if k % shards != shard:
+            continue
         if id(trace) not in resolved:
             resolved[id(trace)] = resolve_dag(dag_option, trace)
-        tasks = _offset_task_ids(trace, id_offset)
-        id_offset += 1 + max((t.instance_id for t in trace), default=0)
         instances.append(
             WorkflowInstance(
                 key=f"{trace.workflow}#{k}",
                 workflow=trace.workflow,
                 dag=resolved[id(trace)],
-                tasks=tasks,
+                tasks=_offset_task_ids(trace, offset),
                 submit_time=float(times[k]),
                 tenant=arrivals.tenant(k),
             )
@@ -213,12 +230,19 @@ class DagWorkflowDriver:
         dag: object | None,
         arrivals: WorkflowArrivals,
         seed: int,
+        *,
+        shard: int = 0,
+        shards: int = 1,
     ) -> None:
         #: Raw ``dag=`` option; resolved per produced trace during
         #: :meth:`seed` (multi-trace sources may carry distinct DAGs).
         self.dag = dag
         self.arrivals = arrivals
         self.rng_seed = seed
+        #: This driver's shard of the instance stream (copy ``k`` belongs
+        #: to shard ``k % shards``); the default is the whole stream.
+        self.shard = shard
+        self.shards = shards
         self.scheduler: ReadySetScheduler[TaskState] = ReadySetScheduler()
         self.queue = _DagQueue(self.scheduler)
         self.workflows: list[WorkflowInstance] = []
@@ -228,7 +252,14 @@ class DagWorkflowDriver:
     def seed(self, kernel: SimulationKernel) -> None:
         rng = np.random.default_rng(self.rng_seed)
         self.workflows.extend(
-            _instantiate_workflows(kernel.source, self.dag, self.arrivals, rng)
+            _instantiate_workflows(
+                kernel.source,
+                self.dag,
+                self.arrivals,
+                rng,
+                shard=self.shard,
+                shards=self.shards,
+            )
         )
         self.n_tasks = sum(wi.n_tasks for wi in self.workflows)
         offset = 0
@@ -236,12 +267,14 @@ class DagWorkflowDriver:
             # ``index`` is the dense submission position (copy k owns
             # the positions past all earlier copies' tasks) — the flat
             # backends' timestamp convention — while instance ids keep
-            # their trace values.
+            # their trace values.  In a sharded run the positions are
+            # dense *within the shard*.
             self._states[wi.key] = {
                 t.instance_id: TaskState(
                     inst=t,
                     submission=TaskSubmission.from_instance(t, offset + i),
                     index=offset + i,
+                    arrival=wi.submit_time,
                     wi=wi,
                 )
                 for i, t in enumerate(wi.tasks)
@@ -277,6 +310,70 @@ class DagWorkflowDriver:
             )
 
 
+def build_dag_kernel(
+    workload: "WorkloadSource | WorkflowTrace | str",
+    predictor: MemoryPredictor,
+    manager: ResourceManager,
+    time_to_failure: float,
+    *,
+    dag: object | None = None,
+    workflow_arrival: object | None = None,
+    prediction_chunk: int = 32,
+    doubling_factor: float = 2.0,
+    seed: int = 0,
+    backend_name: str = "event",
+    node_outage: Sequence[NodeOutage | str] | None = None,
+    stream_collectors: bool = False,
+    spill: str | None = None,
+    shard: int = 0,
+    shards: int = 1,
+) -> SimulationKernel:
+    """Assemble (but do not run) the DAG-mode kernel.
+
+    The build/run split is the checkpoint and sharding seam: callers
+    that need pause/resume drive the returned kernel through
+    :func:`repro.sim.kernel.checkpoint.drive_kernel`, and the sharded
+    runner builds one kernel per ``(shard, shards)`` slice of the
+    instance stream.  ``stream_collectors`` / ``spill`` configure the
+    streaming-collector mode (see :class:`SimulationKernel`).
+
+    Note: in a sharded run, prediction-log timestamps/indices are dense
+    within the shard, not globally; streaming mode (which sharded runs
+    use) drops the logs anyway.
+    """
+    source = as_source(workload)
+    # Validate the dag option eagerly against the source's first trace,
+    # so a missing/mismatched DAG fails here with the resolve_dag error
+    # rather than deep inside the event loop.
+    resolve_dag(dag, source.trace())
+    if shards < 1 or not 0 <= shard < shards:
+        raise ValueError(
+            f"shard must satisfy 0 <= shard < shards, got "
+            f"shard={shard} shards={shards}"
+        )
+    arrivals = parse_workflow_arrival(
+        workflow_arrival if workflow_arrival is not None else 1
+    )
+    driver = DagWorkflowDriver(dag, arrivals, seed, shard=shard, shards=shards)
+    return SimulationKernel(
+        source,
+        predictor,
+        manager,
+        time_to_failure,
+        driver=driver,
+        collectors=[
+            ClusterMetricsCollector(stream=stream_collectors),
+            WorkflowMetricsCollector(driver.workflows),
+        ],
+        prediction_chunk=prediction_chunk,
+        doubling_factor=doubling_factor,
+        outages=node_outage or (),
+        backend_name=backend_name,
+        stream_collectors=stream_collectors,
+        spill=spill,
+    )
+
+
 def run_dag_simulation(
     workload: "WorkloadSource | WorkflowTrace | str",
     predictor: MemoryPredictor,
@@ -290,6 +387,10 @@ def run_dag_simulation(
     seed: int = 0,
     backend_name: str = "event",
     node_outage: Sequence[NodeOutage | str] | None = None,
+    stream_collectors: bool = False,
+    spill: str | None = None,
+    shard: int = 0,
+    shards: int = 1,
 ) -> SimulationResult:
     """Execute ``workflow_arrival`` source-produced instances under ``dag``.
 
@@ -300,28 +401,23 @@ def run_dag_simulation(
     a :class:`SimulationResult` whose ``cluster`` *and* ``workflows``
     metrics are populated.
     """
-    source = as_source(workload)
-    # Validate the dag option eagerly against the source's first trace,
-    # so a missing/mismatched DAG fails here with the resolve_dag error
-    # rather than deep inside the event loop.
-    resolve_dag(dag, source.trace())
-    arrivals = parse_workflow_arrival(
-        workflow_arrival if workflow_arrival is not None else 1
-    )
-    driver = DagWorkflowDriver(dag, arrivals, seed)
-    kernel = SimulationKernel(
-        source,
+    kernel = build_dag_kernel(
+        workload,
         predictor,
         manager,
         time_to_failure,
-        driver=driver,
-        collectors=[
-            ClusterMetricsCollector(),
-            WorkflowMetricsCollector(driver.workflows),
-        ],
+        dag=dag,
+        workflow_arrival=workflow_arrival,
         prediction_chunk=prediction_chunk,
         doubling_factor=doubling_factor,
-        outages=node_outage or (),
+        seed=seed,
         backend_name=backend_name,
+        node_outage=node_outage,
+        stream_collectors=stream_collectors,
+        spill=spill,
+        shard=shard,
+        shards=shards,
     )
-    return kernel.run()
+    result = kernel.run()
+    assert result is not None
+    return result

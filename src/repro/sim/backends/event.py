@@ -39,6 +39,7 @@ contributes the *flat* notion of arrival and priority via
 from __future__ import annotations
 
 import heapq
+from itertools import islice
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -103,31 +104,74 @@ class FlatStreamDriver:
     ``sample(n, rng)`` path, an unsized (streaming) source the
     draw-for-draw-identical ``times(rng)`` iterator — the same schedule
     either way, so trace files and streams replay identically.
+
+    **Lazy arrivals** (sized sources): only one pending arrival event
+    lives in the heap at a time; each arrival, once popped, pulls the
+    next task from the stream and pushes its event.  This is pop-order
+    identical to pushing the whole schedule up front — arrival times
+    are non-decreasing, so the single pending arrival is always the
+    earliest remaining one, and at equal timestamps the event *kind*
+    (not push sequence) decides against completions and outages — while
+    keeping heap memory O(1) in the trace length.  An unsized source
+    cannot pre-commit ``n_tasks``, so it keeps the eager schedule.
+
+    Sharding (``shard`` of ``shards``, sized sources only): the driver
+    walks the full stream and schedule but materializes only tasks whose
+    global submission index is congruent to ``shard`` — every kept task
+    has exactly the arrival time and index it has in the unsharded run.
     """
 
-    def __init__(self, arrival: ArrivalModel, seed: int) -> None:
+    def __init__(
+        self,
+        arrival: ArrivalModel,
+        seed: int,
+        *,
+        shard: int = 0,
+        shards: int = 1,
+    ) -> None:
+        if shards < 1 or not 0 <= shard < shards:
+            raise ValueError(
+                f"shard must satisfy 0 <= shard < shards, got "
+                f"shard={shard} shards={shards}"
+            )
         self.arrival = arrival
         self.rng_seed = seed
+        self.shard = shard
+        self.shards = shards
         self.queue = _FlatQueue()
         self.n_tasks = 0
+        #: Global submission index of the next stream entry (lazy mode).
+        self._cursor = 0
+        #: Live ``zip(tasks, times)`` iterator; never pickled — rebuilt
+        #: deterministically from ``_cursor`` after a resume.
+        self._stream: "Iterable | None" = None
+        self._lazy = False
+        self._kernel: SimulationKernel | None = None
 
     def seed(self, kernel: SimulationKernel) -> None:
         source = kernel.source
-        rng = np.random.default_rng(self.rng_seed)
         n = source.n_tasks
         if n is not None:
-            tasks: Iterable = source.iter_tasks()
-            times: Iterable[float] = iter(self.arrival.sample(n, rng))
-        else:
-            try:
-                times = iter_arrival_times(self.arrival, rng)
-                tasks = source.iter_tasks()
-            except ValueError:
-                # The model cannot stream: materialize to learn the
-                # count, then schedule exactly as the sized path would.
-                materialized = list(source.iter_tasks())
-                times = iter(self.arrival.sample(len(materialized), rng))
-                tasks = iter(materialized)
+            self._lazy = True
+            self._kernel = kernel
+            self.n_tasks = len(range(self.shard, n, self.shards))
+            self._push_next()
+            return
+        if self.shards != 1:
+            raise ValueError(
+                "sharded flat runs require a sized workload source "
+                f"(source {source.name!r} does not report n_tasks)"
+            )
+        rng = np.random.default_rng(self.rng_seed)
+        try:
+            times = iter_arrival_times(self.arrival, rng)
+            tasks = source.iter_tasks()
+        except ValueError:
+            # The model cannot stream: materialize to learn the
+            # count, then schedule exactly as the sized path would.
+            materialized = list(source.iter_tasks())
+            times = iter(self.arrival.sample(len(materialized), rng))
+            tasks = iter(materialized)
         count = 0
         for timestamp, (inst, arrival_time) in enumerate(zip(tasks, times)):
             state = TaskState(
@@ -140,10 +184,58 @@ class FlatStreamDriver:
             count += 1
         self.n_tasks = count
 
+    # ------------------------------------------------------------------
+    # lazy stream plumbing (sized sources)
+    # ------------------------------------------------------------------
+    def _ensure_stream(self) -> None:
+        if self._stream is not None:
+            return
+        assert self._kernel is not None
+        source = self._kernel.source
+        n = source.n_tasks
+        assert n is not None
+        # The full schedule is drawn in one vectorized call (n floats,
+        # not n events) so lazy, resumed, and sharded runs all see the
+        # exact arrival times of the eager unsharded run.
+        rng = np.random.default_rng(self.rng_seed)
+        stream = zip(source.iter_tasks(), self.arrival.sample(n, rng))
+        if self._cursor:
+            stream = islice(stream, self._cursor, None)
+        self._stream = iter(stream)
+
+    def _push_next(self) -> None:
+        """Advance to this shard's next task and push its arrival event."""
+        self._ensure_stream()
+        assert self._kernel is not None
+        while True:
+            entry = next(self._stream, None)  # type: ignore[arg-type]
+            if entry is None:
+                return
+            index = self._cursor
+            self._cursor += 1
+            if index % self.shards != self.shard:
+                continue
+            inst, arrival_time = entry
+            state = TaskState(
+                inst=inst,
+                submission=TaskSubmission.from_instance(inst, index),
+                index=index,
+                arrival=float(arrival_time),
+            )
+            self._kernel.events.push(state.arrival, ARRIVAL, state)
+            return
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_stream"] = None  # live iterator; rebuilt from _cursor
+        return state
+
     def on_arrival(self, payload: object, now: float) -> Iterable[TaskState]:
         state = payload
         assert isinstance(state, TaskState)
         self.queue.push(state)
+        if self._lazy:
+            self._push_next()
         return (state,)
 
     def on_success(self, state: TaskState, now: float) -> Iterable[TaskState]:
@@ -203,6 +295,21 @@ class EventDrivenBackend:
         (``"start:duration:node"``), a
         :class:`~repro.sim.kernel.outage.NodeOutage`, or a list of
         either.  Applied identically in flat and DAG modes.
+    stream_collectors:
+        Streaming-collector mode: collectors keep online aggregates and
+        quantile sketches instead of per-task logs, timelines, and
+        outcome lists — memory stays bounded at million-task scale.  The
+        result carries a ``summary`` (identical to the exact run's) but
+        no raw ``predictions`` / ``cluster`` / ``workflows`` sections.
+    spill:
+        Optional JSONL path; every prediction log is appended there in
+        completion order, with or without ``stream_collectors``.
+    shard / shards:
+        Run only slice ``shard`` of ``shards`` of the workload — flat
+        tasks by global submission index, DAG workflow instances by copy
+        number — with arrival schedules and ids matching the unsharded
+        run.  The sharded grid runner (:mod:`repro.sim.runner`) merges
+        the per-shard summaries.
     """
 
     name = "event"
@@ -217,6 +324,10 @@ class EventDrivenBackend:
         dag: object | None = None,
         workflow_arrival: object | None = None,
         node_outage: str | NodeOutage | Sequence[str | NodeOutage] | None = None,
+        stream_collectors: bool = False,
+        spill: str | None = None,
+        shard: int = 0,
+        shards: int = 1,
     ) -> None:
         if arrival_interval_hours < 0:
             raise ValueError(
@@ -230,6 +341,11 @@ class EventDrivenBackend:
             raise ValueError(
                 f"doubling_factor must exceed 1, got {doubling_factor}"
             )
+        if shards < 1 or not 0 <= shard < shards:
+            raise ValueError(
+                f"shard must satisfy 0 <= shard < shards, got "
+                f"shard={shard} shards={shards}"
+            )
         if arrival is None:
             arrival = FixedArrivals(arrival_interval_hours)
         self.arrival = parse_arrival(arrival)
@@ -237,6 +353,10 @@ class EventDrivenBackend:
         self.prediction_chunk = prediction_chunk
         self.seed = seed
         self.doubling_factor = doubling_factor
+        self.stream_collectors = stream_collectors
+        self.spill = spill
+        self.shard = shard
+        self.shards = shards
         self.dag = dag
         if workflow_arrival is not None:
             from repro.sim.arrivals import parse_workflow_arrival
@@ -287,23 +407,66 @@ class EventDrivenBackend:
             node_outage=(
                 node_outage if node_outage is not None else self.node_outages
             ),
+            stream_collectors=self.stream_collectors,
+            spill=self.spill,
+            shard=self.shard,
+            shards=self.shards,
+        )
+
+    def with_scale_options(
+        self,
+        stream_collectors: bool | None = None,
+        spill: str | None = None,
+        shard: int | None = None,
+        shards: int | None = None,
+    ) -> "EventDrivenBackend":
+        """A copy of this backend with scale-out options applied.
+
+        The seam the grid runner and CLI use to layer
+        ``--stream-collectors`` / ``--shards`` onto a backend resolved
+        by name, mirroring :meth:`with_workflow_options`.
+        """
+        return EventDrivenBackend(
+            arrival_interval_hours=self.arrival_interval_hours,
+            prediction_chunk=self.prediction_chunk,
+            arrival=self.arrival,
+            seed=self.seed,
+            doubling_factor=self.doubling_factor,
+            dag=self.dag,
+            workflow_arrival=self.workflow_arrival,
+            node_outage=self.node_outages,
+            stream_collectors=(
+                stream_collectors
+                if stream_collectors is not None
+                else self.stream_collectors
+            ),
+            spill=spill if spill is not None else self.spill,
+            shard=shard if shard is not None else self.shard,
+            shards=shards if shards is not None else self.shards,
         )
 
     # ------------------------------------------------------------------
-    def run(
+    def build_kernel(
         self,
         workload: "WorkloadSource | WorkflowTrace | str",
         predictor: MemoryPredictor,
         manager: ResourceManager,
         time_to_failure: float,
-    ) -> SimulationResult:
+    ) -> SimulationKernel:
+        """Assemble (but do not run) this backend's configured kernel.
+
+        The checkpoint seam: callers that need pause/resume drive the
+        returned kernel via
+        :func:`repro.sim.kernel.checkpoint.drive_kernel` instead of
+        calling :meth:`run`.
+        """
         if self.dag is not None or self.workflow_arrival is not None:
             # DAG-aware scheduling plugs its own driver into the same
             # kernel; the flat pre-ordered stream below stays
             # byte-identical without it.
-            from repro.sched.engine import run_dag_simulation
+            from repro.sched.engine import build_dag_kernel
 
-            return run_dag_simulation(
+            return build_dag_kernel(
                 workload,
                 predictor,
                 manager,
@@ -315,17 +478,37 @@ class EventDrivenBackend:
                 seed=self.seed,
                 backend_name=self.name,
                 node_outage=self.node_outages,
+                stream_collectors=self.stream_collectors,
+                spill=self.spill,
+                shard=self.shard,
+                shards=self.shards,
             )
-        kernel = SimulationKernel(
+        return SimulationKernel(
             workload,
             predictor,
             manager,
             time_to_failure,
-            driver=FlatStreamDriver(self.arrival, self.seed),
-            collectors=[ClusterMetricsCollector()],
+            driver=FlatStreamDriver(
+                self.arrival, self.seed, shard=self.shard, shards=self.shards
+            ),
+            collectors=[ClusterMetricsCollector(stream=self.stream_collectors)],
             prediction_chunk=self.prediction_chunk,
             doubling_factor=self.doubling_factor,
             outages=self.node_outages,
             backend_name=self.name,
+            stream_collectors=self.stream_collectors,
+            spill=self.spill,
         )
-        return kernel.run()
+
+    def run(
+        self,
+        workload: "WorkloadSource | WorkflowTrace | str",
+        predictor: MemoryPredictor,
+        manager: ResourceManager,
+        time_to_failure: float,
+    ) -> SimulationResult:
+        result = self.build_kernel(
+            workload, predictor, manager, time_to_failure
+        ).run()
+        assert result is not None
+        return result

@@ -72,6 +72,13 @@ class OnlineSimulator:
         one ``"start:duration:node"`` spec or a list of them — the named
         node stops accepting placements for the window and its running
         tasks are preempted and re-queued.
+    stream_collectors:
+        Streaming-collector mode (event backend only): bounded-memory
+        online aggregates and sketches instead of per-task logs; the
+        result carries a ``summary`` but no raw logs.
+    spill:
+        Optional JSONL path (event backend only): prediction logs are
+        appended there in completion order.
     """
 
     def __init__(
@@ -86,6 +93,8 @@ class OnlineSimulator:
         workflow_arrival: object | None = None,
         node_outage: object | None = None,
         workload: WorkloadSource | WorkflowTrace | str | None = None,
+        stream_collectors: bool = False,
+        spill: str | None = None,
     ) -> None:
         if not 0.0 < time_to_failure <= 1.0:
             raise ValueError(
@@ -125,14 +134,84 @@ class OnlineSimulator:
                 workflow_arrival=workflow_arrival,
                 node_outage=node_outage,
             )
+        if stream_collectors or spill is not None:
+            scale = getattr(self.backend, "with_scale_options", None)
+            if scale is None:
+                raise ValueError(
+                    f"stream_collectors/spill require a kernel-driven "
+                    f"backend (the event backend); got {self.backend.name!r}"
+                )
+            self.backend = scale(
+                stream_collectors=stream_collectors or None, spill=spill
+            )
 
     @property
     def trace(self) -> WorkflowTrace:
         """The workload's materialized trace (back-compat accessor)."""
         return self.source.trace()
 
-    def run(self, predictor: MemoryPredictor) -> SimulationResult:
-        """Replay the whole workload; returns the filled-in result object."""
-        return self.backend.run(
+    def run(
+        self,
+        predictor: MemoryPredictor,
+        *,
+        checkpoint: str | None = None,
+        checkpoint_every: float | None = None,
+        stop_after: float | None = None,
+    ) -> SimulationResult | None:
+        """Replay the whole workload; returns the filled-in result object.
+
+        The checkpoint keywords (event backend only) drive the run in
+        pausable slices via
+        :func:`repro.sim.kernel.checkpoint.drive_kernel`: ``checkpoint``
+        names the file overwritten at each pause, ``checkpoint_every``
+        the slice length in simulation hours, and ``stop_after`` stops
+        the run for good at that simulation time — returning ``None``
+        with the checkpoint holding the paused state.  Resume with
+        :meth:`resume`.
+        """
+        if checkpoint is None and checkpoint_every is None and stop_after is None:
+            return self.backend.run(
+                self.source, predictor, self.manager, self.time_to_failure
+            )
+        build = getattr(self.backend, "build_kernel", None)
+        if build is None:
+            raise ValueError(
+                f"checkpoint/stop_after require a kernel-driven backend "
+                f"(the event backend); got {self.backend.name!r}"
+            )
+        from repro.sim.kernel.checkpoint import drive_kernel
+
+        kernel = build(
             self.source, predictor, self.manager, self.time_to_failure
+        )
+        return drive_kernel(
+            kernel,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            stop_after=stop_after,
+        )
+
+    @staticmethod
+    def resume(
+        path: str,
+        *,
+        checkpoint: str | None = None,
+        checkpoint_every: float | None = None,
+        stop_after: float | None = None,
+    ) -> SimulationResult | None:
+        """Continue a checkpointed run; bit-for-bit equal to uninterrupted.
+
+        ``checkpoint`` defaults to overwriting the file being resumed
+        from when slicing is requested via ``checkpoint_every``.
+        """
+        from repro.sim.kernel.checkpoint import drive_kernel, load_checkpoint
+
+        kernel = load_checkpoint(path)
+        if checkpoint is None and checkpoint_every is not None:
+            checkpoint = path
+        return drive_kernel(
+            kernel,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            stop_after=stop_after,
         )

@@ -22,6 +22,8 @@ callback sees the kernel's unified
 
 from __future__ import annotations
 
+import json
+from dataclasses import asdict
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.cluster.accounting import WastageLedger
@@ -34,6 +36,7 @@ from repro.sim.results import (
     WorkflowInstanceMetrics,
     WorkflowMetrics,
 )
+from repro.sim.sketches import QuantileSketch, RunningStat
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sched.instance import WorkflowInstance
@@ -142,15 +145,44 @@ class WastageCollector(BaseCollector):
     The kernel installs one unconditionally — the result schema is built
     from its ledger and logs — but it is an ordinary collector: the same
     callbacks, no privileged access to the engine.
+
+    Scale-out modes (PR 7):
+
+    - ``keep_logs=False`` — the per-task :class:`PredictionLog` list and
+      the ledger's per-attempt outcome list are dropped; only the
+      running aggregates and quantile sketches survive, so memory stays
+      O(task types), not O(tasks).
+    - ``spill=path`` — every prediction log is appended to a JSONL file
+      as it happens (one ``asdict(PredictionLog)`` object per line, in
+      completion order), so full logs remain available on disk even
+      with ``keep_logs=False``.  On checkpoint the byte offset is
+      recorded; resume truncates the file back to it, so an interrupted
+      run never leaves duplicate lines.
+
+    The summary aggregates (wastage / turnaround sketches, first-attempt
+    over-allocation ratio) are maintained in *every* mode, in the same
+    update order, so streaming and exact runs report identical
+    summaries.
     """
 
-    def __init__(self) -> None:
-        self.ledger = WastageLedger()
+    def __init__(
+        self, keep_logs: bool = True, spill: "str | None" = None
+    ) -> None:
+        self.keep_logs = keep_logs
+        self.ledger = WastageLedger(keep_outcomes=keep_logs)
         self.logs: list[PredictionLog] = []
+        self.spill = str(spill) if spill is not None else None
+        self._spill_fh = None
+        self._spill_offset = 0
+        self._n_tasks = 0
+        self._first_ratio_sum = 0.0
+        self._first_ratio_n = 0
+        self._wastage_sketch = QuantileSketch()
+        self._turnaround_sketch = QuantileSketch()
 
     def on_task_success(self, state, now, allocated_mb) -> None:
         inst = state.inst
-        self.ledger.record_success(
+        out = self.ledger.record_success(
             task_type=inst.task_type.name,
             workflow=inst.task_type.workflow,
             instance_id=inst.instance_id,
@@ -159,8 +191,15 @@ class WastageCollector(BaseCollector):
             peak_memory_mb=inst.peak_memory_mb,
             runtime_hours=inst.runtime_hours,
         )
-        self.logs.append(
-            PredictionLog(
+        self._n_tasks += 1
+        self._wastage_sketch.add(out.wastage_gbh)
+        self._turnaround_sketch.add(now - state.arrival)
+        first = state.first_allocation
+        if first is not None and first >= inst.peak_memory_mb:
+            self._first_ratio_sum += first / inst.peak_memory_mb
+            self._first_ratio_n += 1
+        if self.keep_logs or self.spill is not None:
+            log = PredictionLog(
                 instance_id=inst.instance_id,
                 task_type=inst.task_type.name,
                 workflow=inst.task_type.workflow,
@@ -172,11 +211,14 @@ class WastageCollector(BaseCollector):
                 final_allocation_mb=state.allocation,
                 n_attempts=state.attempt,
             )
-        )
+            if self.keep_logs:
+                self.logs.append(log)
+            if self.spill is not None:
+                self._spill_write(log)
 
     def on_task_failure(self, state, now, allocated_mb, occupied_hours) -> None:
         inst = state.inst
-        self.ledger.record_failure(
+        out = self.ledger.record_failure(
             task_type=inst.task_type.name,
             workflow=inst.task_type.workflow,
             instance_id=inst.instance_id,
@@ -185,51 +227,143 @@ class WastageCollector(BaseCollector):
             peak_memory_mb=inst.peak_memory_mb,
             time_to_failure_hours=occupied_hours,
         )
+        self._wastage_sketch.add(out.wastage_gbh)
 
     def contribute(self, result: SimulationResult) -> None:
-        result.predictions = sorted(self.logs, key=lambda log: log.timestamp)
+        if self.keep_logs:
+            result.predictions = sorted(
+                self.logs, key=lambda log: log.timestamp
+            )
+        if self._spill_fh is not None:
+            self._spill_fh.close()
+            self._spill_fh = None
+        summary = result.summary
+        if summary is None:
+            return
+        summary.n_tasks = self._n_tasks
+        summary.n_attempts = self.ledger.num_attempts
+        summary.n_failures = self.ledger.num_failures
+        summary.total_wastage_gbh = self.ledger.total_wastage_gbh
+        summary.total_runtime_hours = self.ledger.total_runtime_hours
+        summary.wastage_by_task_type = self.ledger.wastage_by_task_type()
+        summary.failures_by_task_type = self.ledger.failures_by_task_type()
+        summary.first_ratio_sum = self._first_ratio_sum
+        summary.first_ratio_n = self._first_ratio_n
+        summary.wastage_sketch = self._wastage_sketch
+        summary.turnaround_sketch = self._turnaround_sketch
+
+    # ------------------------------------------------------------------
+    # JSONL spill sink
+    # ------------------------------------------------------------------
+    def _spill_write(self, log: PredictionLog) -> None:
+        fh = self._spill_fh
+        if fh is None:
+            fh = self._spill_open()
+        fh.write(
+            json.dumps(asdict(log), separators=(",", ":")).encode() + b"\n"
+        )
+
+    def _spill_open(self):
+        assert self.spill is not None
+        if self._spill_offset:
+            # Resuming from a checkpoint: drop whatever the interrupted
+            # run wrote past the checkpointed offset, then continue.
+            fh = open(self.spill, "r+b")
+            fh.truncate(self._spill_offset)
+            fh.seek(self._spill_offset)
+        else:
+            fh = open(self.spill, "wb")
+        self._spill_fh = fh
+        return fh
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        fh = state.pop("_spill_fh")
+        state["_spill_fh"] = None
+        if fh is not None:
+            fh.flush()
+            state["_spill_offset"] = fh.tell()
+        return state
 
 
 class ClusterMetricsCollector(BaseCollector):
-    """Queue waits, makespan, per-node busy memory and timelines."""
+    """Queue waits, makespan, per-node busy memory and timelines.
 
-    def __init__(self) -> None:
+    With ``stream=True`` the unbounded per-dispatch wait list and the
+    per-node allocation timelines are not kept — queue waits go into a
+    quantile sketch plus exact running stats, and only the O(nodes)
+    busy-memory integrals survive.  ``result.cluster`` is then left
+    ``None`` (there is no exact timeline to report); the cluster section
+    of ``result.summary`` carries the scalars instead — with numbers
+    identical to an exact run's, since the same online updates feed both
+    modes.
+    """
+
+    def __init__(self, stream: bool = False) -> None:
+        self.stream = stream
         self._manager: ResourceManager | None = None
         self._makespan = 0.0
         self._queue_waits: list[float] = []
         self._busy_mbh: dict[int, float] = {}
         self._timelines: dict[int, list[tuple[float, float]]] = {}
+        self._wait_stat = RunningStat()
+        self._wait_sketch = QuantileSketch()
 
     def on_run_start(self, manager: ResourceManager) -> None:
         self._manager = manager
         self._makespan = 0.0
         self._queue_waits = []
         self._busy_mbh = {node.node_id: 0.0 for node in manager.nodes}
-        self._timelines = {
-            node.node_id: [(0.0, 0.0)] for node in manager.nodes
-        }
+        self._timelines = (
+            {}
+            if self.stream
+            else {node.node_id: [(0.0, 0.0)] for node in manager.nodes}
+        )
+        self._wait_stat = RunningStat()
+        self._wait_sketch = QuantileSketch()
 
     def on_event(self, now: float) -> None:
         self._makespan = max(self._makespan, now)
 
     def on_dispatch(self, state, now, node, wait_hours) -> None:
-        self._timelines[node.node_id].append((now, node.allocated_mb))
         # Every dispatch pays its wait — including re-queues after a
         # kill, which otherwise vanish from the totals.
-        self._queue_waits.append(wait_hours)
+        self._wait_stat.add(wait_hours)
+        self._wait_sketch.add(wait_hours)
+        if not self.stream:
+            self._timelines[node.node_id].append((now, node.allocated_mb))
+            self._queue_waits.append(wait_hours)
 
     def on_release(self, state, now, node, allocated_mb, occupied_hours) -> None:
         self._busy_mbh[node.node_id] += allocated_mb * occupied_hours
-        self._timelines[node.node_id].append((now, node.allocated_mb))
+        if not self.stream:
+            self._timelines[node.node_id].append((now, node.allocated_mb))
 
     def contribute(self, result: SimulationResult) -> None:
         assert self._manager is not None, "collector never saw on_run_start"
-        result.cluster = build_cluster_metrics(
-            self._manager,
-            self._makespan,
-            self._queue_waits,
-            self._busy_mbh,
-            self._timelines,
+        if not self.stream:
+            result.cluster = build_cluster_metrics(
+                self._manager,
+                self._makespan,
+                self._queue_waits,
+                self._busy_mbh,
+                self._timelines,
+            )
+        summary = result.summary
+        if summary is None:
+            return
+        caps = self._manager.node_capacities_mb()
+        summary.n_nodes = len(caps)
+        summary.makespan_hours = self._makespan
+        summary.queue_wait = self._wait_stat
+        summary.queue_wait_sketch = self._wait_sketch
+        summary.utilization_sum = (
+            sum(
+                busy / (caps[n] * self._makespan)
+                for n, busy in self._busy_mbh.items()
+            )
+            if self._makespan > 0
+            else 0.0
         )
 
 
@@ -277,6 +411,14 @@ class WorkflowMetricsCollector(BaseCollector):
         result.workflows = WorkflowMetrics(
             instances=[self._instance_metrics(wi) for wi in self._workflows]
         )
+        summary = result.summary
+        if summary is None:
+            return
+        summary.n_workflow_instances = len(result.workflows.instances)
+        for w in result.workflows.instances:
+            summary.workflow_makespan.add(w.makespan_hours)
+            summary.workflow_stretch.add(w.stretch)
+            summary.workflow_queue_wait_hours += w.queue_wait_hours
 
     @staticmethod
     def _instance_metrics(wi: "WorkflowInstance") -> WorkflowInstanceMetrics:

@@ -50,7 +50,7 @@ from repro.sim.kernel.events import (
     EventHeap,
 )
 from repro.sim.kernel.outage import NodeOutage, parse_node_outages
-from repro.sim.results import SimulationResult
+from repro.sim.results import RunSummary, SimulationResult
 from repro.workflow.task import TaskInstance, WorkflowTrace
 from repro.workload.base import WorkloadSource, as_source
 
@@ -183,6 +183,15 @@ class SimulationKernel:
         running there.
     backend_name:
         Reported in the predictor's trace context.
+    stream_collectors:
+        Streaming-collector mode: the always-installed
+        :class:`WastageCollector` drops its per-task log and outcome
+        lists, keeping only online aggregates and sketches — memory
+        stays bounded at million-task scale.  The result then carries a
+        ``summary`` but empty ``predictions``.
+    spill:
+        Optional JSONL path; every prediction log is appended there in
+        completion order (works with or without ``stream_collectors``).
     """
 
     def __init__(
@@ -198,13 +207,18 @@ class SimulationKernel:
         doubling_factor: float = 2.0,
         outages: Sequence[NodeOutage | str] = (),
         backend_name: str = "event",
+        stream_collectors: bool = False,
+        spill: str | None = None,
     ) -> None:
         self.source = as_source(workload)
         self.predictor = predictor
         self.manager = manager
         self.time_to_failure = time_to_failure
         self.driver = driver
-        self.wastage = WastageCollector()
+        self.stream_collectors = stream_collectors
+        self.wastage = WastageCollector(
+            keep_logs=not stream_collectors, spill=spill
+        )
         self.collectors: tuple[MetricsCollector, ...] = (
             self.wastage,
             *collectors,
@@ -224,6 +238,9 @@ class SimulationKernel:
 
         self.events = EventHeap()
         self.now = 0.0
+        #: Set once the run has been seeded; a resumed kernel skips the
+        #: seeding/begin_trace phase and picks the loop back up.
+        self._started = False
         #: node_id -> number of currently open drain windows.
         self._drained: dict[int, int] = {}
         #: task_id -> state, insertion-ordered (= dispatch order).
@@ -241,7 +258,24 @@ class SimulationKernel:
     # ------------------------------------------------------------------
     # the event loop
     # ------------------------------------------------------------------
-    def run(self) -> SimulationResult:
+    def run(self, until: float | None = None) -> SimulationResult | None:
+        """Run the simulation; returns the result, or ``None`` if paused.
+
+        ``until`` pauses the loop at a clock boundary: every event batch
+        with time <= ``until`` is processed, then the kernel returns
+        ``None`` with its full state intact — ready to be
+        :meth:`checkpoint`-ed and later resumed (or simply run again).
+        Calling ``run()`` on a paused or resumed kernel continues where
+        it left off and is bit-for-bit identical to an uninterrupted
+        run.
+        """
+        if not self._started:
+            self._start()
+        if not self._loop(until):
+            return None
+        return self._finalize()
+
+    def _start(self) -> None:
         known = {node.node_id for node in self.manager.nodes}
         for outage in self.outages:
             if outage.node_id not in known:
@@ -264,9 +298,14 @@ class SimulationKernel:
         )
         for collector in self.collectors:
             collector.on_run_start(self.manager)
+        self._started = True
 
+    def _loop(self, until: float | None = None) -> bool:
+        """Process event batches; False when paused by ``until``."""
         while self.events:
             now = self.events.next_time
+            if until is not None and now > until:
+                return False
             self.now = now
             while self.events and self.events.next_time == now:
                 _, kind, payload = self.events.pop()
@@ -287,7 +326,9 @@ class SimulationKernel:
                 for collector in self._event_collectors:
                     collector.on_event(now)
             self._schedule(now)
+        return True
 
+    def _finalize(self) -> SimulationResult:
         self.driver.finish(self)
         self.predictor.end_trace()
         result = SimulationResult(
@@ -296,9 +337,32 @@ class SimulationKernel:
             time_to_failure=self.time_to_failure,
             ledger=self.wastage.ledger,
         )
+        result.summary = RunSummary(
+            workflow=self.source.workflow,
+            method=self.predictor.name,
+            time_to_failure=self.time_to_failure,
+        )
         for collector in self.collectors:
             collector.contribute(result)
         return result
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str) -> None:
+        """Serialize the paused kernel (clock, heap, drivers, collectors,
+        RNG states) to ``path``; see :mod:`repro.sim.kernel.checkpoint`.
+        """
+        from repro.sim.kernel.checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    @classmethod
+    def resume(cls, path: str) -> "SimulationKernel":
+        """Load a checkpointed kernel; ``run()`` continues bit-for-bit."""
+        from repro.sim.kernel.checkpoint import load_checkpoint
+
+        return load_checkpoint(path)
 
     # ------------------------------------------------------------------
     # dispatch / placement pass

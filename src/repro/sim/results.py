@@ -7,15 +7,19 @@ from dataclasses import asdict, dataclass, field
 import numpy as np
 
 from repro.cluster.accounting import WastageLedger
+from repro.sim.sketches import QuantileSketch, RunningStat
 
 __all__ = [
     "PredictionLog",
     "ClusterMetrics",
     "WorkflowInstanceMetrics",
     "WorkflowMetrics",
+    "RunSummary",
     "SimulationResult",
     "aggregate_results",
+    "merge_summaries",
     "result_to_dict",
+    "summary_to_dict",
 ]
 
 
@@ -186,6 +190,185 @@ class WorkflowMetrics:
 
 
 @dataclass
+class RunSummary:
+    """Compact, mergeable summary of one run — no per-task lists.
+
+    Built online by the kernel's collectors (streaming or not, the same
+    update sequence) so the numbers are identical whether raw logs were
+    kept, spilled to JSONL, or dropped.  Distributions are carried as
+    :class:`~repro.sim.sketches.QuantileSketch` /
+    :class:`~repro.sim.sketches.RunningStat` objects, which is what
+    makes summaries *mergeable* across shards
+    (:func:`merge_summaries`) and serializable in checkpoints.  The
+    JSON-able view is :func:`summary_to_dict`; two runs are
+    summary-identical iff their dicts are equal.
+    """
+
+    workflow: str = ""
+    method: str = ""
+    time_to_failure: float = 1.0
+    # -- task/attempt accounting (mirrors the ledger's aggregates) ------
+    n_tasks: int = 0
+    n_attempts: int = 0
+    n_failures: int = 0
+    total_wastage_gbh: float = 0.0
+    total_runtime_hours: float = 0.0
+    wastage_by_task_type: dict[str, float] = field(default_factory=dict)
+    failures_by_task_type: dict[str, int] = field(default_factory=dict)
+    #: Sum/count of first-attempt allocated/peak ratios over successful
+    #: first predictions — the exact over-allocation-ratio mean, online.
+    first_ratio_sum: float = 0.0
+    first_ratio_n: int = 0
+    #: Per-attempt wastage (GBh) distribution.
+    wastage_sketch: QuantileSketch = field(default_factory=QuantileSketch)
+    #: Arrival-to-success latency (hours) distribution.
+    turnaround_sketch: QuantileSketch = field(default_factory=QuantileSketch)
+    # -- cluster section (event backend only; n_nodes marks presence) ---
+    n_nodes: int | None = None
+    makespan_hours: float = 0.0
+    queue_wait: RunningStat = field(default_factory=RunningStat)
+    queue_wait_sketch: QuantileSketch = field(default_factory=QuantileSketch)
+    #: Sum of per-node utilization fractions (divide by n_nodes).
+    utilization_sum: float = 0.0
+    # -- workflow section (DAG engine only; None marks absence) ---------
+    n_workflow_instances: int | None = None
+    workflow_makespan: RunningStat = field(default_factory=RunningStat)
+    workflow_stretch: RunningStat = field(default_factory=RunningStat)
+    workflow_queue_wait_hours: float = 0.0
+
+    @property
+    def over_allocation_ratio(self) -> float:
+        """Mean allocated/used ratio of successful first attempts."""
+        if self.first_ratio_n == 0:
+            return float("nan")
+        return self.first_ratio_sum / self.first_ratio_n
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.n_nodes:
+            return 0.0
+        return self.utilization_sum / self.n_nodes
+
+    def merge(self, other: "RunSummary") -> "RunSummary":
+        """Fold another shard's summary into this one."""
+        self.n_tasks += other.n_tasks
+        self.n_attempts += other.n_attempts
+        self.n_failures += other.n_failures
+        self.total_wastage_gbh += other.total_wastage_gbh
+        self.total_runtime_hours += other.total_runtime_hours
+        for t, w in other.wastage_by_task_type.items():
+            self.wastage_by_task_type[t] = (
+                self.wastage_by_task_type.get(t, 0.0) + w
+            )
+        for t, n in other.failures_by_task_type.items():
+            self.failures_by_task_type[t] = (
+                self.failures_by_task_type.get(t, 0) + n
+            )
+        self.first_ratio_sum += other.first_ratio_sum
+        self.first_ratio_n += other.first_ratio_n
+        self.wastage_sketch.merge(other.wastage_sketch)
+        self.turnaround_sketch.merge(other.turnaround_sketch)
+        if other.n_nodes is not None:
+            self.n_nodes = (self.n_nodes or 0) + other.n_nodes
+            self.makespan_hours = max(
+                self.makespan_hours, other.makespan_hours
+            )
+            self.queue_wait.merge(other.queue_wait)
+            self.queue_wait_sketch.merge(other.queue_wait_sketch)
+            self.utilization_sum += other.utilization_sum
+        if other.n_workflow_instances is not None:
+            self.n_workflow_instances = (
+                self.n_workflow_instances or 0
+            ) + other.n_workflow_instances
+            self.workflow_makespan.merge(other.workflow_makespan)
+            self.workflow_stretch.merge(other.workflow_stretch)
+            self.workflow_queue_wait_hours += other.workflow_queue_wait_hours
+        return self
+
+
+def merge_summaries(summaries: "list[RunSummary]") -> RunSummary:
+    """Merge per-shard summaries into one (shard order = merge order)."""
+    if not summaries:
+        raise ValueError("no summaries to merge")
+    merged = RunSummary(
+        workflow=summaries[0].workflow,
+        method=summaries[0].method,
+        time_to_failure=summaries[0].time_to_failure,
+    )
+    for s in summaries:
+        merged.merge(s)
+    return merged
+
+
+def summary_to_dict(summary: RunSummary) -> dict[str, object]:
+    """Canonical JSON-able view of a :class:`RunSummary`.
+
+    Deterministic ordering, floats untouched — resumed-after-interrupt
+    runs must produce a dict *equal* to the uninterrupted run's, which
+    the checkpoint tests and the CI scale-smoke step assert.
+    """
+    out: dict[str, object] = {
+        "format": "repro-summary",
+        "workflow": summary.workflow,
+        "method": summary.method,
+        "time_to_failure": summary.time_to_failure,
+        "tasks": {
+            "n_tasks": summary.n_tasks,
+            "n_attempts": summary.n_attempts,
+            "n_failures": summary.n_failures,
+            "total_wastage_gbh": summary.total_wastage_gbh,
+            "total_runtime_hours": summary.total_runtime_hours,
+            "over_allocation_ratio": (
+                None
+                if summary.first_ratio_n == 0
+                else summary.over_allocation_ratio
+            ),
+            "wastage_by_task_type": dict(
+                sorted(summary.wastage_by_task_type.items())
+            ),
+            "failures_by_task_type": dict(
+                sorted(summary.failures_by_task_type.items())
+            ),
+            "wastage_quantiles": summary.wastage_sketch.quantiles(),
+            "turnaround_quantiles": summary.turnaround_sketch.quantiles(),
+        },
+        "cluster": None,
+        "workflows": None,
+    }
+    if summary.n_nodes is not None:
+        out["cluster"] = {
+            "n_nodes": summary.n_nodes,
+            "makespan_hours": summary.makespan_hours,
+            "n_dispatches": summary.queue_wait.n,
+            "total_queue_wait_hours": summary.queue_wait.total,
+            "mean_queue_wait_hours": summary.queue_wait.mean,
+            "max_queue_wait_hours": (
+                summary.queue_wait.max if summary.queue_wait.n else 0.0
+            ),
+            "queue_wait_quantiles": summary.queue_wait_sketch.quantiles(),
+            "mean_utilization": summary.mean_utilization,
+        }
+    if summary.n_workflow_instances is not None:
+        out["workflows"] = {
+            "n_instances": summary.n_workflow_instances,
+            "mean_makespan_hours": summary.workflow_makespan.mean,
+            "max_makespan_hours": (
+                summary.workflow_makespan.max
+                if summary.workflow_makespan.n
+                else 0.0
+            ),
+            "mean_stretch": summary.workflow_stretch.mean,
+            "max_stretch": (
+                summary.workflow_stretch.max
+                if summary.workflow_stretch.n
+                else 0.0
+            ),
+            "total_queue_wait_hours": summary.workflow_queue_wait_hours,
+        }
+    return out
+
+
+@dataclass
 class SimulationResult:
     """Everything measured while one method ran one workflow trace."""
 
@@ -199,6 +382,10 @@ class SimulationResult:
     #: Per-workflow-instance metrics; filled in by the DAG-aware
     #: scheduling engine only (``dag=`` / ``workflow_arrival=``).
     workflows: WorkflowMetrics | None = None
+    #: Compact mergeable summary; filled in by every kernel run
+    #: (streaming or not).  The only per-task-complete view a
+    #: ``stream_collectors=True`` run carries.
+    summary: RunSummary | None = None
 
     @property
     def total_wastage_gbh(self) -> float:
@@ -214,6 +401,10 @@ class SimulationResult:
 
     @property
     def num_tasks(self) -> int:
+        if not self.predictions and self.summary is not None:
+            # Streaming collectors drop the prediction logs; the online
+            # summary still knows how many tasks succeeded.
+            return self.summary.n_tasks
         return len(self.predictions)
 
     def failures_by_task_type(self) -> dict[str, int]:
@@ -236,6 +427,8 @@ class SimulationResult:
 
     def over_allocation_ratio(self) -> float:
         """Mean allocated/used ratio of successful first attempts."""
+        if not self.predictions and self.summary is not None:
+            return self.summary.over_allocation_ratio
         ratios = [
             p.first_allocation_mb / p.true_peak_mb
             for p in self.predictions

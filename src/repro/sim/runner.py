@@ -14,20 +14,90 @@ across the pool; workers construct the source locally.
 
 from __future__ import annotations
 
+import os
+import sys
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Mapping
 
+from repro.cluster.accounting import WastageLedger
+from repro.cluster.machine import parse_cluster_spec
 from repro.cluster.manager import ResourceManager
 from repro.sim.backends import SimulatorBackend
 from repro.sim.engine import OnlineSimulator
 from repro.sim.interface import MemoryPredictor
-from repro.sim.results import SimulationResult
+from repro.sim.results import (
+    RunSummary,
+    SimulationResult,
+    merge_summaries,
+)
 from repro.workflow.task import WorkflowTrace
 from repro.workload.base import WorkloadSource
 
-__all__ = ["run_cell", "run_grid"]
+__all__ = [
+    "run_cell",
+    "run_grid",
+    "run_sharded",
+    "partition_cluster",
+    "peak_rss_mb",
+]
 
 PredictorFactory = Callable[[], MemoryPredictor]
+
+#: The paper's default cluster (8 nodes x 128 GB) as a spec string —
+#: what :class:`~repro.cluster.manager.ResourceManager` builds with no
+#: arguments; the sharded runner needs the spec form to partition it.
+DEFAULT_CLUSTER_SPEC = "128g:8"
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process tree so far, in MB.
+
+    ``ru_maxrss`` is a process-lifetime high-watermark (it never
+    decreases), taken as the max over this process and its reaped
+    children — so a sharded run's workers are included once they exit.
+    Linux reports KB, macOS bytes.
+    """
+    import resource
+
+    peak = max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return peak / divisor
+
+
+def partition_cluster(cluster: str, shards: int) -> list[str]:
+    """Split a cluster spec into one per-shard spec per shard.
+
+    Nodes are dealt round-robin in spec order (node ``j`` goes to shard
+    ``j % shards``), so shard sizes differ by at most one node and every
+    shard gets at least one when there are enough nodes — fewer nodes
+    than shards is an error, not a silent empty shard.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    pools = parse_cluster_spec(cluster)  # validates the spec
+    sizes = [entry.strip().partition(":")[0] for entry in cluster.split(",")]
+    counts = [count for _, count in pools]
+    total = sum(counts)
+    if total < shards:
+        raise ValueError(
+            f"cannot split {total} node(s) ({cluster!r}) across "
+            f"{shards} shards; every shard needs at least one node"
+        )
+    per_shard = [[0] * len(pools) for _ in range(shards)]
+    j = 0
+    for g, count in enumerate(counts):
+        for _ in range(count):
+            per_shard[j % shards][g] += 1
+            j += 1
+    return [
+        ",".join(
+            f"{sizes[g]}:{n}" for g, n in enumerate(row) if n > 0
+        )
+        for row in per_shard
+    ]
 
 
 def run_cell(
@@ -41,6 +111,8 @@ def run_cell(
     workflow_arrival: str | None = None,
     node_outage: str | tuple[str, ...] | None = None,
     workload: WorkloadSource | WorkflowTrace | str | None = None,
+    stream_collectors: bool = False,
+    shards: int = 1,
 ) -> SimulationResult:
     """Run one (workload, method) cell with a fresh predictor and cluster.
 
@@ -54,41 +126,197 @@ def run_cell(
     switch the event backend into DAG-aware multi-workflow scheduling,
     and ``node_outage`` (``"start:duration:node"`` spec(s)) schedules
     node drains — also plain strings for picklability.
+
+    ``stream_collectors`` switches the event backend to bounded-memory
+    online aggregates (the result carries a ``summary`` but no raw
+    logs); ``shards > 1`` runs the cell as a sharded fan-out via
+    :func:`run_sharded` (event backend only, implies streaming).
     """
     if factory is None:
         raise ValueError("run_cell requires a predictor factory")
     if (trace is None) == (workload is None):
         raise ValueError("pass exactly one of trace or workload=")
+    cell_workload = trace if trace is not None else workload
+    if shards > 1:
+        return run_sharded(
+            cell_workload,
+            factory,
+            shards=shards,
+            time_to_failure=time_to_failure,
+            backend=backend,
+            cluster=cluster,
+            placement=placement,
+            dag=dag,
+            workflow_arrival=workflow_arrival,
+            node_outage=node_outage,
+        )
     if cluster is not None:
         manager = ResourceManager.from_spec(cluster, placement=placement)
     else:
         manager = ResourceManager(placement=placement)
     sim = OnlineSimulator(
-        trace if trace is not None else workload,
+        cell_workload,
         manager=manager,
         time_to_failure=time_to_failure,
         backend=backend,
         dag=dag,
         workflow_arrival=workflow_arrival,
         node_outage=node_outage,
+        stream_collectors=stream_collectors,
     )
-    return sim.run(factory())
+    result = sim.run(factory())
+    assert result is not None
+    return result
 
 
-def _run_cell_star(
-    args: tuple[
-        "WorkloadSource | WorkflowTrace | str",
-        PredictorFactory,
-        float,
-        str | SimulatorBackend,
-        str | None,
-        str,
-        str | None,
-        str | None,
-        str | tuple[str, ...] | None,
-    ],
-) -> SimulationResult:
+def _run_cell_star(args: tuple) -> SimulationResult:
     return run_cell(*args)
+
+
+def _run_shard(
+    workload: "WorkloadSource | WorkflowTrace | str",
+    factory: PredictorFactory,
+    time_to_failure: float,
+    backend: str | SimulatorBackend,
+    cluster: str,
+    placement: str,
+    dag: str | None,
+    workflow_arrival: str | None,
+    shard: int,
+    shards: int,
+    spill: str | None,
+) -> RunSummary:
+    """Worker body of :func:`run_sharded`: one shard, summary out.
+
+    Only the compact :class:`~repro.sim.results.RunSummary` crosses the
+    process boundary — sketches and counters, never per-task lists.
+    """
+    from repro.sim.backends import resolve_backend
+
+    resolved = resolve_backend(backend)
+    scale = getattr(resolved, "with_scale_options", None)
+    if scale is None:
+        raise ValueError(
+            f"sharded runs require a kernel-driven backend (the event "
+            f"backend); got {resolved.name!r}"
+        )
+    resolved = scale(
+        stream_collectors=True, spill=spill, shard=shard, shards=shards
+    )
+    sim = OnlineSimulator(
+        workload,
+        manager=ResourceManager.from_spec(cluster, placement=placement),
+        time_to_failure=time_to_failure,
+        backend=resolved,
+        dag=dag,
+        workflow_arrival=workflow_arrival,
+    )
+    result = sim.run(factory())
+    assert result is not None and result.summary is not None
+    return result.summary
+
+
+def _run_shard_star(args: tuple) -> RunSummary:
+    return _run_shard(*args)
+
+
+def _ledger_from_summary(summary: RunSummary) -> WastageLedger:
+    """A streaming ledger carrying a merged summary's aggregates, so the
+    merged :class:`SimulationResult`'s ledger-backed properties work."""
+    ledger = WastageLedger(keep_outcomes=False)
+    ledger._total_wastage = summary.total_wastage_gbh
+    ledger._runtime_hours = summary.total_runtime_hours
+    ledger._n_attempts = summary.n_attempts
+    for t, w in summary.wastage_by_task_type.items():
+        ledger._wastage_by_type[t] = w
+    for t, n in summary.failures_by_task_type.items():
+        ledger._failures_by_type[t] = n
+    return ledger
+
+
+def run_sharded(
+    workload: "WorkloadSource | WorkflowTrace | str | None" = None,
+    factory: PredictorFactory | None = None,
+    *,
+    shards: int,
+    time_to_failure: float = 1.0,
+    backend: str | SimulatorBackend = "event",
+    cluster: str | None = None,
+    placement: str = "first-fit",
+    dag: str | None = None,
+    workflow_arrival: str | None = None,
+    node_outage: object | None = None,
+    n_workers: int | None = None,
+    spill_dir: str | None = None,
+) -> SimulationResult:
+    """Fan one cell out over ``shards`` worker processes and merge.
+
+    The workload is partitioned deterministically — flat tasks by global
+    submission index, DAG workflow instances by copy number — and the
+    cluster spec is dealt round-robin so each shard simulates its slice
+    on its fraction of the nodes.  Arrival schedules and task ids in
+    each shard match the unsharded run exactly (same base seed, then
+    filtered); workers run with streaming collectors and return only
+    their :class:`~repro.sim.results.RunSummary`, which are merged into
+    one summary-only :class:`SimulationResult` (``cluster`` /
+    ``workflows`` / ``predictions`` stay empty — totals, counts, and
+    quantile sketches survive the merge).
+
+    Caveats: online-learning predictors learn from their own shard's
+    completions only, and cross-shard queueing contention is not
+    modeled — sharding trades those for memory and wall-clock; use
+    ``shards=1`` when they matter.  ``spill_dir`` gives each shard a
+    ``shard-<i>.jsonl`` prediction-log spill file there.
+    """
+    if factory is None:
+        raise ValueError("run_sharded requires a predictor factory")
+    if workload is None:
+        raise ValueError("run_sharded requires a workload")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if node_outage:
+        raise ValueError(
+            "node_outage cannot be combined with sharding: node ids are "
+            "renumbered within each shard's sub-cluster"
+        )
+    spec = cluster if cluster is not None else DEFAULT_CLUSTER_SPEC
+    shard_specs = partition_cluster(spec, shards)
+    if spill_dir is not None:
+        os.makedirs(spill_dir, exist_ok=True)
+    cells = [
+        (
+            workload,
+            factory,
+            time_to_failure,
+            backend,
+            shard_specs[i],
+            placement,
+            dag,
+            workflow_arrival,
+            i,
+            shards,
+            (
+                os.path.join(spill_dir, f"shard-{i}.jsonl")
+                if spill_dir is not None
+                else None
+            ),
+        )
+        for i in range(shards)
+    ]
+    if shards == 1 or (n_workers is not None and n_workers <= 1):
+        summaries = [_run_shard_star(c) for c in cells]
+    else:
+        workers = min(shards, n_workers or os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            summaries = list(pool.map(_run_shard_star, cells))
+    merged = merge_summaries(summaries)
+    return SimulationResult(
+        workflow=merged.workflow,
+        method=merged.method,
+        time_to_failure=merged.time_to_failure,
+        ledger=_ledger_from_summary(merged),
+        summary=merged,
+    )
 
 
 def run_grid(
@@ -103,6 +331,8 @@ def run_grid(
     workflow_arrival: str | None = None,
     node_outage: str | tuple[str, ...] | None = None,
     workloads: Mapping[str, WorkloadSource | WorkflowTrace | str] | None = None,
+    stream_collectors: bool = False,
+    shards: int = 1,
 ) -> dict[str, dict[str, SimulationResult]]:
     """Run every method on every workload.
 
@@ -118,7 +348,10 @@ def run_grid(
     string and placement-policy name, as in :func:`run_cell`); ``dag``
     and ``workflow_arrival`` switch every cell into DAG-aware
     multi-workflow scheduling, and ``node_outage`` schedules node
-    drains (event backend only).
+    drains (event backend only).  ``stream_collectors`` and ``shards``
+    apply per cell exactly as in :func:`run_cell`; prefer
+    ``n_workers=1`` when sharding cells, so the shard fan-out is the
+    only process-level parallelism.
     """
     if factories is None:
         raise ValueError("run_grid requires predictor factories")
@@ -139,6 +372,9 @@ def run_grid(
                 dag,
                 workflow_arrival,
                 node_outage,
+                None,  # workload= (the positional slot carries it)
+                stream_collectors,
+                shards,
             ),
         )
         for method, factory in factories.items()

@@ -1,0 +1,220 @@
+"""Online aggregates for streaming metrics: quantile sketch + running stats.
+
+Million-task runs cannot keep per-task lists of queue waits, latencies,
+or wastage in memory, so the streaming collectors summarize every
+distribution with two small objects:
+
+- :class:`QuantileSketch` — a deterministic t-digest-style centroid
+  sketch.  Values are buffered and periodically *compressed* into
+  weighted centroids whose size is bounded by the usual t-digest scale
+  function ``4 n q (1-q) / compression``, so the sketch stays accurate
+  in the tails and coarse only in the middle.  Everything is plain
+  arithmetic over sorted buffers — no randomness — so the same input
+  stream always produces the same centroids, which is what makes
+  checkpoint/resume and shard merges reproducible.
+- :class:`RunningStat` — exact count / sum / mean / min / max.
+
+Both are **mergeable** (shard results fold into one) and **picklable**
+(checkpoints carry them verbatim).  Accuracy: with the default
+``compression=512`` the relative quantile error stays well under 1 % on
+unimodal distributions of any size — pinned by a regression test against
+``np.quantile`` on a mid-size simulation scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["QuantileSketch", "RunningStat", "QUANTILE_POINTS"]
+
+#: Quantiles reported in run summaries, as ``"p50"``-style labels.
+QUANTILE_POINTS: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
+class RunningStat:
+    """Exact streaming count/sum/min/max/mean; mergeable across shards."""
+
+    __slots__ = ("n", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def merge(self, other: "RunningStat") -> "RunningStat":
+        self.n += other.n
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
+    # RunningStat uses __slots__, so give pickle explicit state.
+    def __getstate__(self):
+        return (self.n, self.total, self.min, self.max)
+
+    def __setstate__(self, state) -> None:
+        self.n, self.total, self.min, self.max = state
+
+
+class QuantileSketch:
+    """Deterministic mergeable t-digest-style quantile sketch.
+
+    ``add`` appends to a buffer; once the buffer fills, buffered points
+    and existing centroids are re-sorted and greedily re-clustered, with
+    each centroid's weight capped at ``4 n q (1-q) / compression`` (the
+    t-digest k1 bound) — small clusters near the tails, larger in the
+    middle.  ``quantile`` interpolates linearly between centroid means,
+    treating each centroid as centered mass (exact when every point got
+    its own centroid, i.e. small streams degrade to exact quantiles).
+    """
+
+    __slots__ = ("compression", "_means", "_weights", "_buffer", "stat")
+
+    def __init__(self, compression: int = 512) -> None:
+        if compression < 16:
+            raise ValueError(f"compression must be >= 16, got {compression}")
+        self.compression = compression
+        self._means: list[float] = []
+        self._weights: list[float] = []
+        self._buffer: list[float] = []
+        self.stat = RunningStat()
+
+    # ------------------------------------------------------------------
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.stat.add(value)
+        self._buffer.append(value)
+        if len(self._buffer) >= self.compression * 2:
+            self._compress()
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    @property
+    def n(self) -> int:
+        return self.stat.n
+
+    # ------------------------------------------------------------------
+    def _compress(self, force: bool = False) -> None:
+        # Fast path: nothing buffered and the centroid list is already a
+        # (sorted) product of a previous compression.  ``force`` is for
+        # merge(), whose concatenated centroid lists are NOT sorted.
+        if not force and not self._buffer and len(self._means) <= self.compression:
+            return
+        points = sorted(
+            [(m, w) for m, w in zip(self._means, self._weights)]
+            + [(v, 1.0) for v in self._buffer]
+        )
+        self._buffer = []
+        total = sum(w for _, w in points)
+        means: list[float] = []
+        weights: list[float] = []
+        seen = 0.0  # weight fully committed to finished clusters
+        cur_sum = 0.0  # weighted value sum of the open cluster
+        cur_w = 0.0
+        for mean, weight in points:
+            if cur_w > 0.0:
+                # Size bound at the open cluster's prospective midpoint.
+                q = (seen + (cur_w + weight) / 2.0) / total
+                limit = 4.0 * total * q * (1.0 - q) / self.compression
+                if cur_w + weight > max(limit, 1.0):
+                    means.append(cur_sum / cur_w)
+                    weights.append(cur_w)
+                    seen += cur_w
+                    cur_sum = 0.0
+                    cur_w = 0.0
+            cur_sum += mean * weight
+            cur_w += weight
+        if cur_w > 0.0:
+            means.append(cur_sum / cur_w)
+            weights.append(cur_w)
+        self._means = means
+        self._weights = weights
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile of everything added so far."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.stat.n == 0:
+            return float("nan")
+        self._compress()
+        means, weights = self._means, self._weights
+        if len(means) == 1:
+            return means[0]
+        total = self.stat.n
+        target = q * total
+        # Each centroid's mass is centered on its mean: centroid i spans
+        # cumulative weight [c_i - w_i/2, c_i + w_i/2).
+        cum = 0.0
+        prev_mean = self.stat.min
+        prev_pos = 0.0
+        for mean, weight in zip(means, weights):
+            pos = cum + weight / 2.0
+            if target < pos:
+                span = pos - prev_pos
+                if span <= 0.0:
+                    return mean
+                frac = (target - prev_pos) / span
+                return prev_mean + (mean - prev_mean) * frac
+            cum += weight
+            prev_mean = mean
+            prev_pos = pos
+        return self.stat.max
+
+    def quantiles(
+        self, points: Sequence[tuple[str, float]] = QUANTILE_POINTS
+    ) -> dict[str, float]:
+        """Labelled quantiles (summary form), e.g. ``{"p50": ..., ...}``."""
+        return {label: self.quantile(q) for label, q in points}
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other``'s mass into this sketch (shard merge)."""
+        other._compress()
+        self.stat.merge(other.stat)
+        self._buffer.extend(other._buffer)
+        self._means.extend(other._means)
+        self._weights.extend(other._weights)
+        self._compress(force=True)
+        return self
+
+    # __slots__: explicit pickle state (checkpoints carry sketches).
+    def __getstate__(self):
+        return (
+            self.compression,
+            self._means,
+            self._weights,
+            self._buffer,
+            self.stat,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.compression,
+            self._means,
+            self._weights,
+            self._buffer,
+            self.stat,
+        ) = state

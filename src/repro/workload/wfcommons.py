@@ -379,7 +379,12 @@ def _fill_missing(rows: list[_Row], rng: np.random.Generator) -> None:
     """Seeded fallback for missing memory/runtime/input measurements.
 
     Draws happen in submission order, only for missing fields, so the
-    same (file, seed) pair always fills the same values.
+    same (file, seed) pair always fills the same values.  The per-type
+    pools (and hence every fill's center) are fixed before any fill
+    happens, so all draws can be planned first and taken in one
+    vectorized ``lognormal`` call — the ``Generator`` bit stream is
+    consumed identically to per-draw scalar calls, keeping values
+    bit-for-bit stable while making million-task files import fast.
     """
     known_memory: dict[str, list[float]] = {}
     known_runtime: dict[str, list[float]] = {}
@@ -394,27 +399,38 @@ def _fill_missing(rows: list[_Row], rng: np.random.Generator) -> None:
         if row.input_mb is not None:
             known_input.setdefault(row.type_name, []).append(row.input_mb)
 
-    def fill(value: float | None, pool: list[float] | None, prior: float,
-             sigma: float) -> float:
-        if value is not None:
-            return value
-        center = float(np.median(pool)) if pool else prior
-        return center * float(rng.lognormal(0.0, sigma))
+    medians: dict[int, float] = {}
+
+    def center_of(pool: list[float] | None, prior: float) -> float:
+        if not pool:
+            return prior
+        key = id(pool)
+        if key not in medians:
+            medians[key] = float(np.median(pool))
+        return medians[key]
+
+    #: (row, field, center) per missing value, in draw (submission) order.
+    plan: list[tuple[_Row, str, float]] = []
+    sigmas: list[float] = []
 
     for row in rows:
-        row.memory_mb = fill(
-            row.memory_mb, known_memory.get(row.type_name),
-            _FALLBACK_MEMORY_MB, 0.1,
-        )
-        row.runtime_hours = fill(
-            row.runtime_hours, known_runtime.get(row.type_name),
-            _FALLBACK_RUNTIME_HOURS, 0.1,
-        )
+        if row.memory_mb is None:
+            plan.append((row, "memory_mb", center_of(
+                known_memory.get(row.type_name), _FALLBACK_MEMORY_MB)))
+            sigmas.append(0.1)
+        if row.runtime_hours is None:
+            plan.append((row, "runtime_hours", center_of(
+                known_runtime.get(row.type_name), _FALLBACK_RUNTIME_HOURS)))
+            sigmas.append(0.1)
         if row.input_mb is None:
-            row.input_mb = fill(
-                None, known_input.get(row.type_name),
-                _FALLBACK_INPUT_MB, 0.5,
-            )
+            plan.append((row, "input_mb", center_of(
+                known_input.get(row.type_name), _FALLBACK_INPUT_MB)))
+            sigmas.append(0.5)
+    if not plan:
+        return
+    factors = rng.lognormal(0.0, np.asarray(sigmas, dtype=np.float64))
+    for (row, field, center), factor in zip(plan, factors):
+        setattr(row, field, center * float(factor))
 
 
 def _ceil_to_gb(mb: float) -> float:

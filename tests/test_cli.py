@@ -245,8 +245,10 @@ class TestCommands:
 
 class TestWorkloadOption:
     def test_simulate_requires_some_workload(self, capsys):
+        # Enforced in validation rather than at parse time, so --resume
+        # can restore the workload from a checkpoint instead.
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["simulate", "--method", "Sizey"])
+            main(["simulate", "--method", "Sizey"])
 
     def test_workflow_and_workload_are_exclusive(self, capsys):
         with pytest.raises(SystemExit):
@@ -349,6 +351,81 @@ class TestWorkloadOption:
             ["figures", "--only", "wfcommons-replay"]
         )
         assert args.only == ["wfcommons-replay"]
+
+
+class TestScaleOptions:
+    def test_scale_flags_require_event_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workflow", "iwd", "--stream-collectors"])
+        assert "--backend event" in capsys.readouterr().err
+
+    def test_resume_excludes_workload(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workflow", "iwd", "--resume", "x.ckpt"])
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_stop_after_needs_checkpoint(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workflow", "iwd", "--backend", "event",
+                  "--stop-after", "1.0"])
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_shards_exclude_checkpointing(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workflow", "iwd", "--backend", "event",
+                  "--shards", "2", "--checkpoint", "x.ckpt"])
+        assert "--shards" in capsys.readouterr().err
+
+    def test_shards_exclude_node_outage(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workflow", "iwd", "--backend", "event",
+                  "--shards", "2", "--node-outage", "0.1:1:0"])
+        assert "--node-outage" in capsys.readouterr().err
+
+    def test_rejects_nonpositive_checkpoint_every(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workflow", "iwd", "--backend", "event",
+                  "--checkpoint", "x.ckpt", "--checkpoint-every", "0"])
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_stream_collectors_end_to_end(self, capsys):
+        rc = main(["simulate", "--workflow", "iwd", "--scale", "0.05",
+                   "--method", "Workflow-Presets", "--backend", "event",
+                   "--stream-collectors"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wastage GBh" in out
+
+    def test_sharded_simulate_end_to_end(self, capsys):
+        rc = main(["simulate", "--workflow", "iwd", "--scale", "0.05",
+                   "--method", "Workflow-Presets", "--backend", "event",
+                   "--cluster", "64g:2", "--shards", "2",
+                   "--shard-workers", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "shards" in out
+
+    def test_checkpoint_resume_summary_round_trip(self, tmp_path, capsys):
+        common = ["--workflow", "iwd", "--scale", "0.05",
+                  "--method", "Workflow-Presets", "--backend", "event",
+                  "--cluster", "64g:2", "--arrival", "poisson:600"]
+        full = tmp_path / "full.json"
+        rc = main(["simulate", *common, "--summary-json", str(full)])
+        assert rc == 0
+        capsys.readouterr()
+
+        ck = tmp_path / "state.ckpt"
+        rc = main(["simulate", *common,
+                   "--checkpoint", str(ck), "--stop-after", "0.05"])
+        assert rc == 0
+        assert "paused" in capsys.readouterr().out
+        assert ck.exists()
+
+        resumed = tmp_path / "resumed.json"
+        rc = main(["simulate", "--resume", str(ck),
+                   "--summary-json", str(resumed)])
+        assert rc == 0
+        assert resumed.read_text() == full.read_text()
 
 
 class TestServeCommands:

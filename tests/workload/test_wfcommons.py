@@ -313,6 +313,54 @@ class TestSeededFallbacks:
         assert a.input_size_mb == b.input_size_mb
         assert a.input_size_mb > 0
 
+    def test_vectorized_fallback_matches_scalar_reference(self):
+        """The batched lognormal fill is bit-for-bit the scalar loop.
+
+        ``_fill_missing`` plans all draws and takes one vectorized
+        ``rng.lognormal`` call; a numpy ``Generator`` consumes its bit
+        stream identically for sequential scalar draws, so the values
+        must equal an explicit per-draw reference loop.  Pins the PR 7
+        vectorization against any future reordering of the plan.
+        """
+        import numpy as np
+
+        from repro.workload.wfcommons import (
+            _FALLBACK_INPUT_MB,
+            _FALLBACK_RUNTIME_HOURS,
+        )
+
+        doc = modern_doc(
+            tasks=[{"id": f"t_ID0{i}", "parents": []} for i in (1, 2, 3)],
+            execution=[
+                # Row 1 fully measured (memory + runtime, no input file):
+                # its values seed the per-type pools the fills center on.
+                {"id": "t_ID01", "runtimeInSeconds": 60,
+                 "memoryInBytes": 4096 * MB},
+            ],
+        )
+        seed = 11
+        trace = wfcommons_to_trace(doc, seed=seed)
+        measured, second, third = trace.instances
+
+        rng = np.random.default_rng(seed)
+        expected = []
+        # Draw order = submission order, per row: memory, runtime, input
+        # (row 1 is measured for memory+runtime, missing only input).
+        expected.append(_FALLBACK_INPUT_MB * rng.lognormal(0.0, 0.5))
+        for _ in (second, third):
+            expected.append(4096.0 * rng.lognormal(0.0, 0.1))  # type median
+            expected.append(
+                (60.0 / 3600.0) * rng.lognormal(0.0, 0.1)
+            )
+            expected.append(_FALLBACK_INPUT_MB * rng.lognormal(0.0, 0.5))
+
+        got = [
+            measured.input_size_mb,
+            second.peak_memory_mb, second.runtime_hours, second.input_size_mb,
+            third.peak_memory_mb, third.runtime_hours, third.input_size_mb,
+        ]
+        assert got == pytest.approx(expected, rel=0, abs=0)
+
 
 class TestExportRoundTrip:
     def test_synthetic_trace_roundtrips(self):
