@@ -1,0 +1,37 @@
+"""Helpers behind ``benchmarks/conftest.py``, importable by tests.
+
+The conftest hooks themselves only run inside a pytest session, so the
+logic that needs regression coverage — xdist detection and the
+peak-RSS recording rule — lives here as plain functions.
+"""
+
+__all__ = ["is_xdist_worker", "record_peak_rss"]
+
+
+def is_xdist_worker(config) -> bool:
+    """True inside a pytest-xdist worker process.
+
+    xdist sets ``workerinput`` on the worker's config; the controller
+    and plain (non-parallel) sessions don't have it.
+    """
+    return hasattr(config, "workerinput")
+
+
+def record_peak_rss(metrics, nodeid, config, peak_rss_fn=None) -> bool:
+    """Record ``<nodeid>::peak_rss_mb`` into ``metrics`` — unless xdist.
+
+    ``ru_maxrss`` is a process-lifetime high watermark taken over this
+    process *and its reaped children*.  Under pytest-xdist every worker
+    is a separate child of the controller, so each worker's watermark
+    re-counts the forked interpreter plus its own test set — summing or
+    even recording them per-cell would attribute the same memory once
+    per worker.  Parallel sessions therefore record nothing (their
+    wall-clock cells are already discarded at session finish for the
+    same reason).  Returns True when the metric was recorded.
+    """
+    if is_xdist_worker(config):
+        return False
+    if peak_rss_fn is None:
+        from repro.sim.runner import peak_rss_mb as peak_rss_fn
+    metrics[f"{nodeid}::peak_rss_mb"] = peak_rss_fn()
+    return True

@@ -4,11 +4,12 @@ Every benchmark regenerates one paper artifact end-to-end, so a single
 round is the meaningful unit of measurement (these are throughput
 benchmarks of the full experiment pipeline, not micro-benchmarks).
 
-Each session also emits a machine-readable ``BENCH_7.json`` next to the
+Each session also emits a machine-readable ``BENCH_8.json`` next to the
 repo root — wall-clock seconds per benchmark cell keyed by the pytest
 node id — so the perf trajectory across PRs can be tracked by diffing
-the committed snapshots.  Override the output path with the
-``REPRO_BENCH_JSON`` environment variable; set it empty to disable.
+the committed snapshots (see ``docs/BENCH.md`` for the key reference).
+Override the output path with the ``REPRO_BENCH_JSON`` environment
+variable; set it empty to disable.
 """
 
 import json
@@ -18,8 +19,10 @@ from pathlib import Path
 
 import pytest
 
+from _bench_utils import record_peak_rss
+
 #: PR-numbered snapshot written at session end: {nodeid: seconds}.
-_BENCH_FILE = "BENCH_7.json"
+_BENCH_FILE = "BENCH_8.json"
 
 _cells: dict[str, float] = {}
 #: Extra named measurements (e.g. kernel events/sec), merged alongside
@@ -43,9 +46,9 @@ def once(benchmark, request):
             # the *process-lifetime* high watermark, so within a session
             # the series is non-decreasing — the number pins the cell
             # that first pushed the watermark, later cells inherit it.
-            from repro.sim.runner import peak_rss_mb
-
-            _metrics[f"{request.node.nodeid}::peak_rss_mb"] = peak_rss_mb()
+            # Skipped under xdist (see record_peak_rss): every worker
+            # would re-count the same forked interpreter.
+            record_peak_rss(_metrics, request.node.nodeid, request.config)
 
     return _run
 
@@ -60,6 +63,22 @@ def bench_metric(request):
 
     def _record(name: str, value: float) -> None:
         _metrics[f"{request.node.nodeid}::{name}"] = float(value)
+
+    return _record
+
+
+@pytest.fixture
+def bench_headline():
+    """Record a first-class headline metric under a stable bare key.
+
+    Unlike ``bench_metric``, the key is *not* prefixed with the pytest
+    node id — headline numbers (e.g. ``kernel_flat_events_per_sec``)
+    keep the same key across refactors that rename or move the bench
+    cell, so snapshot diffs track the number, not the test layout.
+    """
+
+    def _record(name: str, value: float) -> None:
+        _metrics[name] = float(value)
 
     return _record
 
@@ -111,7 +130,7 @@ def pytest_sessionfinish(session, exitstatus):
     )
     payload = {
         "format": "repro-bench",
-        "pr": 7,
+        "pr": 8,
         "unit": "seconds",
         "cells": dict(sorted(cells.items())),
         "metrics": dict(sorted(metrics.items())),

@@ -1,0 +1,51 @@
+"""Regression tests for the benchmark harness itself (cheap, no benches).
+
+Pins the xdist rule for ``peak_rss_mb``: ``ru_maxrss`` is a
+process-lifetime watermark over the process and its reaped children, so
+under pytest-xdist each worker would re-attribute the same forked
+interpreter's memory to its own cells — the harness must skip the
+metric entirely in workers instead of writing poisoned numbers.
+"""
+
+from _bench_utils import is_xdist_worker, record_peak_rss
+
+
+class _Config:
+    """Stand-in for a pytest config (no workerinput attribute)."""
+
+
+class _WorkerConfig:
+    """Stand-in for an xdist worker's config."""
+
+    workerinput = {"workerid": "gw0"}
+
+
+def test_is_xdist_worker_detects_workerinput():
+    assert not is_xdist_worker(_Config())
+    assert is_xdist_worker(_WorkerConfig())
+
+
+def test_record_peak_rss_skips_xdist_workers():
+    metrics: dict[str, float] = {}
+    recorded = record_peak_rss(
+        metrics, "bench::cell", _WorkerConfig(), peak_rss_fn=lambda: 123.0
+    )
+    assert recorded is False
+    assert metrics == {}
+
+
+def test_record_peak_rss_records_outside_workers():
+    metrics: dict[str, float] = {}
+    recorded = record_peak_rss(
+        metrics, "bench::cell", _Config(), peak_rss_fn=lambda: 123.0
+    )
+    assert recorded is True
+    assert metrics == {"bench::cell::peak_rss_mb": 123.0}
+
+
+def test_record_peak_rss_default_probe_is_live():
+    # Without an injected probe the real RSS watermark is used — a
+    # positive number on every supported platform.
+    metrics: dict[str, float] = {}
+    assert record_peak_rss(metrics, "n", _Config())
+    assert metrics["n::peak_rss_mb"] > 0.0

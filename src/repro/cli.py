@@ -3,12 +3,17 @@
 Commands
 --------
 simulate      replay one workload with one method, print the result
+profile       run one workload with the kernel phase profiler, print timings
 figures       regenerate paper artifacts (all or a selection)
 trace         generate a synthetic workflow trace to JSON/JSONL/CSV/WfCommons
 compare       run the full method grid on selected workloads
 serve         run the resident sizing server (see repro.serve)
 client        talk to a running sizing server (healthz/metrics/predict/observe)
 loadgen       replay a workload source against a running sizing server
+
+Every command accepts the global ``--log-level``/``--log-json`` flags
+(before or after the command name) to enable structured run logs on
+stderr; see :mod:`repro.obs.log`.
 
 Workloads are addressed by spec strings (``--workload``): the six
 synthetic paper workflows (``synthetic:iwd``), recorded repro-trace
@@ -32,6 +37,9 @@ Examples::
         --input-mb 1024
     python -m repro loadgen --workload synthetic:rnaseq --tenants 2 \
         --rate 200 --max-tasks 256
+    python -m repro simulate --workflow iwd --backend event \
+        --profile --trace timeline.json
+    python -m repro profile --workflow rnaseq --scale 0.3
     python -m repro figures --only fig11 fig12
     python -m repro trace --workflow mag --scale 0.1 --out mag.json --csv mag.csv
     python -m repro trace --workflow iwd --wfcommons iwd_wfcommons.json
@@ -186,9 +194,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {repro.__version__}"
     )
+    parser.add_argument("--log-level", default=None, metavar="LEVEL",
+                        help="enable structured run logs on stderr at LEVEL "
+                             "(debug, info, warning, error)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit logs as JSON lines (implies "
+                             "--log-level info unless given)")
+    # The same flags are accepted after the subcommand too (a shared
+    # parent with SUPPRESS defaults, so a subcommand parse that omits
+    # them never clobbers a value parsed at the top level).
+    log_parent = argparse.ArgumentParser(add_help=False)
+    log_parent.add_argument("--log-level", default=argparse.SUPPRESS,
+                            metavar="LEVEL", help=argparse.SUPPRESS)
+    log_parent.add_argument("--log-json", action="store_true",
+                            default=argparse.SUPPRESS,
+                            help=argparse.SUPPRESS)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sim = sub.add_parser("simulate", help="replay one workload with one method")
+    sim = sub.add_parser("simulate", parents=[log_parent],
+                         help="replay one workload with one method")
     # Not required=True: --resume carries the workload inside the
     # checkpoint; _validate_args enforces the choice for fresh runs.
     which = sim.add_mutually_exclusive_group(required=False)
@@ -249,13 +273,62 @@ def build_parser() -> argparse.ArgumentParser:
     scale_grp.add_argument("--summary-json", metavar="PATH", default=None,
                            help="write the run summary as JSON ('-' for "
                                 "stdout)")
+    obs_grp = sim.add_argument_group(
+        "observability (event backend only)",
+        "kernel phase profiler and Chrome trace_event export",
+    )
+    obs_grp.add_argument("--profile", action="store_true",
+                         help="time the kernel phases and print the "
+                              "per-phase table after the run summary")
+    obs_grp.add_argument("--trace", metavar="PATH", default=None,
+                         help="write a Chrome trace_event JSON timeline "
+                              "of the run here (load in Perfetto or "
+                              "chrome://tracing)")
+    obs_grp.add_argument("--trace-limit", type=int, default=None, metavar="N",
+                         help="keep only the last N trace events "
+                              "(bounded ring buffer)")
 
-    fig = sub.add_parser("figures", help="regenerate paper artifacts")
+    prof = sub.add_parser(
+        "profile",
+        parents=[log_parent],
+        help="run one workload with the kernel phase profiler",
+        description="Replay one workload on the event backend with the "
+                    "phase profiler enabled, then print the per-phase "
+                    "wall-time table (calls, seconds, %% of total) and "
+                    "the events/sec throughput.",
+    )
+    which_prof = prof.add_mutually_exclusive_group(required=True)
+    which_prof.add_argument("--workflow", choices=WORKFLOW_NAMES,
+                            help="synthetic paper workflow (alias for "
+                                 "--workload synthetic:NAME)")
+    which_prof.add_argument("--workload", type=_workload_spec, metavar="SPEC",
+                            help="workload source spec (see simulate "
+                                 "--workload)")
+    prof.add_argument("--method", choices=METHOD_ORDER, default="Sizey")
+    prof.add_argument("--scale", type=float, default=1.0)
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--ttf", type=float, default=1.0,
+                      help="time-to-failure fraction (paper parameter)")
+    prof.add_argument("--trace", metavar="PATH", default=None,
+                      help="also write a Chrome trace_event JSON timeline")
+    prof.add_argument("--trace-limit", type=int, default=None, metavar="N",
+                      help="keep only the last N trace events")
+    prof.add_argument("--json", dest="json_out", default=None, metavar="PATH",
+                      help="write the profile as JSON ('-' for stdout)")
+    _add_cluster_options(prof)
+    # The profiler lives in the kernel, so this command is always
+    # event-backend; the defaults make _validate_args and the backend
+    # resolver treat it exactly like `simulate --backend event`.
+    prof.set_defaults(backend="event", arrival_interval=0.0)
+
+    fig = sub.add_parser("figures", parents=[log_parent],
+                         help="regenerate paper artifacts")
     fig.add_argument("--only", nargs="*", choices=_ARTIFACTS, default=None)
     fig.add_argument("--scale", type=float, default=0.15)
     fig.add_argument("--seed", type=int, default=0)
 
-    tr = sub.add_parser("trace", help="generate a synthetic trace")
+    tr = sub.add_parser("trace", parents=[log_parent],
+                        help="generate a synthetic trace")
     tr.add_argument("--workflow", choices=WORKFLOW_NAMES, required=True)
     tr.add_argument("--scale", type=float, default=1.0)
     tr.add_argument("--seed", type=int, default=0)
@@ -265,7 +338,8 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--wfcommons",
                     help="write a WfCommons instance document here")
 
-    cmp_ = sub.add_parser("compare", help="run the method grid")
+    cmp_ = sub.add_parser("compare", parents=[log_parent],
+                          help="run the method grid")
     which_cmp = cmp_.add_mutually_exclusive_group()
     which_cmp.add_argument("--workflows", nargs="+", choices=WORKFLOW_NAMES,
                            default=None)
@@ -285,11 +359,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "shorthand for --arrival fixed:H)")
     _add_cluster_options(cmp_)
 
-    _add_serve_parsers(sub)
+    _add_serve_parsers(sub, log_parent)
     return parser
 
 
-def _add_serve_parsers(sub) -> None:
+def _add_serve_parsers(sub, log_parent) -> None:
     """The ``serve`` / ``client`` / ``loadgen`` command trio."""
     from repro.serve.server import DEFAULT_PORT
 
@@ -297,20 +371,26 @@ def _add_serve_parsers(sub) -> None:
         p.add_argument("--host", default="127.0.0.1")
         p.add_argument("--port", type=int, default=DEFAULT_PORT)
 
-    srv = sub.add_parser("serve", help="run the resident sizing server")
+    srv = sub.add_parser("serve", parents=[log_parent],
+                         help="run the resident sizing server")
     _endpoint(srv)
     srv.add_argument("--seed", type=int, default=0,
                      help="base seed mixed into every tenant's model seed")
     srv.add_argument("--max-tenants", type=int, default=64,
                      help="LRU capacity of the tenant registry")
 
-    cli = sub.add_parser("client", help="talk to a running sizing server")
+    cli = sub.add_parser("client", parents=[log_parent],
+                         help="talk to a running sizing server")
     actions = cli.add_subparsers(dest="action", required=True)
 
     hz = actions.add_parser("healthz", help="liveness probe")
     _endpoint(hz)
     mt = actions.add_parser("metrics", help="dump the /metrics payload")
     _endpoint(mt)
+    mt.add_argument("--format", choices=("json", "prometheus"),
+                    default="json",
+                    help="payload format: JSON (default) or the "
+                         "Prometheus text exposition")
 
     pr = actions.add_parser("predict", help="size one task")
     _endpoint(pr)
@@ -335,7 +415,8 @@ def _add_serve_parsers(sub) -> None:
     ob.add_argument("--instance-id", type=int, default=-1)
 
     lg = sub.add_parser(
-        "loadgen", help="replay a workload against a running server"
+        "loadgen", parents=[log_parent],
+        help="replay a workload against a running server"
     )
     _endpoint(lg)
     lg.add_argument("--workload", type=_workload_spec, required=True,
@@ -397,6 +478,18 @@ def _validate_args(
                      "drop --arrival/--arrival-interval")
     if args.command == "simulate":
         _validate_scale_args(parser, args, node_outages)
+    if args.command == "profile":
+        _validate_trace_limit(parser, args)
+
+
+def _validate_trace_limit(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    if args.trace_limit is not None:
+        if args.trace is None:
+            parser.error("--trace-limit needs --trace")
+        if args.trace_limit <= 0:
+            parser.error(f"--trace-limit must be >= 1, got {args.trace_limit}")
 
 
 def _validate_scale_args(
@@ -424,6 +517,17 @@ def _validate_scale_args(
         parser.error("--stream-collectors/--spill/--shards/--checkpoint "
                      "options only shape the event backend; add "
                      "--backend event")
+    obs_flags = args.profile or args.trace is not None
+    if obs_flags and not resume and args.backend != "event":
+        parser.error("--profile/--trace instrument the kernel; add "
+                     "--backend event")
+    if obs_flags and resume:
+        parser.error("--profile/--trace cannot be combined with --resume "
+                     "(the checkpoint pins the kernel's collectors)")
+    if args.trace is not None and args.shards > 1:
+        parser.error("--trace cannot be combined with --shards (each "
+                     "shard would overwrite the same trace file)")
+    _validate_trace_limit(parser, args)
     if args.shards < 1:
         parser.error(f"--shards must be >= 1, got {args.shards}")
     if args.shards > 1:
@@ -480,6 +584,31 @@ def _resolve_cli_backend(args: argparse.Namespace):
     return args.backend
 
 
+def _render_profile_table(profile) -> str:
+    """The per-phase timing table shared by ``profile`` and ``--profile``."""
+    d = profile.to_dict()
+    rows = [
+        [
+            row["phase"],
+            row["calls"],
+            f"{row['seconds'] * 1e3:.3f}",
+            f"{row['share'] * 100:.1f}%",
+        ]
+        for row in profile.render_rows()
+    ]
+    rows.append(
+        ["(all phases)", d["n_events"], f"{d['phase_seconds'] * 1e3:.3f}", ""]
+    )
+    runs = f" across {d['n_runs']} shards" if d["n_runs"] > 1 else ""
+    title = (
+        f"kernel phases{runs}: {d['n_events']} events in "
+        f"{d['wall_seconds']:.3f}s wall ({d['events_per_sec']:,.0f} events/sec)"
+    )
+    return render_table(
+        ["phase", "calls", "ms", "% of wall"], rows, title=title
+    )
+
+
 def _write_summary_json(res, path: str) -> None:
     import json
 
@@ -523,6 +652,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             dag=args.dag,
             workflow_arrival=args.workflow_arrival,
             n_workers=args.shard_workers,
+            profile=args.profile,
         )
         workload_name = source.name
     else:
@@ -536,6 +666,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             placement=args.placement,
             stream_collectors=args.stream_collectors,
             spill=args.spill,
+            profile=args.profile,
+            trace_path=args.trace,
+            trace_limit=args.trace_limit,
         ).run(
             predictor,
             checkpoint=args.checkpoint,
@@ -628,6 +761,45 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 title="per-workflow-instance metrics",
             )
         )
+    if args.profile and res.profile is not None:
+        print()
+        print(_render_profile_table(res.profile))
+    if args.trace is not None:
+        print(f"wrote Chrome trace to {args.trace}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    source = _resolve_cli_workload(args)
+    predictor = method_factories()[args.method]()
+    res = OnlineSimulator(
+        source,
+        time_to_failure=args.ttf,
+        backend=_resolve_cli_backend(args),
+        cluster=args.cluster,
+        placement=args.placement,
+        profile=True,
+        trace_path=args.trace,
+        trace_limit=args.trace_limit,
+    ).run(predictor)
+    profile = res.profile
+    if args.json_out is not None:
+        import json
+
+        payload = json.dumps(profile.to_dict(), indent=1, sort_keys=True)
+        if args.json_out == "-":
+            print(payload)
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+    if args.json_out != "-":
+        print(
+            f"{source.name} x {res.method}: {res.num_tasks} tasks, "
+            f"{res.num_failures} failures"
+        )
+        print(_render_profile_table(profile))
+        if args.trace is not None:
+            print(f"wrote Chrome trace to {args.trace}")
     return 0
 
 
@@ -840,6 +1012,9 @@ def _cmd_client(args: argparse.Namespace) -> int:
         if args.action == "healthz":
             payload = client.healthz()
         elif args.action == "metrics":
+            if args.format == "prometheus":
+                print(client.metrics(format="prometheus"), end="")
+                return 0
             payload = client.metrics()
         elif args.action == "predict":
             payload = client.predict(
@@ -891,7 +1066,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         observe=not args.no_observe,
         seed=args.seed,
     )
-    rows = [[key, value] for key, value in report.as_dict().items()]
+    rows = [
+        [key, value]
+        for key, value in report.as_dict().items()
+        if not isinstance(value, dict)  # histograms go to --json only
+    ]
     print(render_table(["metric", "value"], rows, title="loadgen report"))
     if args.json_out:
         with open(args.json_out, "w") as fh:
@@ -902,6 +1081,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "profile": _cmd_profile,
     "figures": _cmd_figures,
     "trace": _cmd_trace,
     "compare": _cmd_compare,
@@ -914,6 +1094,15 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None or args.log_json:
+        from repro.obs.log import configure_logging
+
+        try:
+            configure_logging(
+                level=args.log_level or "info", json_mode=args.log_json
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
     if hasattr(args, "backend"):
         _validate_args(parser, args)
     return _COMMANDS[args.command](args)

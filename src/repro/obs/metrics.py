@@ -1,0 +1,289 @@
+"""Prometheus-style serve metrics: latency histograms + text exposition.
+
+Two halves:
+
+- :class:`LatencyHistogram` — fixed log-spaced buckets
+  (:data:`LATENCY_BUCKETS_S`, seconds) with exact cumulative counts for
+  the Prometheus exposition, plus a deterministic
+  :class:`~repro.sim.sketches.QuantileSketch` feeding the p50/p95/p99
+  millisecond quantiles reported in the JSON ``/metrics`` payload and
+  the loadgen report.  Mergeable, so per-worker histograms can be
+  summed.
+- :func:`render_prometheus` — renders the server's ``/metrics`` JSON
+  payload as the Prometheus text exposition format
+  (``text/plain; version=0.0.4``), served behind
+  ``GET /metrics?format=prometheus``.
+
+Both sides of the dual-format endpoint read the *same* snapshot, so a
+scrape and a JSON poll can never disagree about a counter.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.sim.sketches import QuantileSketch
+
+__all__ = [
+    "LATENCY_BUCKETS_S",
+    "LatencyHistogram",
+    "render_prometheus",
+    "escape_label",
+]
+
+#: Shared latency bucket upper bounds in seconds (plus an implicit
+#: +Inf).  Log-spaced 0.5 ms – 2.5 s: model-pool predictions sit in the
+#: low milliseconds, cold-tenant creation and big observe batches in the
+#: tens-to-hundreds.  Serve and loadgen report the same buckets.
+LATENCY_BUCKETS_S = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+_MS_QUANTILES = ((0.5, "p50_ms"), (0.95, "p95_ms"), (0.99, "p99_ms"))
+
+
+class LatencyHistogram:
+    """Cumulative-bucket latency histogram over :data:`LATENCY_BUCKETS_S`.
+
+    ``observe`` takes seconds.  Not thread-safe on its own — the serve
+    layer updates it under the owning session's lock.
+    """
+
+    __slots__ = ("counts", "count", "sum_s", "sketch")
+
+    def __init__(self) -> None:
+        # counts[i] is the number of observations in bucket i (bounded
+        # above by LATENCY_BUCKETS_S[i]); the final slot is +Inf.
+        self.counts = [0] * (len(LATENCY_BUCKETS_S) + 1)
+        self.count = 0
+        self.sum_s = 0.0
+        self.sketch = QuantileSketch()
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        self.counts[bisect_left(LATENCY_BUCKETS_S, seconds)] += 1
+        self.count += 1
+        self.sum_s += seconds
+        self.sketch.add(seconds * 1000.0)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.sum_s += other.sum_s
+        self.sketch.merge(other.sketch)
+
+    def cumulative_buckets(self) -> list[tuple[float | None, int]]:
+        """``(le_seconds, cumulative_count)`` pairs; ``None`` is +Inf."""
+        out: list[tuple[float | None, int]] = []
+        running = 0
+        for bound, n in zip(LATENCY_BUCKETS_S, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((None, running + self.counts[-1]))
+        return out
+
+    def snapshot(self) -> dict:
+        """JSON-facing view: buckets, totals, and millisecond quantiles."""
+        snap = {
+            "count": self.count,
+            "sum_s": self.sum_s,
+            "mean_ms": (
+                self.sum_s / self.count * 1000.0 if self.count else 0.0
+            ),
+            "buckets": [
+                [bound, cum] for bound, cum in self.cumulative_buckets()
+            ],
+        }
+        for q, key in _MS_QUANTILES:
+            snap[key] = float(self.sketch.quantile(q)) if self.count else 0.0
+        return snap
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def header(self, name: str, kind: str, help_text: str) -> None:
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, labels: dict | None, value) -> None:
+        if labels:
+            rendered = ",".join(
+                f'{key}="{escape_label(val)}"' for key, val in labels.items()
+            )
+            self.lines.append(f"{name}{{{rendered}}} {_fmt(value)}")
+        else:
+            self.lines.append(f"{name} {_fmt(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def render_prometheus(payload: dict) -> str:
+    """Render the ``/metrics`` JSON payload as Prometheus text exposition.
+
+    Deterministic: endpoints and tenants are emitted in sorted order,
+    histogram ops in (predict, observe) order.
+    """
+    w = _Writer()
+    server = payload.get("server", {})
+    registry = payload.get("registry", {})
+    tenants = registry.get("tenants", {})
+
+    w.header(
+        "repro_serve_uptime_seconds", "gauge", "Seconds since server start."
+    )
+    w.sample("repro_serve_uptime_seconds", None, server.get("uptime_s", 0.0))
+
+    w.header(
+        "repro_serve_requests_total",
+        "counter",
+        "Requests dispatched, by endpoint.",
+    )
+    for endpoint in sorted(server.get("requests", {})):
+        w.sample(
+            "repro_serve_requests_total",
+            {"endpoint": endpoint},
+            server["requests"][endpoint],
+        )
+
+    w.header(
+        "repro_serve_errors_total",
+        "counter",
+        "Requests answered with status >= 400.",
+    )
+    w.sample("repro_serve_errors_total", None, server.get("errors", 0))
+
+    w.header("repro_serve_tenants", "gauge", "Resident tenant sessions.")
+    w.sample("repro_serve_tenants", None, registry.get("n_tenants", 0))
+
+    w.header(
+        "repro_serve_tenant_evictions_total",
+        "counter",
+        "Tenant sessions evicted by the LRU capacity bound.",
+    )
+    w.sample(
+        "repro_serve_tenant_evictions_total",
+        None,
+        registry.get("evictions", 0),
+    )
+
+    w.header(
+        "repro_serve_predictions_total",
+        "counter",
+        "Task sizings served, by tenant.",
+    )
+    for name in sorted(tenants):
+        w.sample(
+            "repro_serve_predictions_total",
+            {"tenant": name},
+            tenants[name].get("n_predictions", 0),
+        )
+
+    w.header(
+        "repro_serve_observations_total",
+        "counter",
+        "Peak-memory observations ingested, by tenant.",
+    )
+    for name in sorted(tenants):
+        w.sample(
+            "repro_serve_observations_total",
+            {"tenant": name},
+            tenants[name].get("n_observations", 0),
+        )
+
+    w.header(
+        "repro_serve_preset_fallbacks_total",
+        "counter",
+        "Predictions answered by the user preset, by tenant.",
+    )
+    for name in sorted(tenants):
+        w.sample(
+            "repro_serve_preset_fallbacks_total",
+            {"tenant": name},
+            tenants[name].get("preset_fallbacks", 0),
+        )
+
+    w.header(
+        "repro_serve_wastage_gbh",
+        "gauge",
+        "Accumulated memory wastage (GB*h), by tenant.",
+    )
+    for name in sorted(tenants):
+        w.sample(
+            "repro_serve_wastage_gbh",
+            {"tenant": name},
+            tenants[name].get("wastage", {}).get("total_gbh", 0.0),
+        )
+
+    w.header(
+        "repro_serve_latency_seconds",
+        "histogram",
+        "Request handling latency, by tenant and operation.",
+    )
+    for name in sorted(tenants):
+        latency = tenants[name].get("latency", {})
+        for op in ("predict", "observe"):
+            hist = latency.get(op)
+            if hist is None:
+                continue
+            labels = {"tenant": name, "op": op}
+            for bound, cum in hist.get("buckets", []):
+                le = "+Inf" if bound is None else _fmt(bound)
+                w.sample(
+                    "repro_serve_latency_seconds_bucket",
+                    {**labels, "le": le},
+                    cum,
+                )
+            w.sample(
+                "repro_serve_latency_seconds_sum",
+                labels,
+                hist.get("sum_s", 0.0),
+            )
+            w.sample(
+                "repro_serve_latency_seconds_count",
+                labels,
+                hist.get("count", 0),
+            )
+    return w.text()

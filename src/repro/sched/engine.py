@@ -327,6 +327,9 @@ def build_dag_kernel(
     spill: str | None = None,
     shard: int = 0,
     shards: int = 1,
+    profile: bool = False,
+    trace: str | None = None,
+    trace_limit: int | None = None,
 ) -> SimulationKernel:
     """Assemble (but do not run) the DAG-mode kernel.
 
@@ -355,22 +358,28 @@ def build_dag_kernel(
         workflow_arrival if workflow_arrival is not None else 1
     )
     driver = DagWorkflowDriver(dag, arrivals, seed, shard=shard, shards=shards)
+    collectors: list = [
+        ClusterMetricsCollector(stream=stream_collectors),
+        WorkflowMetricsCollector(driver.workflows),
+    ]
+    if trace is not None:
+        from repro.obs.trace import TraceCollector
+
+        collectors.append(TraceCollector(trace, limit=trace_limit))
     return SimulationKernel(
         source,
         predictor,
         manager,
         time_to_failure,
         driver=driver,
-        collectors=[
-            ClusterMetricsCollector(stream=stream_collectors),
-            WorkflowMetricsCollector(driver.workflows),
-        ],
+        collectors=collectors,
         prediction_chunk=prediction_chunk,
         doubling_factor=doubling_factor,
         outages=node_outage or (),
         backend_name=backend_name,
         stream_collectors=stream_collectors,
         spill=spill,
+        profile=profile,
     )
 
 
@@ -391,6 +400,9 @@ def run_dag_simulation(
     spill: str | None = None,
     shard: int = 0,
     shards: int = 1,
+    profile: bool = False,
+    trace: str | None = None,
+    trace_limit: int | None = None,
 ) -> SimulationResult:
     """Execute ``workflow_arrival`` source-produced instances under ``dag``.
 
@@ -417,6 +429,9 @@ def run_dag_simulation(
         spill=spill,
         shard=shard,
         shards=shards,
+        profile=profile,
+        trace=trace,
+        trace_limit=trace_limit,
     )
     result = kernel.run()
     assert result is not None

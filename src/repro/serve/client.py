@@ -46,8 +46,18 @@ class SizingClient:
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
 
-    def metrics(self) -> dict:
-        return self._request("GET", "/metrics")
+    def metrics(self, format: str = "json") -> "dict | str":
+        """``GET /metrics``: a dict, or the Prometheus text exposition.
+
+        ``format="prometheus"`` returns the raw ``text/plain`` body ready
+        for scraping/golden-file comparison; anything else round-trips
+        the JSON payload.
+        """
+        if format == "json":
+            return self._request("GET", "/metrics")
+        return self._request(
+            "GET", f"/metrics?format={format}", raw_text=True
+        )
 
     def predict(self, tenant: str, tasks: list[dict]) -> dict:
         """``POST /predict``: tasks are plain dicts (see protocol docs)."""
@@ -76,8 +86,13 @@ class SizingClient:
 
     # ------------------------------------------------------------------
     def _request(
-        self, method: str, path: str, payload: dict | None = None
-    ) -> dict:
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        raw_text: bool = False,
+    ) -> "dict | str":
         body = None
         headers = {"Connection": "keep-alive"}
         if payload is not None:
@@ -102,6 +117,8 @@ class SizingClient:
         else:
             assert last_error is not None
             raise ServeError(0, "connection", str(last_error))
+        if raw_text and response.status < 400:
+            return data.decode("utf-8")
         try:
             parsed = json.loads(data.decode("utf-8"))
         except ValueError:

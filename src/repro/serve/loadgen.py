@@ -26,6 +26,7 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.obs.metrics import LatencyHistogram
 from repro.workflow.task import TaskInstance
 from repro.workload.base import WorkloadSource
 
@@ -34,7 +35,13 @@ __all__ = ["LoadgenReport", "run_loadgen"]
 
 @dataclass(frozen=True)
 class LoadgenReport:
-    """End-to-end load-generation measurements (latencies in ms)."""
+    """End-to-end load-generation measurements (latencies in ms).
+
+    ``predict_latency`` is a :meth:`~repro.obs.metrics.LatencyHistogram.
+    snapshot` using the same bucket bounds as the server's ``/metrics``
+    histograms, so client-observed and server-observed latency
+    distributions compare bucket-for-bucket.
+    """
 
     workload: str
     n_tenants: int
@@ -49,6 +56,7 @@ class LoadgenReport:
     predict_p95_ms: float
     predict_p99_ms: float
     predict_mean_ms: float
+    predict_latency: dict | None = None
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -249,6 +257,9 @@ async def _run_async(
     )
     duration = time.perf_counter() - wall_start
     lat = np.asarray(latencies, dtype=np.float64)
+    hist = LatencyHistogram()
+    for ms in latencies:
+        hist.observe(ms / 1e3)
     n_requests = counters["predict"] + counters["observe"]
     return LoadgenReport(
         workload=source.name,
@@ -264,6 +275,7 @@ async def _run_async(
         predict_p95_ms=float(np.percentile(lat, 95)),
         predict_p99_ms=float(np.percentile(lat, 99)),
         predict_mean_ms=float(lat.mean()),
+        predict_latency=hist.snapshot(),
     )
 
 

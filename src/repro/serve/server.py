@@ -23,8 +23,11 @@ import json
 import threading
 import time
 from collections import Counter
+from urllib.parse import parse_qs
 
 from repro.core.config import SizeyConfig
+from repro.obs.log import get_logger
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.serve.protocol import (
     ProtocolError,
     parse_observe_request,
@@ -33,6 +36,8 @@ from repro.serve.protocol import (
 from repro.serve.tenants import TenantRegistry
 
 __all__ = ["SizingServer", "ServerThread", "DEFAULT_PORT"]
+
+_log = get_logger("serve.server")
 
 DEFAULT_PORT = 8713
 #: Requests beyond this body size are rejected with 413.
@@ -87,6 +92,10 @@ class SizingServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self.started_at = time.time()
+        _log.info(
+            "sizing server started",
+            extra={"host": self.host, "port": self.port},
+        )
 
     async def stop(self) -> None:
         """Stop accepting, drain open connections, release serve_forever().
@@ -105,6 +114,13 @@ class SizingServer:
             await asyncio.gather(*self._handlers, return_exceptions=True)
         if self._stopped is not None:
             self._stopped.set()
+        _log.info(
+            "sizing server stopped",
+            extra={
+                "n_requests": sum(self.requests.values()),
+                "n_errors": self.errors,
+            },
+        )
 
     async def serve_forever(self) -> None:
         """Block until :meth:`stop` is called (or cancellation)."""
@@ -193,20 +209,27 @@ class SizingServer:
         if length > MAX_BODY_BYTES:
             return method, path, headers, b"", 413
         body = await reader.readexactly(length) if length else b""
-        return method, path.split("?", 1)[0], headers, body, None
+        # Query strings survive to _dispatch (e.g. /metrics?format=...).
+        return method, path, headers, body, None
 
     async def _write_response(
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: "dict | str",
         *,
         keep_alive: bool,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            # Pre-rendered text body (the Prometheus exposition format).
+            body = payload.encode("utf-8")
+            content_type = PROMETHEUS_CONTENT_TYPE
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
@@ -219,7 +242,8 @@ class SizingServer:
     # ------------------------------------------------------------------
     async def _dispatch(
         self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict]:
+    ) -> "tuple[int, dict | str]":
+        path, _, query = path.partition("?")
         route = (method.upper(), path)
         if path not in ("/predict", "/observe", "/metrics", "/healthz"):
             return 404, {
@@ -237,6 +261,20 @@ class SizingServer:
         if path == "/healthz":
             return 200, self._healthz_payload()
         if path == "/metrics":
+            formats = parse_qs(query).get("format", ["json"])
+            fmt = formats[-1]
+            if fmt == "prometheus":
+                return 200, render_prometheus(self._metrics_payload())
+            if fmt != "json":
+                return 400, {
+                    "error": {
+                        "field": "format",
+                        "message": (
+                            f"unknown metrics format {fmt!r} "
+                            f"(expected 'json' or 'prometheus')"
+                        ),
+                    }
+                }
             return 200, self._metrics_payload()
         try:
             payload = json.loads(body.decode("utf-8"))

@@ -27,6 +27,7 @@ from dataclasses import replace
 from repro.cluster.accounting import WastageLedger
 from repro.core.config import SizeyConfig
 from repro.core.predictor import SizeyPredictor
+from repro.obs.metrics import LatencyHistogram
 from repro.serve.protocol import ObserveItem
 from repro.sim.interface import TaskSubmission
 
@@ -53,6 +54,7 @@ class TenantSession:
         name: str,
         config: SizeyConfig | None = None,
         base_seed: int = 0,
+        clock=time.perf_counter,
     ) -> None:
         self.name = name
         self.seed = tenant_seed(name, base_seed)
@@ -63,6 +65,13 @@ class TenantSession:
         self.created_at = time.time()
         self.n_predictions = 0
         self.n_observations = 0
+        #: Request-latency histograms per operation (lock-wait included);
+        #: ``clock`` is injectable so tests can pin deterministic buckets.
+        self.latency = {
+            "predict": LatencyHistogram(),
+            "observe": LatencyHistogram(),
+        }
+        self._clock = clock
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -75,10 +84,12 @@ class TenantSession:
         the paper's Phase 1 makes, surfaced so clients can tell a cold
         tenant from a warm one.
         """
+        start = self._clock()
         with self._lock:
             sources = [self._source_of(task) for task in tasks]
             estimates = self.predictor.predict_batch(tasks)
             self.n_predictions += len(tasks)
+            self.latency["predict"].observe(self._clock() - start)
         return [
             {"estimate_mb": float(est), "source": src}
             for est, src in zip(estimates, sources)
@@ -95,6 +106,7 @@ class TenantSession:
 
     def observe(self, items: list[ObserveItem]) -> int:
         """Feed peak-memory measurements back into the tenant's models."""
+        start = self._clock()
         with self._lock:
             for item in items:
                 rec = item.record
@@ -121,10 +133,16 @@ class TenantSession:
                         )
                 self.predictor.observe(rec)
             self.n_observations += len(items)
+            self.latency["observe"].observe(self._clock() - start)
         return len(items)
 
     def metrics(self) -> dict:
-        """Per-tenant slice of ``GET /metrics``."""
+        """Per-tenant slice of ``GET /metrics``.
+
+        One lock acquisition snapshots every counter and histogram
+        together, so the payload is internally consistent even while
+        predict/observe traffic is mutating the session concurrently.
+        """
         with self._lock:
             accuracy = {
                 f"{task_type}@{machine}": {
@@ -147,6 +165,10 @@ class TenantSession:
                 "model_selection_shares": (
                     self.predictor.model_selection_shares()
                 ),
+                "latency": {
+                    op: hist.snapshot()
+                    for op, hist in self.latency.items()
+                },
                 "wastage": {
                     "total_gbh": self.ledger.total_wastage_gbh,
                     "runtime_hours": self.ledger.total_runtime_hours,
@@ -206,13 +228,22 @@ class TenantRegistry:
             return len(self._sessions)
 
     def metrics(self) -> dict:
-        """The registry + per-tenant slice of ``GET /metrics``."""
+        """The registry + per-tenant slice of ``GET /metrics``.
+
+        The session list *and* the eviction counter are snapshotted in
+        one lock acquisition — reading ``evictions`` unlocked could pair
+        a post-eviction counter with a pre-eviction tenant list.  The
+        per-session calls then run outside the registry lock (each takes
+        its own session lock), so a slow tenant cannot stall ``get()``.
+        """
         with self._lock:
             sessions = list(self._sessions.items())
+            n_tenants = len(sessions)
+            evictions = self.evictions
         return {
-            "n_tenants": len(sessions),
+            "n_tenants": n_tenants,
             "max_tenants": self.max_tenants,
-            "evictions": self.evictions,
+            "evictions": evictions,
             "tenants": {
                 name: session.metrics() for name, session in sessions
             },

@@ -310,6 +310,15 @@ class EventDrivenBackend:
         number — with arrival schedules and ids matching the unsharded
         run.  The sharded grid runner (:mod:`repro.sim.runner`) merges
         the per-shard summaries.
+    profile:
+        Enable the kernel phase profiler (:mod:`repro.obs.profile`):
+        ``result.profile`` carries per-phase wall-time/call counters.
+        Measurement only — never changes results.
+    trace / trace_limit:
+        Write a Chrome ``trace_event`` JSON timeline of the run to the
+        ``trace`` path (:class:`~repro.obs.trace.TraceCollector`);
+        ``trace_limit`` bounds the retained events with a ring buffer
+        for million-task runs.
     """
 
     name = "event"
@@ -328,6 +337,9 @@ class EventDrivenBackend:
         spill: str | None = None,
         shard: int = 0,
         shards: int = 1,
+        profile: bool = False,
+        trace: str | None = None,
+        trace_limit: int | None = None,
     ) -> None:
         if arrival_interval_hours < 0:
             raise ValueError(
@@ -357,6 +369,9 @@ class EventDrivenBackend:
         self.spill = spill
         self.shard = shard
         self.shards = shards
+        self.profile = profile
+        self.trace = trace
+        self.trace_limit = trace_limit
         self.dag = dag
         if workflow_arrival is not None:
             from repro.sim.arrivals import parse_workflow_arrival
@@ -411,6 +426,9 @@ class EventDrivenBackend:
             spill=self.spill,
             shard=self.shard,
             shards=self.shards,
+            profile=self.profile,
+            trace=self.trace,
+            trace_limit=self.trace_limit,
         )
 
     def with_scale_options(
@@ -443,6 +461,41 @@ class EventDrivenBackend:
             spill=spill if spill is not None else self.spill,
             shard=shard if shard is not None else self.shard,
             shards=shards if shards is not None else self.shards,
+            profile=self.profile,
+            trace=self.trace,
+            trace_limit=self.trace_limit,
+        )
+
+    def with_obs_options(
+        self,
+        profile: bool | None = None,
+        trace: str | None = None,
+        trace_limit: int | None = None,
+    ) -> "EventDrivenBackend":
+        """A copy of this backend with observability options applied.
+
+        The seam :class:`~repro.sim.engine.OnlineSimulator` and the CLI
+        use to layer ``--profile`` / ``--trace`` onto a backend resolved
+        by name, mirroring :meth:`with_workflow_options`.
+        """
+        return EventDrivenBackend(
+            arrival_interval_hours=self.arrival_interval_hours,
+            prediction_chunk=self.prediction_chunk,
+            arrival=self.arrival,
+            seed=self.seed,
+            doubling_factor=self.doubling_factor,
+            dag=self.dag,
+            workflow_arrival=self.workflow_arrival,
+            node_outage=self.node_outages,
+            stream_collectors=self.stream_collectors,
+            spill=self.spill,
+            shard=self.shard,
+            shards=self.shards,
+            profile=profile if profile is not None else self.profile,
+            trace=trace if trace is not None else self.trace,
+            trace_limit=(
+                trace_limit if trace_limit is not None else self.trace_limit
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -482,6 +535,18 @@ class EventDrivenBackend:
                 spill=self.spill,
                 shard=self.shard,
                 shards=self.shards,
+                profile=self.profile,
+                trace=self.trace,
+                trace_limit=self.trace_limit,
+            )
+        collectors: list = [
+            ClusterMetricsCollector(stream=self.stream_collectors)
+        ]
+        if self.trace is not None:
+            from repro.obs.trace import TraceCollector
+
+            collectors.append(
+                TraceCollector(self.trace, limit=self.trace_limit)
             )
         return SimulationKernel(
             workload,
@@ -491,13 +556,14 @@ class EventDrivenBackend:
             driver=FlatStreamDriver(
                 self.arrival, self.seed, shard=self.shard, shards=self.shards
             ),
-            collectors=[ClusterMetricsCollector(stream=self.stream_collectors)],
+            collectors=collectors,
             prediction_chunk=self.prediction_chunk,
             doubling_factor=self.doubling_factor,
             outages=self.node_outages,
             backend_name=self.name,
             stream_collectors=self.stream_collectors,
             spill=self.spill,
+            profile=self.profile,
         )
 
     def run(

@@ -79,6 +79,15 @@ class OnlineSimulator:
     spill:
         Optional JSONL path (event backend only): prediction logs are
         appended there in completion order.
+    profile:
+        Enable the kernel phase profiler (event backend only): the
+        result's ``profile`` attribute carries a
+        :class:`~repro.obs.profile.KernelProfile` with per-phase
+        wall-time/call counters.  Measurement only.
+    trace_path / trace_limit:
+        Write a Chrome ``trace_event`` JSON timeline of the run to
+        ``trace_path`` (event backend only); ``trace_limit`` bounds the
+        retained events with a ring buffer.
     """
 
     def __init__(
@@ -95,6 +104,9 @@ class OnlineSimulator:
         workload: WorkloadSource | WorkflowTrace | str | None = None,
         stream_collectors: bool = False,
         spill: str | None = None,
+        profile: bool = False,
+        trace_path: str | None = None,
+        trace_limit: int | None = None,
     ) -> None:
         if not 0.0 < time_to_failure <= 1.0:
             raise ValueError(
@@ -143,6 +155,18 @@ class OnlineSimulator:
                 )
             self.backend = scale(
                 stream_collectors=stream_collectors or None, spill=spill
+            )
+        if profile or trace_path is not None:
+            obs = getattr(self.backend, "with_obs_options", None)
+            if obs is None:
+                raise ValueError(
+                    f"profile/trace require a kernel-driven backend "
+                    f"(the event backend); got {self.backend.name!r}"
+                )
+            self.backend = obs(
+                profile=profile or None,
+                trace=trace_path,
+                trace_limit=trace_limit,
             )
 
     @property

@@ -32,9 +32,13 @@ import os
 import pickle
 from typing import TYPE_CHECKING
 
+from repro.obs.log import get_logger
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel.core import SimulationKernel
     from repro.sim.results import SimulationResult
+
+_log = get_logger("sim.checkpoint")
 
 __all__ = [
     "CHECKPOINT_FORMAT",
@@ -67,6 +71,10 @@ def save_checkpoint(kernel: "SimulationKernel", path: str) -> None:
     with open(tmp, "wb") as fh:
         pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
     os.replace(tmp, path)
+    _log.info(
+        "checkpoint saved",
+        extra={"path": path, "clock_hours": kernel.now},
+    )
 
 
 def load_checkpoint(path: str) -> "SimulationKernel":
@@ -84,6 +92,15 @@ def load_checkpoint(path: str) -> "SimulationKernel":
             f"checkpoint {path!r} has format version {version}; this "
             f"build reads version {CHECKPOINT_VERSION}"
         )
+    _log.info(
+        "checkpoint loaded",
+        extra={
+            "path": path,
+            "clock_hours": payload.get("clock"),
+            "workflow": payload.get("workflow"),
+            "method": payload.get("method"),
+        },
+    )
     return payload["kernel"]
 
 

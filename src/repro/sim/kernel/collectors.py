@@ -106,6 +106,14 @@ class MetricsCollector(Protocol):
         """``state`` was preempted by a node drain (no sizing fault)."""
         ...
 
+    def on_ready(self, state: "TaskState", now: float) -> None:
+        """``state`` entered the ready queue (arrival, requeue, preempt)."""
+        ...
+
+    def on_outage(self, node_id: int, now: float, active: bool) -> None:
+        """A node's drain window opened (``active``) or fully closed."""
+        ...
+
     def contribute(self, result: SimulationResult) -> None:
         """Attach this collector's metrics to the finished ``result``."""
         ...
@@ -133,6 +141,12 @@ class BaseCollector:
         pass
 
     def on_preempt(self, state, now) -> None:
+        pass
+
+    def on_ready(self, state, now) -> None:
+        pass
+
+    def on_outage(self, node_id, now, active) -> None:
         pass
 
     def contribute(self, result: SimulationResult) -> None:

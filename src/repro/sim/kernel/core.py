@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Iterable, Protocol, Sequence, runtime_checkabl
 
 from repro.cluster.machine import Machine
 from repro.cluster.manager import ResourceManager
+from repro.obs.profile import KernelProfile, PhaseTimer
 from repro.provenance.records import TaskRecord
 from repro.sim.backends.base import (
     MAX_ATTEMPTS,
@@ -192,6 +193,13 @@ class SimulationKernel:
     spill:
         Optional JSONL path; every prediction log is appended there in
         completion order (works with or without ``stream_collectors``).
+    profile:
+        Enable the kernel phase profiler: per-phase wall-time/call
+        counters (:class:`~repro.obs.profile.KernelProfile`) attached to
+        the result as ``result.profile``.  Measurement only — results
+        are bit-for-bit identical with profiling on or off.  When off
+        (the default) the instrumented loop is never entered, so the
+        hot path pays nothing.
     """
 
     def __init__(
@@ -209,6 +217,7 @@ class SimulationKernel:
         backend_name: str = "event",
         stream_collectors: bool = False,
         spill: str | None = None,
+        profile: bool = False,
     ) -> None:
         self.source = as_source(workload)
         self.predictor = predictor
@@ -231,10 +240,31 @@ class SimulationKernel:
             for c in self.collectors
             if getattr(type(c), "on_event", None) is not BaseCollector.on_event
         )
+        # Same pre-filter for the rarer observability callbacks: with no
+        # subscriber (the common case) each fire site iterates an empty
+        # tuple — one attribute load, no calls.
+        self._ready_collectors: tuple[MetricsCollector, ...] = tuple(
+            c
+            for c in self.collectors
+            if getattr(type(c), "on_ready", None) is not BaseCollector.on_ready
+        )
+        self._outage_collectors: tuple[MetricsCollector, ...] = tuple(
+            c
+            for c in self.collectors
+            if getattr(type(c), "on_outage", None)
+            is not BaseCollector.on_outage
+        )
         self.prediction_chunk = prediction_chunk
         self.doubling_factor = doubling_factor
         self.outages = parse_node_outages(outages)
         self.backend_name = backend_name
+        #: Per-phase wall-time accounting; ``None`` unless ``profile=True``.
+        self.profile: KernelProfile | None = (
+            KernelProfile() if profile else None
+        )
+        self._timer: PhaseTimer | None = (
+            PhaseTimer(self.profile) if self.profile is not None else None
+        )
 
         self.events = EventHeap()
         self.now = 0.0
@@ -269,11 +299,27 @@ class SimulationKernel:
         it left off and is bit-for-bit identical to an uninterrupted
         run.
         """
-        if not self._started:
-            self._start()
-        if not self._loop(until):
-            return None
-        return self._finalize()
+        timer = self._timer
+        if timer is None:
+            # Fast path: profiling off — no timer reads anywhere.
+            if not self._started:
+                self._start()
+            if not self._loop(until):
+                return None
+            return self._finalize()
+        timer.start()
+        try:
+            if not self._started:
+                self._start()
+                timer.lap("seed")
+            if not self._loop_profiled(until, timer):
+                return None
+            result = self._finalize()
+            timer.lap("finalize")
+        finally:
+            timer.stop()
+        result.profile = self.profile
+        return result
 
     def _start(self) -> None:
         known = {node.node_id for node in self.manager.nodes}
@@ -317,6 +363,8 @@ class SimulationKernel:
                 elif kind == ARRIVAL:
                     for state in self.driver.on_arrival(payload, now):
                         state.queued_at = now
+                        for collector in self._ready_collectors:
+                            collector.on_ready(state, now)
                 elif kind == OUTAGE_END:
                     self._end_outage(payload, now)
                     continue  # drains don't extend the measured makespan
@@ -326,6 +374,74 @@ class SimulationKernel:
                 for collector in self._event_collectors:
                     collector.on_event(now)
             self._schedule(now)
+        return True
+
+    def _loop_profiled(self, until: float | None, timer: PhaseTimer) -> bool:
+        """The event loop with the :class:`PhaseTimer` seam threaded in.
+
+        A straight mirror of :meth:`_loop` + :meth:`_schedule` — the
+        control flow and the order of every side effect are identical,
+        only ``timer.lap(...)`` calls are interleaved, so results stay
+        bit-for-bit the same (pinned by the golden profiler tests) and
+        the un-instrumented fast path keeps paying nothing.  Each lap
+        charges the interval since the previous one, so phase totals
+        tile the loop's wall time:
+
+        - ``heap``     — event pop, clock advance, loop control;
+        - ``arrival``  — driver arrival handling (incl. on_ready);
+        - ``success``  — completion within limit: release, ledger,
+          ``predictor.observe``, successor release;
+        - ``kill``     — limit exceeded: release, ledger, observe,
+          re-size with escalation floor, requeue;
+        - ``outage``   — drain open/close incl. preemptions;
+        - ``collect``  — per-event and per-dispatch collector fan-out;
+        - ``size``     — ``predict_batch`` sizing waves;
+        - ``place``    — placement scans;
+        - ``dispatch`` — allocation bookkeeping + completion push.
+
+        (The profile's ``n_events`` counts heap pops, same as the BENCH
+        events/sec denominator.)
+        """
+        profile = self.profile
+        assert profile is not None
+        while self.events:
+            now = self.events.next_time
+            if until is not None and now > until:
+                return False
+            self.now = now
+            timer.lap("heap")
+            while self.events and self.events.next_time == now:
+                _, kind, payload = self.events.pop()
+                profile.n_events += 1
+                timer.lap("heap")
+                if kind == COMPLETION:
+                    state, gen = payload
+                    if gen != state.dispatch_gen or state.running is None:
+                        continue  # stale; charged to the next heap lap
+                    if state.running[2] >= state.inst.peak_memory_mb:
+                        self._finish(state, now)
+                        timer.lap("success")
+                    else:
+                        self._kill(state, now)
+                        timer.lap("kill")
+                elif kind == ARRIVAL:
+                    for state in self.driver.on_arrival(payload, now):
+                        state.queued_at = now
+                        for collector in self._ready_collectors:
+                            collector.on_ready(state, now)
+                    timer.lap("arrival")
+                elif kind == OUTAGE_END:
+                    self._end_outage(payload, now)
+                    timer.lap("outage")
+                    continue
+                else:  # OUTAGE_START
+                    self._start_outage(payload, now)
+                    timer.lap("outage")
+                    continue
+                for collector in self._event_collectors:
+                    collector.on_event(now)
+                timer.lap("collect")
+            self._schedule_profiled(now, timer)
         return True
 
     def _finalize(self) -> SimulationResult:
@@ -405,6 +521,50 @@ class SimulationKernel:
                 now + duration, COMPLETION, (head, head.dispatch_gen)
             )
 
+    def _schedule_profiled(self, now: float, timer: PhaseTimer) -> None:
+        """Mirror of :meth:`_schedule` with phase laps (see
+        :meth:`_loop_profiled` for the phase catalogue)."""
+        queue = self.driver.queue
+        while queue:
+            head = queue.head()
+            if head.allocation is None:
+                self._size_wave()
+                timer.lap("size")
+            node = self._try_place(head.allocation)
+            timer.lap("place")
+            if node is None:
+                break
+            queue.pop()
+            if head.attempt + 1 > MAX_ATTEMPTS:
+                raise RuntimeError(
+                    f"task {head.inst.instance_id} "
+                    f"({head.inst.task_type.key}) did not finish within "
+                    f"{MAX_ATTEMPTS} attempts; last allocation "
+                    f"{head.allocation:.0f} MB, "
+                    f"peak {head.inst.peak_memory_mb:.0f} MB"
+                )
+            task_id = self.manager.next_task_id()
+            node.allocate(task_id, head.allocation)
+            head.attempt += 1
+            head.dispatch_gen += 1
+            head.running = (node, task_id, head.allocation, now)
+            self._running[task_id] = head
+            wait = now - head.queued_at
+            timer.lap("dispatch")
+            for collector in self.collectors:
+                collector.on_dispatch(head, now, node, wait)
+            timer.lap("collect")
+            success = head.allocation >= head.inst.peak_memory_mb
+            duration = (
+                head.inst.runtime_hours
+                if success
+                else head.inst.runtime_hours * self.time_to_failure
+            )
+            self.events.push(
+                now + duration, COMPLETION, (head, head.dispatch_gen)
+            )
+            timer.lap("dispatch")
+
     def _size_wave(self) -> None:
         """Size the next dispatch wave with one ``predict_batch`` call.
 
@@ -466,6 +626,8 @@ class SimulationKernel:
         )
         for released in self.driver.on_success(state, now):
             released.queued_at = now
+            for collector in self._ready_collectors:
+                collector.on_ready(released, now)
 
     def _kill(self, state: TaskState, now: float) -> None:
         inst = state.inst
@@ -501,12 +663,18 @@ class SimulationKernel:
         )
         state.queued_at = now
         self.driver.queue.requeue(state)
+        for collector in self._ready_collectors:
+            collector.on_ready(state, now)
 
     # ------------------------------------------------------------------
     # node drains
     # ------------------------------------------------------------------
     def _start_outage(self, outage: NodeOutage, now: float) -> None:
+        opened = outage.node_id not in self._drained
         self._drained[outage.node_id] = self._drained.get(outage.node_id, 0) + 1
+        if opened:
+            for collector in self._outage_collectors:
+                collector.on_outage(outage.node_id, now, True)
         # Preempt in dispatch order (``_running`` is insertion-ordered).
         victims = [
             st
@@ -525,6 +693,8 @@ class SimulationKernel:
                 collector.on_preempt(state, now)
             state.queued_at = now
             self.driver.queue.requeue(state)
+            for collector in self._ready_collectors:
+                collector.on_ready(state, now)
 
     def _end_outage(self, outage: NodeOutage, now: float) -> None:
         remaining = self._drained.get(outage.node_id, 0) - 1
@@ -532,3 +702,5 @@ class SimulationKernel:
             self._drained[outage.node_id] = remaining
         else:
             self._drained.pop(outage.node_id, None)
+            for collector in self._outage_collectors:
+                collector.on_outage(outage.node_id, now, False)

@@ -386,6 +386,10 @@ class SimulationResult:
     #: (streaming or not).  The only per-task-complete view a
     #: ``stream_collectors=True`` run carries.
     summary: RunSummary | None = None
+    #: Kernel phase profile (:class:`~repro.obs.profile.KernelProfile`);
+    #: filled in only when the kernel ran with ``profile=True``.  Typed
+    #: loosely to keep the result module free of obs imports.
+    profile: "object | None" = None
 
     @property
     def total_wastage_gbh(self) -> float:

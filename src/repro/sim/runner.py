@@ -22,6 +22,7 @@ from typing import Callable, Mapping
 from repro.cluster.accounting import WastageLedger
 from repro.cluster.machine import parse_cluster_spec
 from repro.cluster.manager import ResourceManager
+from repro.obs.log import get_logger, log_context
 from repro.sim.backends import SimulatorBackend
 from repro.sim.engine import OnlineSimulator
 from repro.sim.interface import MemoryPredictor
@@ -42,6 +43,8 @@ __all__ = [
 ]
 
 PredictorFactory = Callable[[], MemoryPredictor]
+
+_log = get_logger("sim.runner")
 
 #: The paper's default cluster (8 nodes x 128 GB) as a spec string —
 #: what :class:`~repro.cluster.manager.ResourceManager` builds with no
@@ -113,6 +116,7 @@ def run_cell(
     workload: WorkloadSource | WorkflowTrace | str | None = None,
     stream_collectors: bool = False,
     shards: int = 1,
+    profile: bool = False,
 ) -> SimulationResult:
     """Run one (workload, method) cell with a fresh predictor and cluster.
 
@@ -131,6 +135,9 @@ def run_cell(
     online aggregates (the result carries a ``summary`` but no raw
     logs); ``shards > 1`` runs the cell as a sharded fan-out via
     :func:`run_sharded` (event backend only, implies streaming).
+    ``profile`` enables the kernel phase profiler (event backend only;
+    ``result.profile`` carries the :class:`~repro.obs.profile.
+    KernelProfile`, merged across shards when sharded).
     """
     if factory is None:
         raise ValueError("run_cell requires a predictor factory")
@@ -149,6 +156,7 @@ def run_cell(
             dag=dag,
             workflow_arrival=workflow_arrival,
             node_outage=node_outage,
+            profile=profile,
         )
     if cluster is not None:
         manager = ResourceManager.from_spec(cluster, placement=placement)
@@ -163,6 +171,7 @@ def run_cell(
         workflow_arrival=workflow_arrival,
         node_outage=node_outage,
         stream_collectors=stream_collectors,
+        profile=profile,
     )
     result = sim.run(factory())
     assert result is not None
@@ -185,11 +194,14 @@ def _run_shard(
     shard: int,
     shards: int,
     spill: str | None,
-) -> RunSummary:
-    """Worker body of :func:`run_sharded`: one shard, summary out.
+    profile: bool,
+) -> "tuple[RunSummary, object | None]":
+    """Worker body of :func:`run_sharded`: one shard, summary (+ profile) out.
 
-    Only the compact :class:`~repro.sim.results.RunSummary` crosses the
-    process boundary — sketches and counters, never per-task lists.
+    Only the compact :class:`~repro.sim.results.RunSummary` — and, when
+    profiling, the shard's :class:`~repro.obs.profile.KernelProfile` —
+    crosses the process boundary; sketches and counters, never per-task
+    lists.
     """
     from repro.sim.backends import resolve_backend
 
@@ -210,13 +222,26 @@ def _run_shard(
         backend=resolved,
         dag=dag,
         workflow_arrival=workflow_arrival,
+        profile=profile,
     )
-    result = sim.run(factory())
-    assert result is not None and result.summary is not None
-    return result.summary
+    with log_context(shard=shard):
+        _log.info(
+            "shard starting",
+            extra={"shards": shards, "shard_cluster": cluster},
+        )
+        result = sim.run(factory())
+        assert result is not None and result.summary is not None
+        _log.info(
+            "shard finished",
+            extra={
+                "n_tasks": result.summary.n_tasks,
+                "n_failures": result.summary.n_failures,
+            },
+        )
+    return result.summary, result.profile
 
 
-def _run_shard_star(args: tuple) -> RunSummary:
+def _run_shard_star(args: tuple) -> "tuple[RunSummary, object | None]":
     return _run_shard(*args)
 
 
@@ -248,6 +273,7 @@ def run_sharded(
     node_outage: object | None = None,
     n_workers: int | None = None,
     spill_dir: str | None = None,
+    profile: bool = False,
 ) -> SimulationResult:
     """Fan one cell out over ``shards`` worker processes and merge.
 
@@ -281,6 +307,10 @@ def run_sharded(
         )
     spec = cluster if cluster is not None else DEFAULT_CLUSTER_SPEC
     shard_specs = partition_cluster(spec, shards)
+    _log.info(
+        "sharded run starting",
+        extra={"shards": shards, "cluster": spec, "workload": str(workload)},
+    )
     if spill_dir is not None:
         os.makedirs(spill_dir, exist_ok=True)
     cells = [
@@ -300,22 +330,37 @@ def run_sharded(
                 if spill_dir is not None
                 else None
             ),
+            profile,
         )
         for i in range(shards)
     ]
     if shards == 1 or (n_workers is not None and n_workers <= 1):
-        summaries = [_run_shard_star(c) for c in cells]
+        shard_results = [_run_shard_star(c) for c in cells]
     else:
         workers = min(shards, n_workers or os.cpu_count() or 1)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            summaries = list(pool.map(_run_shard_star, cells))
+            shard_results = list(pool.map(_run_shard_star, cells))
+    summaries = [summary for summary, _ in shard_results]
     merged = merge_summaries(summaries)
+    _log.info(
+        "shards merged",
+        extra={"shards": shards, "n_tasks": merged.n_tasks},
+    )
+    merged_profile = None
+    for _, shard_profile in shard_results:
+        if shard_profile is None:
+            continue
+        if merged_profile is None:
+            merged_profile = shard_profile
+        else:
+            merged_profile.merge(shard_profile)
     return SimulationResult(
         workflow=merged.workflow,
         method=merged.method,
         time_to_failure=merged.time_to_failure,
         ledger=_ledger_from_summary(merged),
         summary=merged,
+        profile=merged_profile,
     )
 
 

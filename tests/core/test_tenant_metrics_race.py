@@ -1,0 +1,165 @@
+"""Race regression tests for tenant/registry metrics snapshots.
+
+``GET /metrics`` runs on executor threads while predict/observe traffic
+mutates the same sessions: the payload must be built from consistent
+snapshots (counters, histograms, and the eviction count all read under
+their lock), never raise, and never report torn values — e.g. a
+latency histogram whose bucket total disagrees with its count, or a
+registry payload pairing a post-eviction counter with a pre-eviction
+tenant list.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve.protocol import parse_observe_request
+from repro.serve.tenants import TenantRegistry, TenantSession
+from repro.sim.interface import TaskSubmission
+
+
+def _task(i: int) -> TaskSubmission:
+    return TaskSubmission(
+        task_type="align",
+        workflow="wf",
+        machine="default",
+        instance_id=i,
+        input_size_mb=1000.0 + i,
+        preset_memory_mb=4096.0,
+        timestamp=i,
+    )
+
+
+def _observations(i: int):
+    _, items = parse_observe_request(
+        {
+            "tenant": "t",
+            "observations": [
+                {
+                    "task_type": "align",
+                    "workflow": "wf",
+                    "machine": "default",
+                    "instance_id": i,
+                    "input_size_mb": 1000.0 + i,
+                    "peak_memory_mb": 2000.0 + i,
+                    "runtime_hours": 0.1,
+                    "allocated_mb": 4096.0,
+                    "success": True,
+                }
+            ],
+        }
+    )
+    return items
+
+
+class TestSessionMetricsRace:
+    N_ROUNDS = 30
+
+    def test_metrics_snapshot_is_internally_consistent(self):
+        session = TenantSession("alice", base_seed=0)
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for i in range(self.N_ROUNDS):
+                    session.predict([_task(i)])
+                    session.observe(_observations(i))
+            except BaseException as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    payload = session.metrics()
+                    for op in ("predict", "observe"):
+                        snap = payload["latency"][op]
+                        # Cumulative buckets end at the histogram count
+                        # — a torn read would break this invariant.
+                        assert snap["buckets"][-1][1] == snap["count"]
+                        bounds = [b for b, _ in snap["buckets"]]
+                        assert bounds[-1] is None
+                        cums = [c for _, c in snap["buckets"]]
+                        assert cums == sorted(cums)
+                    # Counters move in lockstep under the session lock.
+                    assert (
+                        payload["latency"]["predict"]["count"]
+                        == payload["n_predictions"]
+                    )
+            except BaseException as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        final = session.metrics()
+        assert final["n_predictions"] == self.N_ROUNDS
+        assert final["latency"]["predict"]["count"] == self.N_ROUNDS
+        assert final["latency"]["observe"]["count"] == self.N_ROUNDS
+
+
+class TestRegistryMetricsRace:
+    def test_eviction_counter_snapshotted_with_tenant_list(self):
+        registry = TenantRegistry(base_seed=0, max_tenants=4)
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def churn():
+            try:
+                for i in range(200):
+                    registry.get(f"tenant-{i}")
+            except BaseException as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def scrape():
+            try:
+                while not stop.is_set():
+                    payload = registry.metrics()
+                    assert payload["n_tenants"] <= payload["max_tenants"]
+                    assert payload["evictions"] >= 0
+                    # The tenant dict was listed in the same lock
+                    # acquisition as n_tenants.
+                    assert len(payload["tenants"]) == payload["n_tenants"]
+            except BaseException as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn)] + [
+            threading.Thread(target=scrape) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        payload = registry.metrics()
+        assert payload["evictions"] == 200 - 4
+        assert payload["n_tenants"] == 4
+
+
+class TestDeterministicLatencyClock:
+    def test_injectable_clock_pins_buckets(self):
+        ticks = iter([0.0, 0.002, 1.0, 1.3])  # 2 ms predict, 300 ms observe
+        session = TenantSession(
+            "alice", base_seed=0, clock=lambda: next(ticks)
+        )
+        session.predict([_task(0)])
+        session.observe(_observations(0))
+        snap = session.metrics()["latency"]
+        assert snap["predict"]["count"] == 1
+        assert snap["predict"]["sum_s"] == pytest.approx(0.002)
+        # 2 ms lands in the le=0.0025 bucket, not the le=0.001 one.
+        buckets = dict(
+            (bound, cum) for bound, cum in snap["predict"]["buckets"]
+        )
+        assert buckets[0.001] == 0
+        assert buckets[0.0025] == 1
+        assert snap["observe"]["sum_s"] == pytest.approx(0.3)

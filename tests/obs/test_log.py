@@ -1,0 +1,206 @@
+"""Structured logging: JSON lines, context propagation, configuration.
+
+The properties worth pinning: the library is silent unless configured,
+``--log-json`` output is one parseable JSON object per line carrying
+``extra=`` keys and the bound context fields, and the contextvars-based
+context survives thread hand-offs (the serve executor relies on it).
+"""
+
+import io
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.obs.log import (
+    CONTEXT_FIELDS,
+    JsonFormatter,
+    configure_logging,
+    get_logger,
+    log_context,
+)
+
+
+@pytest.fixture
+def capture():
+    """Configure JSON logging into a buffer; restore silence after."""
+    buf = io.StringIO()
+    configure_logging(level="debug", json_mode=True, stream=buf)
+    yield buf
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    root.addHandler(logging.NullHandler())
+    root.setLevel(logging.NOTSET)
+
+
+def _records(buf) -> list[dict]:
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+class TestGetLogger:
+    def test_prefixes_into_the_repro_namespace(self):
+        assert get_logger("sim.runner").name == "repro.sim.runner"
+
+    def test_already_namespaced_names_pass_through(self):
+        assert get_logger("repro.serve").name == "repro.serve"
+        assert get_logger("repro").name == "repro"
+
+    def test_silent_by_default(self, capsys):
+        # Without configure_logging the NullHandler swallows everything
+        # and nothing propagates to the root logger's stderr handler.
+        get_logger("sim.runner").warning("should not appear")
+        captured = capsys.readouterr()
+        assert "should not appear" not in captured.err
+        assert "should not appear" not in captured.out
+
+
+class TestJsonOutput:
+    def test_one_json_object_per_line_with_base_fields(self, capture):
+        log = get_logger("sim.runner")
+        log.info("kernel run finished")
+        log.warning("second line")
+        records = _records(capture)
+        assert len(records) == 2
+        first = records[0]
+        assert first["msg"] == "kernel run finished"
+        assert first["level"] == "info"
+        assert first["logger"] == "repro.sim.runner"
+        assert isinstance(first["ts"], float)
+        assert records[1]["level"] == "warning"
+
+    def test_extra_fields_become_payload_keys(self, capture):
+        get_logger("sim.runner").info(
+            "shard finished", extra={"n_tasks": 1234, "n_failures": 5}
+        )
+        (record,) = _records(capture)
+        assert record["n_tasks"] == 1234
+        assert record["n_failures"] == 5
+
+    def test_non_serializable_extras_are_stringified(self, capture):
+        get_logger("x").info("obj", extra={"path": object()})
+        (record,) = _records(capture)
+        assert isinstance(record["path"], str)
+
+    def test_exception_info_is_included(self, capture):
+        log = get_logger("x")
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            log.exception("failed")
+        (record,) = _records(capture)
+        assert record["level"] == "error"
+        assert "RuntimeError: boom" in record["exc"]
+
+
+class TestContext:
+    def test_bound_fields_stamp_every_record(self, capture):
+        with log_context(run_id="grid-17", shard=3):
+            get_logger("sim.runner").info("inside")
+        get_logger("sim.runner").info("outside")
+        inside, outside = _records(capture)
+        assert inside["run_id"] == "grid-17"
+        assert inside["shard"] == 3
+        assert "run_id" not in outside and "shard" not in outside
+
+    def test_nested_contexts_merge_and_unwind(self, capture):
+        log = get_logger("x")
+        with log_context(run_id="r1"):
+            with log_context(tenant="acme"):
+                log.info("deep")
+            log.info("shallow")
+        deep, shallow = _records(capture)
+        assert deep["run_id"] == "r1" and deep["tenant"] == "acme"
+        assert shallow["run_id"] == "r1" and "tenant" not in shallow
+
+    def test_explicit_extra_wins_over_context(self, capture):
+        with log_context(shard=1):
+            get_logger("x").info("msg", extra={"shard": 9})
+        (record,) = _records(capture)
+        assert record["shard"] == 9
+
+    def test_context_is_isolated_per_thread(self, capture):
+        # contextvars: a context bound in one thread must not leak into
+        # records emitted concurrently from another.
+        log = get_logger("x")
+        entered = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with log_context(tenant="worker-tenant"):
+                entered.set()
+                release.wait(5.0)
+                log.info("from worker")
+
+        t = threading.Thread(target=worker)
+        t.start()
+        entered.wait(5.0)
+        log.info("from main")
+        release.set()
+        t.join(5.0)
+        by_msg = {r["msg"]: r for r in _records(capture)}
+        assert "tenant" not in by_msg["from main"]
+        assert by_msg["from worker"]["tenant"] == "worker-tenant"
+
+    def test_declared_context_fields(self):
+        assert CONTEXT_FIELDS == ("run_id", "tenant", "shard")
+
+
+class TestConfigure:
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="loud")
+
+    def test_reconfigure_replaces_handler(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging(level="info", json_mode=True, stream=first)
+        root = configure_logging(level="info", json_mode=True, stream=second)
+        try:
+            get_logger("x").info("only once")
+            assert first.getvalue() == ""
+            assert len(_records(second)) == 1
+            assert len(root.handlers) == 1
+        finally:
+            for handler in list(root.handlers):
+                root.removeHandler(handler)
+            root.addHandler(logging.NullHandler())
+            root.setLevel(logging.NOTSET)
+
+    def test_level_filters_below_threshold(self):
+        buf = io.StringIO()
+        root = configure_logging(level="warning", json_mode=True, stream=buf)
+        try:
+            get_logger("x").info("dropped")
+            get_logger("x").warning("kept")
+            records = _records(buf)
+            assert [r["msg"] for r in records] == ["kept"]
+        finally:
+            for handler in list(root.handlers):
+                root.removeHandler(handler)
+            root.addHandler(logging.NullHandler())
+            root.setLevel(logging.NOTSET)
+
+    def test_text_mode_renders_extras_as_suffix(self):
+        buf = io.StringIO()
+        root = configure_logging(level="info", json_mode=False, stream=buf)
+        try:
+            with log_context(shard=2):
+                get_logger("sim.runner").info(
+                    "shard finished", extra={"n_tasks": 10}
+                )
+            line = buf.getvalue().strip()
+            assert "repro.sim.runner: shard finished" in line
+            assert "n_tasks=10" in line and "shard=2" in line
+        finally:
+            for handler in list(root.handlers):
+                root.removeHandler(handler)
+            root.addHandler(logging.NullHandler())
+            root.setLevel(logging.NOTSET)
+
+    def test_json_formatter_is_reusable_standalone(self):
+        record = logging.LogRecord(
+            "repro.x", logging.INFO, __file__, 1, "hello %s", ("world",), None
+        )
+        payload = json.loads(JsonFormatter().format(record))
+        assert payload["msg"] == "hello world"

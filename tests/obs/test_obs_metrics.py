@@ -1,0 +1,148 @@
+"""LatencyHistogram bucketing/merge and the Prometheus text renderer.
+
+The bucket semantics pinned here (``bisect_left``: an observation equal
+to a bound lands in that bound's bucket) are what the golden exposition
+in ``tests/serve/test_prometheus.py`` relies on.
+"""
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    LatencyHistogram,
+    escape_label,
+    render_prometheus,
+)
+
+
+class TestLatencyHistogram:
+    def test_bucket_edges_use_bisect_left(self):
+        hist = LatencyHistogram()
+        hist.observe(0.0005)  # exactly the first bound -> bucket le=0.0005
+        hist.observe(0.002)  # between 0.001 and 0.0025 -> le=0.0025
+        hist.observe(10.0)  # beyond the last bound -> +Inf only
+        cum = dict(hist.cumulative_buckets())
+        assert cum[0.0005] == 1
+        assert cum[0.001] == 1
+        assert cum[0.0025] == 2
+        assert cum[2.5] == 2
+        assert cum[None] == 3
+
+    def test_cumulative_counts_are_monotone(self):
+        hist = LatencyHistogram()
+        for s in (0.0001, 0.003, 0.003, 0.07, 1.5, 9.0):
+            hist.observe(s)
+        counts = [c for _, c in hist.cumulative_buckets()]
+        assert counts == sorted(counts)
+        assert counts[-1] == hist.count == 6
+
+    def test_snapshot_shape_and_quantiles(self):
+        hist = LatencyHistogram()
+        for ms in range(1, 101):
+            hist.observe(ms / 1000.0)
+        snap = hist.snapshot()
+        assert snap["count"] == 100
+        assert snap["sum_s"] == pytest.approx(sum(range(1, 101)) / 1000.0)
+        assert snap["mean_ms"] == pytest.approx(50.5)
+        assert snap["p50_ms"] == pytest.approx(50.0, abs=2.0)
+        assert snap["p99_ms"] == pytest.approx(99.0, abs=2.0)
+        assert snap["buckets"][-1] == [None, 100]
+
+    def test_empty_snapshot_is_all_zero(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["mean_ms"] == 0.0
+        assert snap["p95_ms"] == 0.0
+        assert all(cum == 0 for _, cum in snap["buckets"])
+
+    def test_merge_sums_counts_and_quantile_state(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.observe(0.001)
+        b.observe(0.1)
+        b.observe(0.2)
+        a.merge(b)
+        assert a.count == 3
+        assert a.sum_s == pytest.approx(0.301)
+        assert dict(a.cumulative_buckets())[None] == 3
+        # Sketch state merged too: the median sits in b's range.
+        assert a.snapshot()["p50_ms"] == pytest.approx(100.0, rel=0.2)
+
+    def test_buckets_cover_serving_range(self):
+        # The shared bounds must straddle both model-pool predictions
+        # (sub-ms) and cold-tenant creation (hundreds of ms).
+        assert LATENCY_BUCKETS_S[0] <= 0.001
+        assert LATENCY_BUCKETS_S[-1] >= 1.0
+        assert list(LATENCY_BUCKETS_S) == sorted(LATENCY_BUCKETS_S)
+
+
+class TestEscapeLabel:
+    @pytest.mark.parametrize(
+        "raw, escaped",
+        [
+            ("plain", "plain"),
+            ('with"quote', 'with\\"quote'),
+            ("back\\slash", "back\\\\slash"),
+            ("new\nline", "new\\nline"),
+        ],
+    )
+    def test_escapes(self, raw, escaped):
+        assert escape_label(raw) == escaped
+
+
+class TestRenderPrometheus:
+    def test_empty_payload_renders_all_families(self):
+        text = render_prometheus({})
+        for family in (
+            "repro_serve_uptime_seconds",
+            "repro_serve_requests_total",
+            "repro_serve_errors_total",
+            "repro_serve_tenants",
+            "repro_serve_tenant_evictions_total",
+            "repro_serve_latency_seconds",
+        ):
+            assert f"# TYPE {family}" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_units_are_seconds(self):
+        hist = LatencyHistogram()
+        hist.observe(0.002)
+        payload = {
+            "registry": {
+                "tenants": {
+                    "acme": {"latency": {"predict": hist.snapshot()}}
+                }
+            }
+        }
+        text = render_prometheus(payload)
+        assert (
+            'repro_serve_latency_seconds_bucket{tenant="acme",op="predict",'
+            'le="0.0025"} 1' in text
+        )
+        assert (
+            'repro_serve_latency_seconds_bucket{tenant="acme",op="predict",'
+            'le="+Inf"} 1' in text
+        )
+        assert (
+            'repro_serve_latency_seconds_sum{tenant="acme",op="predict"} '
+            "0.002" in text
+        )
+        assert (
+            'repro_serve_latency_seconds_count{tenant="acme",op="predict"} 1'
+            in text
+        )
+
+    def test_tenants_and_endpoints_sorted(self):
+        payload = {
+            "server": {"requests": {"b": 1, "a": 2}},
+            "registry": {
+                "tenants": {"zeta": {}, "alpha": {}},
+                "n_tenants": 2,
+            },
+        }
+        text = render_prometheus(payload)
+        assert text.index('endpoint="a"') < text.index('endpoint="b"')
+        assert text.index('tenant="alpha"') < text.index('tenant="zeta"')
+
+    def test_integral_floats_render_without_decimal(self):
+        text = render_prometheus({"server": {"uptime_s": 12.0}})
+        assert "repro_serve_uptime_seconds 12\n" in text

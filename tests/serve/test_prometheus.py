@@ -1,0 +1,218 @@
+"""Dual-format ``/metrics``: payload schema and golden Prometheus text.
+
+Two layers:
+
+- a fully deterministic server (no sockets, injectable session clocks,
+  frozen wall clock) whose Prometheus exposition is pinned bit-for-bit
+  against ``tests/golden/metrics.prom`` — regenerate with
+  ``REPRO_REGEN_GOLDENS=1``;
+- live round-trips through :class:`ServerThread` asserting the schema
+  invariants a scraper relies on: histogram buckets are cumulative and
+  monotone, counters never decrease between polls, and both formats of
+  the endpoint agree on every counter.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import LATENCY_BUCKETS_S
+from repro.serve.client import ServeError, SizingClient
+from repro.serve.protocol import parse_observe_request
+from repro.serve.server import ServerThread, SizingServer
+from repro.serve.tenants import TenantSession
+from repro.sim.interface import TaskSubmission
+
+GOLDEN = Path(__file__).resolve().parent.parent / "golden" / "metrics.prom"
+
+
+def _task(i: int) -> TaskSubmission:
+    return TaskSubmission(
+        task_type="align",
+        workflow="wf",
+        machine="default",
+        instance_id=i,
+        input_size_mb=1000.0 + i,
+        preset_memory_mb=4096.0,
+        timestamp=i,
+    )
+
+
+def _observations(i: int):
+    _, items = parse_observe_request(
+        {
+            "tenant": "t",
+            "observations": [
+                {
+                    "task_type": "align",
+                    "workflow": "wf",
+                    "machine": "default",
+                    "instance_id": i,
+                    "input_size_mb": 1000.0 + i,
+                    "peak_memory_mb": 2000.0 + i,
+                    "runtime_hours": 0.1,
+                    "allocated_mb": 4096.0,
+                    "success": True,
+                }
+            ],
+        }
+    )
+    return items
+
+
+def _ticking_clock(step_s: float):
+    """A deterministic perf_counter: each call advances by ``step_s``."""
+    state = {"t": 0.0}
+
+    def clock() -> float:
+        state["t"] += step_s
+        return state["t"]
+
+    return clock
+
+
+def _deterministic_server(monkeypatch) -> SizingServer:
+    """A server with frozen uptime and hand-built tenant sessions.
+
+    Never started: ``_metrics_payload`` needs no sockets, so the whole
+    exposition is a pure function of the state assembled here.
+    """
+    monkeypatch.setattr(time, "time", lambda: 1234.5)
+    server = SizingServer(port=0, base_seed=0, max_tenants=8)
+    server.started_at = 1200.0  # uptime pins to 34.5 s
+    # Latency clocks tick in fixed steps so every predict/observe call
+    # "takes" exactly one step: 2 ms for acme, 40 ms for zen.
+    acme = TenantSession("acme", base_seed=0, clock=_ticking_clock(0.002))
+    zen = TenantSession("zen", base_seed=0, clock=_ticking_clock(0.04))
+    with server.registry._lock:
+        server.registry._sessions["acme"] = acme
+        server.registry._sessions["zen"] = zen
+        server.registry.evictions = 3
+    acme.predict([_task(0), _task(1)])
+    acme.observe(_observations(0))
+    acme.predict([_task(2)])
+    zen.predict([_task(0)])
+    server.requests.update(
+        {"predict": 3, "observe": 1, "metrics": 2, "healthz": 1}
+    )
+    server.errors = 1
+    return server
+
+
+def test_golden_prometheus_exposition(monkeypatch):
+    server = _deterministic_server(monkeypatch)
+    from repro.obs.metrics import render_prometheus
+
+    text = render_prometheus(server._metrics_payload())
+    if os.environ.get("REPRO_REGEN_GOLDENS"):
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(text)
+        pytest.skip(f"regenerated {GOLDEN.name}")
+    assert text == GOLDEN.read_text(), (
+        "Prometheus exposition drifted from tests/golden/metrics.prom "
+        "(REPRO_REGEN_GOLDENS=1 to regenerate after an intentional change)"
+    )
+
+
+def test_golden_covers_the_interesting_families():
+    """The pinned exposition must exercise labels, histograms, escapes."""
+    text = GOLDEN.read_text()
+    assert "repro_serve_uptime_seconds 34.5" in text
+    assert 'repro_serve_predictions_total{tenant="acme"} 3' in text
+    assert 'repro_serve_predictions_total{tenant="zen"} 1' in text
+    assert "repro_serve_tenant_evictions_total 3" in text
+    # acme's 2 ms steps land in le=0.0025; zen's 40 ms in le=0.05.
+    # Histograms count *calls* (acme made 2 predict calls for 3 tasks).
+    assert (
+        'repro_serve_latency_seconds_bucket{tenant="acme",op="predict",'
+        'le="0.0025"} 2' in text
+    )
+    assert (
+        'repro_serve_latency_seconds_bucket{tenant="zen",op="predict",'
+        'le="0.05"} 1' in text
+    )
+    assert text.endswith("\n")
+
+
+class TestLiveSchema:
+    def _drive(self, client: SizingClient) -> None:
+        client.predict(
+            tenant="acme",
+            tasks=[
+                {
+                    "task_type": "align",
+                    "workflow": "wf",
+                    "machine": "default",
+                    "instance_id": 1,
+                    "input_size_mb": 1000.0,
+                    "preset_memory_mb": 4096.0,
+                }
+            ],
+        )
+
+    def test_json_buckets_are_cumulative_and_monotone(self):
+        with ServerThread(base_seed=0) as srv, SizingClient(
+            srv.host, srv.port
+        ) as client:
+            self._drive(client)
+            payload = client.metrics()
+            latency = payload["registry"]["tenants"]["acme"]["latency"]
+            for op in ("predict", "observe"):
+                snap = latency[op]
+                bounds = [b for b, _ in snap["buckets"]]
+                assert bounds[:-1] == list(LATENCY_BUCKETS_S)
+                assert bounds[-1] is None
+                cums = [c for _, c in snap["buckets"]]
+                assert cums == sorted(cums)
+                assert cums[-1] == snap["count"]
+
+    def test_counters_never_decrease_across_polls(self):
+        with ServerThread(base_seed=0) as srv, SizingClient(
+            srv.host, srv.port
+        ) as client:
+            self._drive(client)
+            first = client.metrics()
+            self._drive(client)
+            second = client.metrics()
+            f_server, s_server = first["server"], second["server"]
+            assert s_server["errors"] >= f_server["errors"]
+            for endpoint, n in f_server["requests"].items():
+                assert s_server["requests"][endpoint] >= n
+            f_acme = first["registry"]["tenants"]["acme"]
+            s_acme = second["registry"]["tenants"]["acme"]
+            assert s_acme["n_predictions"] > f_acme["n_predictions"]
+            f_hist = f_acme["latency"]["predict"]
+            s_hist = s_acme["latency"]["predict"]
+            assert s_hist["count"] > f_hist["count"]
+            assert s_hist["sum_s"] >= f_hist["sum_s"]
+            for (_, f_cum), (_, s_cum) in zip(
+                f_hist["buckets"], s_hist["buckets"]
+            ):
+                assert s_cum >= f_cum
+
+    def test_prometheus_scrape_agrees_with_json(self):
+        with ServerThread(base_seed=0) as srv, SizingClient(
+            srv.host, srv.port
+        ) as client:
+            self._drive(client)
+            payload = client.metrics()
+            text = client.metrics(format="prometheus")
+            assert isinstance(text, str)
+            assert text.startswith("# HELP repro_serve_uptime_seconds")
+            n_predictions = payload["registry"]["tenants"]["acme"][
+                "n_predictions"
+            ]
+            assert (
+                f'repro_serve_predictions_total{{tenant="acme"}} '
+                f"{n_predictions}" in text
+            )
+
+    def test_unknown_format_is_a_400(self):
+        with ServerThread(base_seed=0) as srv, SizingClient(
+            srv.host, srv.port
+        ) as client:
+            with pytest.raises(ServeError) as err:
+                client.metrics(format="xml")
+            assert err.value.status == 400
