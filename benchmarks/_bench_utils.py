@@ -5,7 +5,71 @@ logic that needs regression coverage — xdist detection and the
 peak-RSS recording rule — lives here as plain functions.
 """
 
-__all__ = ["is_xdist_worker", "record_peak_rss"]
+__all__ = [
+    "HEADLINE_DROP_TOLERANCE",
+    "check_headline_sanity",
+    "is_xdist_worker",
+    "record_peak_rss",
+]
+
+#: Fractional drop in a headline metric vs the prior snapshot that
+#: flags a freshly measured session as suspect.  Deliberately loose —
+#: ephemeral per-PR VMs drift, and the check must warn about bad runs
+#: without crying wolf on ordinary jitter.
+HEADLINE_DROP_TOLERANCE = 0.10
+
+
+def check_headline_sanity(metrics, previous_metrics, tolerance=HEADLINE_DROP_TOLERANCE):
+    """Cross-check fresh headline metrics before they are committed.
+
+    Returns human-readable warning lines (empty list = plausible).  Two
+    red flags, both signals that the measurement environment was bad
+    (host contention, xdist, frequency drift) rather than that the code
+    changed speed:
+
+    - a *bare* headline key (see ``bench_headline``) dropping more than
+      ``tolerance`` vs the prior snapshot — throughput numbers are
+      best-of-N minima of deterministic workloads, so a large drop in a
+      single re-record is noise until proven otherwise by an
+      interleaved same-machine A/B of the two commits;
+    - the profiler-ON flat cell outrunning the profiler-OFF one — the
+      instrumented loop does strictly more work per event, so an
+      inversion is physically implausible and taints the whole session.
+
+    Node-scoped ``<nodeid>::<name>`` keys are skipped: they move with
+    test-layout refactors and carry no cross-snapshot identity.
+    """
+    warnings = []
+    for key in sorted(previous_metrics):
+        if "::" in key:
+            continue
+        prev = previous_metrics[key]
+        cur = metrics.get(key)
+        if not isinstance(prev, (int, float)) or prev <= 0:
+            continue
+        if not isinstance(cur, (int, float)):
+            continue
+        drop = (prev - cur) / prev
+        if drop > tolerance:
+            warnings.append(
+                f"headline {key} dropped {drop:.0%} vs prior snapshot "
+                f"({cur:.0f} vs {prev:.0f}) — suspect run; re-measure on "
+                f"an idle machine before committing"
+            )
+    off = metrics.get("kernel_flat_events_per_sec")
+    on = metrics.get("kernel_flat_profiled_events_per_sec")
+    if (
+        isinstance(off, (int, float))
+        and isinstance(on, (int, float))
+        and on > off
+    ):
+        warnings.append(
+            f"profiler-ON flat cell ({on:.0f} ev/s) outran the "
+            f"profiler-OFF cell ({off:.0f} ev/s) — physically "
+            f"implausible; the session hit a noisy window and should "
+            f"not be committed"
+        )
+    return warnings
 
 
 def is_xdist_worker(config) -> bool:

@@ -14,12 +14,13 @@ variable; set it empty to disable.
 
 import json
 import os
+import sys
 import time
 from pathlib import Path
 
 import pytest
 
-from _bench_utils import record_peak_rss
+from _bench_utils import check_headline_sanity, record_peak_rss
 
 #: PR-numbered snapshot written at session end: {nodeid: seconds}.
 _BENCH_FILE = "BENCH_8.json"
@@ -136,3 +137,27 @@ def pytest_sessionfinish(session, exitstatus):
         "metrics": dict(sorted(metrics.items())),
     }
     path.write_text(json.dumps(payload, indent=2) + "\n")
+    _warn_suspect_headlines(payload, path)
+
+
+def _warn_suspect_headlines(payload, path: Path) -> None:
+    """Sanity-check fresh headline metrics against the prior PR snapshot.
+
+    A >10% drop in a bare headline key, or the profiled flat cell
+    outrunning the unprofiled one, marks the session as measured in a
+    bad environment — the snapshot just written should not be committed
+    as the perf trajectory (see docs/BENCH.md "Caveats").  Warnings
+    only; the session never fails over this.
+    """
+    prior_path = path.parent / f"BENCH_{payload['pr'] - 1}.json"
+    try:
+        prior = json.loads(prior_path.read_text())
+    except (OSError, ValueError):
+        return
+    if prior.get("format") != "repro-bench":
+        return
+    warnings = check_headline_sanity(
+        payload["metrics"], prior.get("metrics", {})
+    )
+    for line in warnings:
+        print(f"\n[bench-sanity] {line}", file=sys.stderr)

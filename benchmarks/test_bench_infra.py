@@ -7,7 +7,11 @@ interpreter's memory to its own cells — the harness must skip the
 metric entirely in workers instead of writing poisoned numbers.
 """
 
-from _bench_utils import is_xdist_worker, record_peak_rss
+from _bench_utils import (
+    check_headline_sanity,
+    is_xdist_worker,
+    record_peak_rss,
+)
 
 
 class _Config:
@@ -49,3 +53,60 @@ def test_record_peak_rss_default_probe_is_live():
     metrics: dict[str, float] = {}
     assert record_peak_rss(metrics, "n", _Config())
     assert metrics["n::peak_rss_mb"] > 0.0
+
+
+def test_headline_sanity_flags_large_drop():
+    warnings = check_headline_sanity(
+        {"kernel_flat_events_per_sec": 46_000.0},
+        {"kernel_flat_events_per_sec": 73_000.0},
+    )
+    assert len(warnings) == 1
+    assert "kernel_flat_events_per_sec" in warnings[0]
+    assert "37%" in warnings[0]
+
+
+def test_headline_sanity_accepts_jitter_and_gains():
+    # A 5% dip is ordinary jitter; gains are never suspect.
+    prior = {
+        "kernel_flat_events_per_sec": 73_000.0,
+        "kernel_dag_events_per_sec": 74_000.0,
+    }
+    fresh = {
+        "kernel_flat_events_per_sec": 69_500.0,
+        "kernel_dag_events_per_sec": 90_000.0,
+    }
+    assert check_headline_sanity(fresh, prior) == []
+
+
+def test_headline_sanity_ignores_node_scoped_keys():
+    # ``<nodeid>::<name>`` keys move with test refactors — a renamed
+    # cell must not read as a vanished-or-regressed metric.
+    prior = {"benchmarks/a.py::test_x::events_per_sec": 73_000.0}
+    assert check_headline_sanity({}, prior) == []
+
+
+def test_headline_sanity_ignores_missing_and_new_keys():
+    # First snapshot to carry a headline has nothing to compare against.
+    assert check_headline_sanity({"new_metric": 1.0}, {}) == []
+    assert check_headline_sanity({}, {"gone_metric": 1.0}) == []
+
+
+def test_headline_sanity_flags_profiled_faster_than_unprofiled():
+    # The instrumented loop does strictly more work per event, so the
+    # profiler-ON cell outrunning profiler-OFF is a measurement smell,
+    # regardless of how both compare to the prior snapshot.
+    fresh = {
+        "kernel_flat_events_per_sec": 46_000.0,
+        "kernel_flat_profiled_events_per_sec": 47_000.0,
+    }
+    warnings = check_headline_sanity(fresh, {})
+    assert len(warnings) == 1
+    assert "implausible" in warnings[0]
+
+
+def test_headline_sanity_accepts_profiler_overhead():
+    fresh = {
+        "kernel_flat_events_per_sec": 73_000.0,
+        "kernel_flat_profiled_events_per_sec": 60_000.0,
+    }
+    assert check_headline_sanity(fresh, {}) == []

@@ -11,6 +11,7 @@ five identical runs drives the metric, which filters scheduler noise
 out of the committed perf trajectory.
 """
 
+import os
 import time
 
 import pytest
@@ -25,8 +26,11 @@ SCALE = 0.5
 SEED = 0
 #: Throughput cells report the best of this many rounds — the minimum
 #: is the least-noisy estimator for a deterministic workload (all
-#: variance is scheduler/cache interference, always additive).
-ROUNDS = 5
+#: variance is scheduler/cache interference, always additive).  On a
+#: host with an unsteady clock, raise ``REPRO_BENCH_ROUNDS`` so each
+#: cell spans enough wall time to catch a fast window; a larger N only
+#: tightens the same best-of-N estimate of the noise-free peak.
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "5"))
 
 
 def _make_manager() -> ResourceManager:
