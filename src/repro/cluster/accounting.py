@@ -57,7 +57,13 @@ class WastageLedger:
 
     def __init__(self, keep_outcomes: bool = True) -> None:
         self.keep_outcomes = keep_outcomes
-        self._outcomes: list[AttemptOutcome] = []
+        # Columnar storage: one plain tuple per attempt, in
+        # :class:`AttemptOutcome` field order.  Building the frozen
+        # dataclass per attempt was a top-five cost of the kernel hot
+        # path; the object view is materialized lazily (and cached) by
+        # :attr:`outcomes`.
+        self._outcomes: list[tuple] = []
+        self._mat: list[AttemptOutcome] | None = None
         self._wastage_by_type: dict[str, float] = defaultdict(float)
         self._failures_by_type: dict[str, int] = defaultdict(int)
         self._runtime_hours = 0.0
@@ -66,7 +72,6 @@ class WastageLedger:
 
     def record_success(
         self,
-        *,
         task_type: str,
         workflow: str,
         instance_id: int,
@@ -81,7 +86,10 @@ class WastageLedger:
                 f"({allocated_mb:.1f} < {peak_memory_mb:.1f} MB)"
             )
         wastage = (allocated_mb - peak_memory_mb) / _MB_PER_GB * runtime_hours
-        out = AttemptOutcome(
+        # Constructed via __dict__ rather than the generated __init__:
+        # the frozen dataclass pays one object.__setattr__ per field.
+        out = object.__new__(AttemptOutcome)
+        out.__dict__.update(
             task_type=task_type,
             workflow=workflow,
             instance_id=instance_id,
@@ -92,12 +100,28 @@ class WastageLedger:
             success=True,
             wastage_gbh=wastage,
         )
-        self._commit(out)
+        if self.keep_outcomes:
+            self._outcomes.append(
+                (
+                    task_type,
+                    workflow,
+                    instance_id,
+                    attempt,
+                    allocated_mb,
+                    peak_memory_mb,
+                    runtime_hours,
+                    True,
+                    wastage,
+                )
+            )
+        self._wastage_by_type[task_type] += wastage
+        self._total_wastage += wastage
+        self._runtime_hours += runtime_hours
+        self._n_attempts += 1
         return out
 
     def record_failure(
         self,
-        *,
         task_type: str,
         workflow: str,
         instance_id: int,
@@ -113,7 +137,8 @@ class WastageLedger:
             )
         # The whole allocation was wasted for as long as the task ran.
         wastage = allocated_mb / _MB_PER_GB * time_to_failure_hours
-        out = AttemptOutcome(
+        out = object.__new__(AttemptOutcome)
+        out.__dict__.update(
             task_type=task_type,
             workflow=workflow,
             instance_id=instance_id,
@@ -124,24 +149,60 @@ class WastageLedger:
             success=False,
             wastage_gbh=wastage,
         )
-        self._commit(out)
+        if self.keep_outcomes:
+            self._outcomes.append(
+                (
+                    task_type,
+                    workflow,
+                    instance_id,
+                    attempt,
+                    allocated_mb,
+                    peak_memory_mb,
+                    time_to_failure_hours,
+                    False,
+                    wastage,
+                )
+            )
+        self._wastage_by_type[task_type] += wastage
+        self._total_wastage += wastage
+        self._runtime_hours += time_to_failure_hours
+        self._n_attempts += 1
         self._failures_by_type[task_type] += 1
         return out
-
-    def _commit(self, out: AttemptOutcome) -> None:
-        if self.keep_outcomes:
-            self._outcomes.append(out)
-        self._wastage_by_type[out.task_type] += out.wastage_gbh
-        self._total_wastage += out.wastage_gbh
-        self._runtime_hours += out.runtime_hours
-        self._n_attempts += 1
 
     # ------------------------------------------------------------------
     # aggregates
     # ------------------------------------------------------------------
     @property
     def outcomes(self) -> list[AttemptOutcome]:
-        return list(self._outcomes)
+        """Materialized :class:`AttemptOutcome` view of the stored rows.
+
+        Rows are kept as plain tuples during a run (hot-path append);
+        the dataclass objects are built on first access and cached —
+        the length check rebuilds whenever new rows arrived since.
+        """
+        rows = self._outcomes
+        mat = self._mat
+        if mat is None or len(mat) != len(rows):
+            new = object.__new__
+            mat = []
+            append = mat.append
+            for row in rows:
+                o = new(AttemptOutcome)
+                o.__dict__.update(
+                    task_type=row[0],
+                    workflow=row[1],
+                    instance_id=row[2],
+                    attempt=row[3],
+                    allocated_mb=row[4],
+                    peak_memory_mb=row[5],
+                    runtime_hours=row[6],
+                    success=row[7],
+                    wastage_gbh=row[8],
+                )
+                append(o)
+            self._mat = mat
+        return list(mat)
 
     @property
     def total_wastage_gbh(self) -> float:

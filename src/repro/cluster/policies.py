@@ -63,8 +63,10 @@ class FirstFit:
     def select(
         self, nodes: Sequence[Machine], memory_mb: float
     ) -> Machine | None:
+        # Inlined Machine.can_fit (a method + property per probe): this
+        # runs for every placement scan on the kernel hot path.
         for node in nodes:
-            if node.can_fit(memory_mb):
+            if memory_mb <= node.config.memory_mb - node.allocated_mb + 1e-9:
                 return node
         return None
 

@@ -28,6 +28,7 @@ instances) and release (dependency resolution) via
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -188,19 +189,33 @@ def _instantiate_workflows(
 
 
 class _DagQueue:
-    """:class:`~repro.sim.kernel.core.ReadyQueue` view of the ready set."""
+    """:class:`~repro.sim.kernel.core.ReadyQueue` view of the ready set.
+
+    ``head``/``pop`` bind the scheduler's ready heap directly (the list
+    object is owned and never rebound by the scheduler) — the kernel
+    calls them once per dispatch, so the extra delegation layer was
+    measurable.
+    """
+
+    __slots__ = ("_scheduler", "_ready", "order")
 
     def __init__(self, scheduler: ReadySetScheduler[TaskState]) -> None:
         self._scheduler = scheduler
+        self._ready = scheduler._ready
+        #: Kernel-internal contract (shared with ``_FlatQueue``): the
+        #: live ready-heap list; entries sort FCFS and end with the
+        #: state, so the kernel peeks ``order[0][-1]`` and pops with
+        #: ``heappop`` directly.
+        self.order = self._ready
 
     def head(self) -> TaskState:
-        return self._scheduler.head()
+        return self._ready[0][2]
 
     def pop(self) -> TaskState:
-        return self._scheduler.pop()
+        return heapq.heappop(self._ready)[2]
 
     def unsized(self, limit: int) -> list[TaskState]:
-        return self._scheduler.queued_matching(
+        return self._scheduler.take_unsized(
             lambda st: st.allocation is None, limit
         )
 
@@ -209,10 +224,10 @@ class _DagQueue:
         self._scheduler.requeue(state.wi, state.inst)
 
     def __len__(self) -> int:
-        return len(self._scheduler)
+        return len(self._ready)
 
     def __bool__(self) -> bool:
-        return bool(self._scheduler)
+        return bool(self._ready)
 
 
 class DagWorkflowDriver:

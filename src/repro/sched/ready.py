@@ -41,6 +41,11 @@ class ReadySetScheduler(Generic[S]):
     def __init__(self) -> None:
         #: (priority, tie, state) heap; priority is the release sequence.
         self._ready: list[tuple[int, int, S]] = []
+        #: Index heap over *fresh* releases (same (priority, tie) keys):
+        #: every state enters the queue exactly once through
+        #: :meth:`_push_all`, so :meth:`take_unsized` can drain sizing
+        #: waves from here without scanning the whole ready set.
+        self._unsized: list[tuple[int, int, S]] = []
         self._priority: dict[Hashable, int] = {}
         self._states: dict[tuple[str, int], S] = {}
         self._seq = 0
@@ -110,6 +115,27 @@ class ReadySetScheduler(Generic[S]):
             )
         ]
 
+    def take_unsized(self, predicate, limit: int) -> list[S]:
+        """Pop up to ``limit`` index entries (FCFS) passing ``predicate``.
+
+        Amortized replacement for :meth:`queued_matching` on the sizing
+        hot path: entries are *consumed* from the fresh-release index —
+        skipped entries (predicate false) are discarded too, so the
+        caller's predicate must be permanently false once false (true
+        for "still unsized": the kernel sizes every returned state
+        immediately and a sized state never loses its allocation).
+        Fresh releases are pushed with the same (priority, tie) keys as
+        the ready heap, so the wave order matches
+        ``queued_matching(predicate, limit)`` exactly.
+        """
+        wave: list[S] = []
+        index = self._unsized
+        while index and len(wave) < limit:
+            state = heapq.heappop(index)[2]
+            if predicate(state):
+                wave.append(state)
+        return wave
+
     # ------------------------------------------------------------------
     def _push_all(
         self, wi: WorkflowInstance, released: list[TaskInstance]
@@ -119,7 +145,9 @@ class ReadySetScheduler(Generic[S]):
             key = (wi.key, task.instance_id)
             state = self._states[key]
             self._priority[key] = self._seq
-            heapq.heappush(self._ready, (self._seq, self._next_tie(), state))
+            entry = (self._seq, self._next_tie(), state)
+            heapq.heappush(self._ready, entry)
+            heapq.heappush(self._unsized, entry)
             self._seq += 1
             out.append(state)
         return out

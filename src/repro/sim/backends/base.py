@@ -142,11 +142,27 @@ def size_first_attempts(
     path.
     """
     allocations = predictor.predict_batch([st.submission for st in states])
+    # Inlined clamp_allocation_checked: this loop runs once per task on
+    # the kernel's sizing hot path, and the two calls per state were
+    # measurable.  Semantics are identical — same bound, same typed
+    # error for impossible tasks.
+    cap = manager._max_allocation_mb
     for st, allocation in zip(states, allocations):
-        st.allocation = clamp_allocation_checked(
-            manager, st.inst, float(allocation)
-        )
-        st.first_allocation = st.allocation
+        inst = st.inst
+        if inst.peak_memory_mb > cap:
+            raise UnschedulableTaskError(
+                task_type=inst.task_type.key,
+                instance_id=inst.instance_id,
+                peak_memory_mb=inst.peak_memory_mb,
+                capacity_mb=cap,
+            )
+        allocation = float(allocation)
+        if allocation < 1.0:
+            allocation = 1.0
+        if allocation > cap:
+            allocation = cap
+        st.allocation = allocation
+        st.first_allocation = allocation
 
 
 def build_cluster_metrics(

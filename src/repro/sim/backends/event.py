@@ -64,13 +64,34 @@ __all__ = ["EventDrivenBackend", "FlatStreamDriver"]
 
 
 class _FlatQueue:
-    """FCFS ready queue ordered by submission index."""
+    """FCFS ready queue ordered by submission index.
+
+    Besides the main heap, a dedicated index heap tracks queued states
+    that still need sizing, so :meth:`unsized` pops its wave in O(wave
+    log n) instead of scanning the whole queue per sizing call.  The
+    index is exact because of two kernel invariants: states enter the
+    queue unsized only on arrival (kill/preempt requeues are always
+    already sized), and every state :meth:`unsized` returns is sized
+    immediately by the caller — so popped index entries never need to
+    come back, and an entry whose state was sized as part of an earlier
+    wave is simply skipped.
+    """
+
+    __slots__ = ("_heap", "_unsized", "order")
 
     def __init__(self) -> None:
         self._heap: list[tuple[int, TaskState]] = []
+        self._unsized: list[tuple[int, TaskState]] = []
+        #: Kernel-internal contract (shared with ``_DagQueue``): the live
+        #: heap list itself.  Entries sort FCFS and end with the state,
+        #: so the kernel peeks ``order[0][-1]`` and pops with ``heappop``
+        #: instead of calling :meth:`head`/:meth:`pop` per dispatch.
+        self.order = self._heap
 
     def push(self, state: TaskState) -> None:
         heapq.heappush(self._heap, (state.index, state))
+        if state.allocation is None:
+            heapq.heappush(self._unsized, (state.index, state))
 
     def head(self) -> TaskState:
         return self._heap[0][1]
@@ -79,9 +100,13 @@ class _FlatQueue:
         return heapq.heappop(self._heap)[1]
 
     def unsized(self, limit: int) -> list[TaskState]:
-        return heapq.nsmallest(
-            limit, (st for _, st in self._heap if st.allocation is None)
-        )
+        wave: list[TaskState] = []
+        index = self._unsized
+        while index and len(wave) < limit:
+            state = heapq.heappop(index)[1]
+            if state.allocation is None:
+                wave.append(state)
+        return wave
 
     def requeue(self, state: TaskState) -> None:
         # A re-queued task re-enters at its original priority.
@@ -120,6 +145,10 @@ class FlatStreamDriver:
     global submission index is congruent to ``shard`` — every kept task
     has exactly the arrival time and index it has in the unsharded run.
     """
+
+    #: Flat streams have no dependency graph: success never releases new
+    #: work, so the kernel skips the per-success driver call entirely.
+    releases_on_success = False
 
     def __init__(
         self,
@@ -198,15 +227,20 @@ class FlatStreamDriver:
         # not n events) so lazy, resumed, and sharded runs all see the
         # exact arrival times of the eager unsharded run.
         rng = np.random.default_rng(self.rng_seed)
-        stream = zip(source.iter_tasks(), self.arrival.sample(n, rng))
+        schedule = self.arrival.sample(n, rng)
+        if hasattr(schedule, "tolist"):
+            # Bulk-convert to Python floats once: the per-arrival
+            # ``float(np.float64)`` on the hot path was measurable.
+            schedule = schedule.tolist()
+        stream = zip(source.iter_tasks(), schedule)
         if self._cursor:
             stream = islice(stream, self._cursor, None)
         self._stream = iter(stream)
 
     def _push_next(self) -> None:
         """Advance to this shard's next task and push its arrival event."""
-        self._ensure_stream()
-        assert self._kernel is not None
+        if self._stream is None:
+            self._ensure_stream()
         while True:
             entry = next(self._stream, None)  # type: ignore[arg-type]
             if entry is None:
@@ -216,13 +250,38 @@ class FlatStreamDriver:
             if index % self.shards != self.shard:
                 continue
             inst, arrival_time = entry
-            state = TaskState(
-                inst=inst,
-                submission=TaskSubmission.from_instance(inst, index),
-                index=index,
-                arrival=float(arrival_time),
+            arrival = float(arrival_time)
+            # Inlined TaskSubmission.from_instance (one per arrival).
+            task_type = inst.task_type
+            sub = object.__new__(TaskSubmission)
+            sub.__dict__.update(
+                task_type=task_type.name,
+                workflow=task_type.workflow,
+                machine=inst.machine,
+                instance_id=inst.instance_id,
+                input_size_mb=inst.input_size_mb,
+                preset_memory_mb=task_type.preset_memory_mb,
+                timestamp=index,
             )
-            self._kernel.events.push(state.arrival, ARRIVAL, state)
+            # Direct slot assignment instead of the dataclass __init__
+            # (one TaskState per task; all other fields are defaults).
+            state = TaskState.__new__(TaskState)
+            state.inst = inst
+            state.submission = sub
+            state.index = index
+            state.arrival = arrival
+            state.wi = None
+            state.allocation = None
+            state.first_allocation = None
+            state.attempt = 0
+            state.queued_at = 0.0
+            state.running = None
+            state.dispatch_gen = 0
+            # Inlined EventHeap.push — one arrival per task, hot path.
+            events = self._kernel.events
+            seq = events._seq
+            events._seq = seq + 1
+            heapq.heappush(events._heap, (arrival, ARRIVAL, seq, state))
             return
 
     def __getstate__(self) -> dict:
@@ -232,10 +291,57 @@ class FlatStreamDriver:
 
     def on_arrival(self, payload: object, now: float) -> Iterable[TaskState]:
         state = payload
-        assert isinstance(state, TaskState)
-        self.queue.push(state)
+        # Inlined _FlatQueue.push; fresh arrivals are always unsized, so
+        # the entry goes straight onto both heaps.
+        queue = self.queue
+        entry = (state.index, state)
+        heapq.heappush(queue._heap, entry)
+        heapq.heappush(queue._unsized, entry)
         if self._lazy:
-            self._push_next()
+            # Inlined :meth:`_push_next` (one call per arrival; the
+            # method stays the canonical copy for seeding/resume).
+            stream = self._stream
+            if stream is None:
+                self._ensure_stream()
+                stream = self._stream
+            while True:
+                nxt = next(stream, None)  # type: ignore[arg-type]
+                if nxt is None:
+                    break
+                index = self._cursor
+                self._cursor += 1
+                if index % self.shards != self.shard:
+                    continue
+                inst, arrival_time = nxt
+                arrival = float(arrival_time)
+                task_type = inst.task_type
+                sub = object.__new__(TaskSubmission)
+                sub.__dict__.update(
+                    task_type=task_type.name,
+                    workflow=task_type.workflow,
+                    machine=inst.machine,
+                    instance_id=inst.instance_id,
+                    input_size_mb=inst.input_size_mb,
+                    preset_memory_mb=task_type.preset_memory_mb,
+                    timestamp=index,
+                )
+                nstate = TaskState.__new__(TaskState)
+                nstate.inst = inst
+                nstate.submission = sub
+                nstate.index = index
+                nstate.arrival = arrival
+                nstate.wi = None
+                nstate.allocation = None
+                nstate.first_allocation = None
+                nstate.attempt = 0
+                nstate.queued_at = 0.0
+                nstate.running = None
+                nstate.dispatch_gen = 0
+                events = self._kernel.events
+                seq = events._seq
+                events._seq = seq + 1
+                heapq.heappush(events._heap, (arrival, ARRIVAL, seq, nstate))
+                break
         return (state,)
 
     def on_success(self, state: TaskState, now: float) -> Iterable[TaskState]:

@@ -96,15 +96,21 @@ class TaskSubmission:
 
     @classmethod
     def from_instance(cls, inst: TaskInstance, timestamp: int) -> "TaskSubmission":
-        return cls(
-            task_type=inst.task_type.name,
-            workflow=inst.task_type.workflow,
+        # Built via __dict__ rather than the generated __init__: frozen
+        # dataclasses pay object.__setattr__ per field, and every task
+        # arrival in the simulation kernel constructs one submission.
+        sub = object.__new__(cls)
+        task_type = inst.task_type
+        sub.__dict__.update(
+            task_type=task_type.name,
+            workflow=task_type.workflow,
             machine=inst.machine,
             instance_id=inst.instance_id,
             input_size_mb=inst.input_size_mb,
-            preset_memory_mb=inst.task_type.preset_memory_mb,
+            preset_memory_mb=task_type.preset_memory_mb,
             timestamp=timestamp,
         )
+        return sub
 
     @property
     def features(self) -> np.ndarray:

@@ -69,6 +69,17 @@ class MetricsCollector(Protocol):
         """An event was just handled at simulation time ``now``."""
         ...
 
+    def on_events(self, now: float, n: int) -> None:
+        """``n`` events were handled in one batch at time ``now``.
+
+        The kernel coalesces each same-timestamp event wave into one
+        call.  The default implementation replays :meth:`on_event` ``n``
+        times, so collectors that only override the per-event callback
+        keep their exact semantics; aggregate collectors override this
+        to pay once per wave.
+        """
+        ...
+
     def on_dispatch(
         self, state: "TaskState", now: float, node: Machine, wait_hours: float
     ) -> None:
@@ -127,6 +138,12 @@ class BaseCollector:
 
     def on_event(self, now: float) -> None:
         pass
+
+    def on_events(self, now: float, n: int) -> None:
+        # Compatibility default: a collector that only overrides
+        # on_event still sees one call per handled event.
+        for _ in range(n):
+            self.on_event(now)
 
     def on_dispatch(self, state, now, node, wait_hours) -> None:
         pass
@@ -196,31 +213,82 @@ class WastageCollector(BaseCollector):
 
     def on_task_success(self, state, now, allocated_mb) -> None:
         inst = state.inst
-        out = self.ledger.record_success(
-            task_type=inst.task_type.name,
-            workflow=inst.task_type.workflow,
-            instance_id=inst.instance_id,
-            attempt=state.attempt,
-            allocated_mb=allocated_mb,
-            peak_memory_mb=inst.peak_memory_mb,
-            runtime_hours=inst.runtime_hours,
-        )
+        task_type = inst.task_type
+        peak = inst.peak_memory_mb
+        name = task_type.name
+        runtime = inst.runtime_hours
+        # Inlined :meth:`WastageLedger.record_success` — same
+        # validation, same columnar row, same aggregate updates (one
+        # call per task success on the kernel hot path).
+        if allocated_mb < peak - 1e-9:
+            raise ValueError(
+                "successful attempt cannot have allocated < peak "
+                f"({allocated_mb:.1f} < {peak:.1f} MB)"
+            )
+        wastage = (allocated_mb - peak) / 1024.0 * runtime  # MB -> GB
+        ledger = self.ledger
+        if ledger.keep_outcomes:
+            ledger._outcomes.append(
+                (
+                    name,
+                    task_type.workflow,
+                    inst.instance_id,
+                    state.attempt,
+                    allocated_mb,
+                    peak,
+                    runtime,
+                    True,
+                    wastage,
+                )
+            )
+        ledger._wastage_by_type[name] += wastage
+        ledger._total_wastage += wastage
+        ledger._runtime_hours += runtime
+        ledger._n_attempts += 1
         self._n_tasks += 1
-        self._wastage_sketch.add(out.wastage_gbh)
-        self._turnaround_sketch.add(now - state.arrival)
+        # Two inlined QuantileSketch.add calls (same update order as
+        # the method; one success per task on the kernel hot path).
+        sketch = self._wastage_sketch
+        stat = sketch.stat
+        stat.n += 1
+        stat.total += wastage
+        if wastage < stat.min:
+            stat.min = wastage
+        if wastage > stat.max:
+            stat.max = wastage
+        buffer = sketch._buffer
+        buffer.append(wastage)
+        if len(buffer) >= sketch._cap:
+            sketch._compress()
+        turnaround = now - state.arrival
+        sketch = self._turnaround_sketch
+        stat = sketch.stat
+        stat.n += 1
+        stat.total += turnaround
+        if turnaround < stat.min:
+            stat.min = turnaround
+        if turnaround > stat.max:
+            stat.max = turnaround
+        buffer = sketch._buffer
+        buffer.append(turnaround)
+        if len(buffer) >= sketch._cap:
+            sketch._compress()
         first = state.first_allocation
-        if first is not None and first >= inst.peak_memory_mb:
-            self._first_ratio_sum += first / inst.peak_memory_mb
+        if first is not None and first >= peak:
+            self._first_ratio_sum += first / peak
             self._first_ratio_n += 1
         if self.keep_logs or self.spill is not None:
-            log = PredictionLog(
+            # __dict__ construction skips the frozen dataclass's
+            # per-field object.__setattr__ — one log per task success.
+            log = object.__new__(PredictionLog)
+            log.__dict__.update(
                 instance_id=inst.instance_id,
-                task_type=inst.task_type.name,
-                workflow=inst.task_type.workflow,
+                task_type=name,
+                workflow=task_type.workflow,
                 timestamp=state.index,
                 input_size_mb=inst.input_size_mb,
-                true_peak_mb=inst.peak_memory_mb,
-                true_runtime_hours=inst.runtime_hours,
+                true_peak_mb=peak,
+                true_runtime_hours=runtime,
                 first_allocation_mb=state.first_allocation,
                 final_allocation_mb=state.allocation,
                 n_attempts=state.attempt,
@@ -232,14 +300,15 @@ class WastageCollector(BaseCollector):
 
     def on_task_failure(self, state, now, allocated_mb, occupied_hours) -> None:
         inst = state.inst
+        task_type = inst.task_type
         out = self.ledger.record_failure(
-            task_type=inst.task_type.name,
-            workflow=inst.task_type.workflow,
-            instance_id=inst.instance_id,
-            attempt=state.attempt,
-            allocated_mb=allocated_mb,
-            peak_memory_mb=inst.peak_memory_mb,
-            time_to_failure_hours=occupied_hours,
+            task_type.name,
+            task_type.workflow,
+            inst.instance_id,
+            state.attempt,
+            allocated_mb,
+            inst.peak_memory_mb,
+            occupied_hours,
         )
         self._wastage_sketch.add(out.wastage_gbh)
 
@@ -339,11 +408,35 @@ class ClusterMetricsCollector(BaseCollector):
     def on_event(self, now: float) -> None:
         self._makespan = max(self._makespan, now)
 
+    def on_events(self, now: float, n: int) -> None:
+        # n same-timestamp max() updates collapse to one.
+        if now > self._makespan:
+            self._makespan = now
+
     def on_dispatch(self, state, now, node, wait_hours) -> None:
         # Every dispatch pays its wait — including re-queues after a
-        # kill, which otherwise vanish from the totals.
-        self._wait_stat.add(wait_hours)
-        self._wait_sketch.add(wait_hours)
+        # kill, which otherwise vanish from the totals.  The RunningStat
+        # update is inlined (one dispatch per attempt, hot path).
+        stat = self._wait_stat
+        stat.n += 1
+        stat.total += wait_hours
+        if wait_hours < stat.min:
+            stat.min = wait_hours
+        if wait_hours > stat.max:
+            stat.max = wait_hours
+        # Inlined QuantileSketch.add (same update order as the method).
+        sketch = self._wait_sketch
+        stat = sketch.stat
+        stat.n += 1
+        stat.total += wait_hours
+        if wait_hours < stat.min:
+            stat.min = wait_hours
+        if wait_hours > stat.max:
+            stat.max = wait_hours
+        buffer = sketch._buffer
+        buffer.append(wait_hours)
+        if len(buffer) >= sketch._cap:
+            sketch._compress()
         if not self.stream:
             self._timelines[node.node_id].append((now, node.allocated_mb))
             self._queue_waits.append(wait_hours)

@@ -25,18 +25,20 @@ kernel only asks for the head, strict FCFS.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.cluster.machine import Machine
 from repro.cluster.manager import ResourceManager
+from repro.cluster.policies import FirstFit
 from repro.obs.profile import KernelProfile, PhaseTimer
 from repro.provenance.records import TaskRecord
 from repro.sim.backends.base import (
     MAX_ATTEMPTS,
     clamp_allocation_checked,
-    size_first_attempts,
 )
+from repro.sim.errors import UnschedulableTaskError
 from repro.sim.interface import MemoryPredictor, TaskSubmission, TraceContext
 from repro.sim.kernel.collectors import (
     BaseCollector,
@@ -61,9 +63,14 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["TaskState", "ReadyQueue", "KernelDriver", "SimulationKernel"]
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskState:
-    """Unified per-task bookkeeping shared by every kernel driver."""
+    """Unified per-task bookkeeping shared by every kernel driver.
+
+    Slotted: the kernel allocates one of these per task instance and
+    reads/writes its fields on every lifecycle transition, so the dict
+    per instance was measurable at bench scale.
+    """
 
     inst: TaskInstance
     submission: TaskSubmission
@@ -94,7 +101,17 @@ class TaskState:
 
 @runtime_checkable
 class ReadyQueue(Protocol):
-    """The driver-owned dispatch queue; the kernel drains it strictly FCFS."""
+    """The driver-owned dispatch queue; the kernel drains it strictly FCFS.
+
+    Besides the methods below, implementations expose ``order`` — the
+    live heap list backing the queue, whose entries sort FCFS and end
+    with the :class:`TaskState`.  The kernel's dispatch pass peeks
+    ``order[0][-1]`` and pops with :func:`heapq.heappop` directly, so
+    the list must *be* the queue (never a copy, never rebound).
+    """
+
+    #: The live FCFS heap list; entries end with the state.
+    order: list
 
     def __bool__(self) -> bool:
         ...
@@ -232,28 +249,48 @@ class SimulationKernel:
             self.wastage,
             *collectors,
         )
-        # Per-event dispatch list: only collectors that actually override
-        # on_event get the call — it fires once per heap event, and most
-        # collectors (including WastageCollector) inherit the no-op.
+        # Per-callback dispatch lists: only collectors that actually
+        # override a callback get the call.  Every fire site then loops
+        # a (usually short or empty) tuple of genuine subscribers
+        # instead of fanning no-ops out to every collector — at bench
+        # scale the no-op fan-out was a top-five cost.
+        def _overrides(name: str):
+            base = getattr(BaseCollector, name)
+            return tuple(
+                c
+                for c in self.collectors
+                if getattr(type(c), name, None) is not base
+            )
+
+        # Event-wave subscribers: overriding either the per-event or the
+        # batched callback subscribes (the kernel always fires the
+        # batched one; BaseCollector.on_events replays on_event n times).
         self._event_collectors: tuple[MetricsCollector, ...] = tuple(
             c
             for c in self.collectors
             if getattr(type(c), "on_event", None) is not BaseCollector.on_event
+            or getattr(type(c), "on_events", None)
+            is not BaseCollector.on_events
         )
-        # Same pre-filter for the rarer observability callbacks: with no
-        # subscriber (the common case) each fire site iterates an empty
-        # tuple — one attribute load, no calls.
-        self._ready_collectors: tuple[MetricsCollector, ...] = tuple(
-            c
-            for c in self.collectors
-            if getattr(type(c), "on_ready", None) is not BaseCollector.on_ready
+        self._ready_collectors = _overrides("on_ready")
+        self._outage_collectors = _overrides("on_outage")
+        self._dispatch_collectors = _overrides("on_dispatch")
+        self._release_collectors = _overrides("on_release")
+        self._success_collectors = _overrides("on_task_success")
+        self._failure_collectors = _overrides("on_task_failure")
+        self._preempt_collectors = _overrides("on_preempt")
+        # ``MemoryPredictor.observe`` defaults to a no-op; when the
+        # predictor doesn't override it the kernel skips building the
+        # per-completion TaskRecord entirely.
+        self._observe = (
+            getattr(type(predictor), "observe", None)
+            is not MemoryPredictor.observe
+            or "observe" in getattr(predictor, "__dict__", {})
         )
-        self._outage_collectors: tuple[MetricsCollector, ...] = tuple(
-            c
-            for c in self.collectors
-            if getattr(type(c), "on_outage", None)
-            is not BaseCollector.on_outage
-        )
+        # Drivers with no dependency graph (``releases_on_success =
+        # False``) never release successors, so the per-success driver
+        # call is skipped entirely.
+        self._driver_releases = getattr(driver, "releases_on_success", True)
         self.prediction_chunk = prediction_chunk
         self.doubling_factor = doubling_factor
         self.outages = parse_node_outages(outages)
@@ -347,39 +384,233 @@ class SimulationKernel:
         self._started = True
 
     def _loop(self, until: float | None = None) -> bool:
-        """Process event batches; False when paused by ``until``."""
-        while self.events:
-            now = self.events.next_time
+        """Process event batches; False when paused by ``until``.
+
+        This is the kernel's hottest code: the event heap is read as a
+        raw list (``heap[0][0]`` peek, ``heappop``), the success/kill
+        branch of :meth:`_complete` is inlined, per-event collector
+        callbacks are coalesced into one batched ``on_events`` call per
+        same-timestamp wave (stale completions and outage transitions
+        are excluded from the count, exactly as they were excluded from
+        the per-event fan-out), and the whole dispatch pass — sizing
+        wave, placement, the bookkeeping of :meth:`Machine.allocate`
+        (same capacity guard, same error), task-id handout, and the
+        completion-event push — lives in the loop body so its local
+        aliases are hoisted once per run instead of once per wave.
+        Every mutable container aliased here (event heap, ready-queue
+        ``order`` list, ``_drained``, ``_running``) is identity-stable
+        for the whole run — mutated in place, never rebound.  Any
+        change here must be mirrored in :meth:`_loop_profiled` — the
+        golden and twin-parity tests pin the two loops bit-for-bit
+        against each other.
+        """
+        heap = self.events._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        driver = self.driver
+        on_arrival = driver.on_arrival
+        on_success = driver.on_success
+        # Bound-method tuples: the per-call attribute lookup inside the
+        # collector fan-out loops was measurable at bench scale.
+        ready_calls = tuple(c.on_ready for c in self._ready_collectors)
+        event_calls = tuple(c.on_events for c in self._event_collectors)
+        dispatch_calls = tuple(
+            c.on_dispatch for c in self._dispatch_collectors
+        )
+        release_calls = tuple(c.on_release for c in self._release_collectors)
+        success_calls = tuple(
+            c.on_task_success for c in self._success_collectors
+        )
+        observe = self._observe
+        driver_releases = self._driver_releases
+        queue = driver.queue
+        qorder = queue.order
+        take_unsized = queue.unsized
+        manager = self.manager
+        try_place = manager.try_place
+        cap = manager._max_allocation_mb
+        nodes = manager.nodes
+        inline_place = type(manager.placement) is FirstFit
+        empty_exclude = frozenset()
+        drained = self._drained
+        running = self._running
+        events = self.events
+        time_to_failure = self.time_to_failure
+        predictor = self.predictor
+        predict_batch = predictor.predict_batch
+        prediction_chunk = self.prediction_chunk
+        while heap:
+            now = heap[0][0]
             if until is not None and now > until:
                 return False
             self.now = now
-            while self.events and self.events.next_time == now:
-                _, kind, payload = self.events.pop()
+            handled = 0
+            while heap and heap[0][0] == now:
+                _, kind, _, payload = heappop(heap)
                 if kind == COMPLETION:
                     state, gen = payload
-                    if gen != state.dispatch_gen or state.running is None:
+                    run = state.running
+                    if gen != state.dispatch_gen or run is None:
                         continue  # preempted attempt; completion is stale
-                    self._complete(state, now)
+                    inst = state.inst
+                    if run[2] >= inst.peak_memory_mb:
+                        # Inlined :meth:`_finish`-equivalent success path
+                        # (one per task; the method call and its ``self``
+                        # lookups were measurable).
+                        node, task_id, allocated, start = run
+                        state.running = None
+                        del node.running[task_id]
+                        node.allocated_mb -= allocated
+                        del running[task_id]
+                        manager.generation += 1
+                        occupied = now - start
+                        for call in release_calls:
+                            call(state, now, node, allocated, occupied)
+                        for call in success_calls:
+                            call(state, now, allocated)
+                        if observe:
+                            predictor.observe(
+                                TaskRecord(
+                                    task_type=inst.task_type.name,
+                                    workflow=inst.task_type.workflow,
+                                    machine=inst.machine,
+                                    timestamp=state.index,
+                                    input_size_mb=inst.input_size_mb,
+                                    peak_memory_mb=inst.peak_memory_mb,
+                                    runtime_hours=inst.runtime_hours,
+                                    success=True,
+                                    attempt=state.attempt,
+                                    allocated_mb=allocated,
+                                    instance_id=inst.instance_id,
+                                )
+                            )
+                        if driver_releases:
+                            for released in on_success(state, now):
+                                released.queued_at = now
+                                for call in ready_calls:
+                                    call(released, now)
+                    else:
+                        self._kill(state, now)
                 elif kind == ARRIVAL:
-                    for state in self.driver.on_arrival(payload, now):
+                    for state in on_arrival(payload, now):
                         state.queued_at = now
-                        for collector in self._ready_collectors:
-                            collector.on_ready(state, now)
+                        for call in ready_calls:
+                            call(state, now)
                 elif kind == OUTAGE_END:
                     self._end_outage(payload, now)
                     continue  # drains don't extend the measured makespan
                 else:  # OUTAGE_START
                     self._start_outage(payload, now)
                     continue
-                for collector in self._event_collectors:
-                    collector.on_event(now)
-            self._schedule(now)
+                handled += 1
+            if handled:
+                for call in event_calls:
+                    call(now, handled)
+            # Dispatch pass: size, place, and start queued heads FCFS.
+            while qorder:
+                head = qorder[0][-1]
+                allocation = head.allocation
+                if allocation is None:
+                    # Inlined :func:`size_first_attempts` — same bound,
+                    # same typed error for impossible tasks.
+                    states = take_unsized(prediction_chunk)
+                    allocations = predict_batch(
+                        [st.submission for st in states]
+                    )
+                    for st, alloc in zip(states, allocations):
+                        st_inst = st.inst
+                        if st_inst.peak_memory_mb > cap:
+                            raise UnschedulableTaskError(
+                                task_type=st_inst.task_type.key,
+                                instance_id=st_inst.instance_id,
+                                peak_memory_mb=st_inst.peak_memory_mb,
+                                capacity_mb=cap,
+                            )
+                        alloc = float(alloc)
+                        if alloc < 1.0:
+                            alloc = 1.0
+                        if alloc > cap:
+                            alloc = cap
+                        st.allocation = alloc
+                        st.first_allocation = alloc
+                    allocation = head.allocation
+                if drained:
+                    node = try_place(allocation, exclude=drained.keys())
+                elif inline_place:
+                    # Inlined :meth:`ResourceManager.try_place` for the
+                    # default first-fit policy with no active drains:
+                    # same failure-cache certificate, same scan.
+                    if (
+                        manager._fail_gen == manager.generation
+                        and allocation >= manager._fail_mb
+                        and not manager._fail_exclude
+                    ):
+                        node = None
+                    else:
+                        node = None
+                        for cand in nodes:
+                            if (
+                                allocation
+                                <= cand.config.memory_mb
+                                - cand.allocated_mb
+                                + 1e-9
+                            ):
+                                node = cand
+                                break
+                        if node is None:
+                            manager._fail_gen = manager.generation
+                            manager._fail_mb = allocation
+                            manager._fail_exclude = empty_exclude
+                else:
+                    node = try_place(allocation)
+                if node is None:
+                    # Strict FCFS: the head blocks until memory frees up.
+                    break
+                heappop(qorder)
+                attempt = head.attempt + 1
+                if attempt > MAX_ATTEMPTS:
+                    raise RuntimeError(
+                        f"task {head.inst.instance_id} "
+                        f"({head.inst.task_type.key}) did not finish within "
+                        f"{MAX_ATTEMPTS} attempts; last allocation "
+                        f"{allocation:.0f} MB, "
+                        f"peak {head.inst.peak_memory_mb:.0f} MB"
+                    )
+                task_id = manager._next_task_id
+                manager._next_task_id = task_id + 1
+                # Inlined Machine.allocate: the placement scan already
+                # proved the fit for builtin policies, but a third-party
+                # policy may return an ill-fitting node — keep the guard.
+                if allocation > node.config.memory_mb - node.allocated_mb + 1e-9:
+                    raise MemoryError(
+                        f"node {node.node_id} ({node.config.name}) cannot fit "
+                        f"{allocation:.0f} MB; free={node.free_mb:.0f} MB"
+                    )
+                node.running[task_id] = allocation
+                node.allocated_mb += allocation
+                head.attempt = attempt
+                gen = head.dispatch_gen + 1
+                head.dispatch_gen = gen
+                head.running = (node, task_id, allocation, now)
+                running[task_id] = head
+                wait = now - head.queued_at
+                for call in dispatch_calls:
+                    call(head, now, node, wait)
+                inst = head.inst
+                duration = (
+                    inst.runtime_hours
+                    if allocation >= inst.peak_memory_mb
+                    else inst.runtime_hours * time_to_failure
+                )
+                seq = events._seq
+                events._seq = seq + 1
+                heappush(heap, (now + duration, COMPLETION, seq, (head, gen)))
         return True
 
     def _loop_profiled(self, until: float | None, timer: PhaseTimer) -> bool:
         """The event loop with the :class:`PhaseTimer` seam threaded in.
 
-        A straight mirror of :meth:`_loop` + :meth:`_schedule` — the
+        A straight mirror of :meth:`_loop` — the
         control flow and the order of every side effect are identical,
         only ``timer.lap(...)`` calls are interleaved, so results stay
         bit-for-bit the same (pinned by the golden profiler tests) and
@@ -394,7 +625,8 @@ class SimulationKernel:
         - ``kill``     — limit exceeded: release, ledger, observe,
           re-size with escalation floor, requeue;
         - ``outage``   — drain open/close incl. preemptions;
-        - ``collect``  — per-event and per-dispatch collector fan-out;
+        - ``collect``  — per-wave batched and per-dispatch collector
+          fan-out;
         - ``size``     — ``predict_batch`` sizing waves;
         - ``place``    — placement scans;
         - ``dispatch`` — allocation bookkeeping + completion push.
@@ -404,31 +636,100 @@ class SimulationKernel:
         """
         profile = self.profile
         assert profile is not None
-        while self.events:
-            now = self.events.next_time
+        heap = self.events._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        driver = self.driver
+        on_arrival = driver.on_arrival
+        on_success = driver.on_success
+        # Bound-method tuples: the per-call attribute lookup inside the
+        # collector fan-out loops was measurable at bench scale.
+        ready_calls = tuple(c.on_ready for c in self._ready_collectors)
+        event_calls = tuple(c.on_events for c in self._event_collectors)
+        dispatch_calls = tuple(
+            c.on_dispatch for c in self._dispatch_collectors
+        )
+        release_calls = tuple(c.on_release for c in self._release_collectors)
+        success_calls = tuple(
+            c.on_task_success for c in self._success_collectors
+        )
+        observe = self._observe
+        driver_releases = self._driver_releases
+        queue = driver.queue
+        qorder = queue.order
+        take_unsized = queue.unsized
+        manager = self.manager
+        try_place = manager.try_place
+        cap = manager._max_allocation_mb
+        nodes = manager.nodes
+        inline_place = type(manager.placement) is FirstFit
+        empty_exclude = frozenset()
+        drained = self._drained
+        running = self._running
+        events = self.events
+        time_to_failure = self.time_to_failure
+        predictor = self.predictor
+        predict_batch = predictor.predict_batch
+        prediction_chunk = self.prediction_chunk
+        while heap:
+            now = heap[0][0]
             if until is not None and now > until:
                 return False
             self.now = now
             timer.lap("heap")
-            while self.events and self.events.next_time == now:
-                _, kind, payload = self.events.pop()
+            handled = 0
+            while heap and heap[0][0] == now:
+                _, kind, _, payload = heappop(heap)
                 profile.n_events += 1
                 timer.lap("heap")
                 if kind == COMPLETION:
                     state, gen = payload
-                    if gen != state.dispatch_gen or state.running is None:
+                    run = state.running
+                    if gen != state.dispatch_gen or run is None:
                         continue  # stale; charged to the next heap lap
-                    if state.running[2] >= state.inst.peak_memory_mb:
-                        self._finish(state, now)
+                    inst = state.inst
+                    if run[2] >= inst.peak_memory_mb:
+                        node, task_id, allocated, start = run
+                        state.running = None
+                        del node.running[task_id]
+                        node.allocated_mb -= allocated
+                        del running[task_id]
+                        manager.generation += 1
+                        occupied = now - start
+                        for call in release_calls:
+                            call(state, now, node, allocated, occupied)
+                        for call in success_calls:
+                            call(state, now, allocated)
+                        if observe:
+                            predictor.observe(
+                                TaskRecord(
+                                    task_type=inst.task_type.name,
+                                    workflow=inst.task_type.workflow,
+                                    machine=inst.machine,
+                                    timestamp=state.index,
+                                    input_size_mb=inst.input_size_mb,
+                                    peak_memory_mb=inst.peak_memory_mb,
+                                    runtime_hours=inst.runtime_hours,
+                                    success=True,
+                                    attempt=state.attempt,
+                                    allocated_mb=allocated,
+                                    instance_id=inst.instance_id,
+                                )
+                            )
+                        if driver_releases:
+                            for released in on_success(state, now):
+                                released.queued_at = now
+                                for call in ready_calls:
+                                    call(released, now)
                         timer.lap("success")
                     else:
                         self._kill(state, now)
                         timer.lap("kill")
                 elif kind == ARRIVAL:
-                    for state in self.driver.on_arrival(payload, now):
+                    for state in on_arrival(payload, now):
                         state.queued_at = now
-                        for collector in self._ready_collectors:
-                            collector.on_ready(state, now)
+                        for call in ready_calls:
+                            call(state, now)
                     timer.lap("arrival")
                 elif kind == OUTAGE_END:
                     self._end_outage(payload, now)
@@ -438,10 +739,108 @@ class SimulationKernel:
                     self._start_outage(payload, now)
                     timer.lap("outage")
                     continue
-                for collector in self._event_collectors:
-                    collector.on_event(now)
+                handled += 1
+            if handled:
+                for call in event_calls:
+                    call(now, handled)
                 timer.lap("collect")
-            self._schedule_profiled(now, timer)
+            while qorder:
+                head = qorder[0][-1]
+                allocation = head.allocation
+                if allocation is None:
+                    states = take_unsized(prediction_chunk)
+                    allocations = predict_batch(
+                        [st.submission for st in states]
+                    )
+                    for st, alloc in zip(states, allocations):
+                        st_inst = st.inst
+                        if st_inst.peak_memory_mb > cap:
+                            raise UnschedulableTaskError(
+                                task_type=st_inst.task_type.key,
+                                instance_id=st_inst.instance_id,
+                                peak_memory_mb=st_inst.peak_memory_mb,
+                                capacity_mb=cap,
+                            )
+                        alloc = float(alloc)
+                        if alloc < 1.0:
+                            alloc = 1.0
+                        if alloc > cap:
+                            alloc = cap
+                        st.allocation = alloc
+                        st.first_allocation = alloc
+                    allocation = head.allocation
+                    timer.lap("size")
+                if drained:
+                    node = try_place(allocation, exclude=drained.keys())
+                elif inline_place:
+                    # Inlined :meth:`ResourceManager.try_place` for the
+                    # default first-fit policy with no active drains:
+                    # same failure-cache certificate, same scan.
+                    if (
+                        manager._fail_gen == manager.generation
+                        and allocation >= manager._fail_mb
+                        and not manager._fail_exclude
+                    ):
+                        node = None
+                    else:
+                        node = None
+                        for cand in nodes:
+                            if (
+                                allocation
+                                <= cand.config.memory_mb
+                                - cand.allocated_mb
+                                + 1e-9
+                            ):
+                                node = cand
+                                break
+                        if node is None:
+                            manager._fail_gen = manager.generation
+                            manager._fail_mb = allocation
+                            manager._fail_exclude = empty_exclude
+                else:
+                    node = try_place(allocation)
+                timer.lap("place")
+                if node is None:
+                    break
+                heappop(qorder)
+                attempt = head.attempt + 1
+                if attempt > MAX_ATTEMPTS:
+                    raise RuntimeError(
+                        f"task {head.inst.instance_id} "
+                        f"({head.inst.task_type.key}) did not finish within "
+                        f"{MAX_ATTEMPTS} attempts; last allocation "
+                        f"{allocation:.0f} MB, "
+                        f"peak {head.inst.peak_memory_mb:.0f} MB"
+                    )
+                task_id = manager._next_task_id
+                manager._next_task_id = task_id + 1
+                if allocation > node.config.memory_mb - node.allocated_mb + 1e-9:
+                    raise MemoryError(
+                        f"node {node.node_id} ({node.config.name}) cannot fit "
+                        f"{allocation:.0f} MB; free={node.free_mb:.0f} MB"
+                    )
+                node.running[task_id] = allocation
+                node.allocated_mb += allocation
+                head.attempt = attempt
+                gen = head.dispatch_gen + 1
+                head.dispatch_gen = gen
+                head.running = (node, task_id, allocation, now)
+                running[task_id] = head
+                wait = now - head.queued_at
+                timer.lap("dispatch")
+                for call in dispatch_calls:
+                    call(head, now, node, wait)
+                timer.lap("collect")
+                inst = head.inst
+                duration = (
+                    inst.runtime_hours
+                    if allocation >= inst.peak_memory_mb
+                    else inst.runtime_hours * time_to_failure
+                )
+                seq = events._seq
+                events._seq = seq + 1
+                heappush(heap, (now + duration, COMPLETION, seq, (head, gen)))
+                timer.lap("dispatch")
         return True
 
     def _finalize(self) -> SimulationResult:
@@ -481,176 +880,57 @@ class SimulationKernel:
         return load_checkpoint(path)
 
     # ------------------------------------------------------------------
-    # dispatch / placement pass
-    # ------------------------------------------------------------------
-    def _schedule(self, now: float) -> None:
-        queue = self.driver.queue
-        while queue:
-            head = queue.head()
-            if head.allocation is None:
-                self._size_wave()
-            node = self._try_place(head.allocation)
-            if node is None:
-                # Strict FCFS: the head blocks until memory frees up.
-                break
-            queue.pop()
-            if head.attempt + 1 > MAX_ATTEMPTS:
-                raise RuntimeError(
-                    f"task {head.inst.instance_id} "
-                    f"({head.inst.task_type.key}) did not finish within "
-                    f"{MAX_ATTEMPTS} attempts; last allocation "
-                    f"{head.allocation:.0f} MB, "
-                    f"peak {head.inst.peak_memory_mb:.0f} MB"
-                )
-            task_id = self.manager.next_task_id()
-            node.allocate(task_id, head.allocation)
-            head.attempt += 1
-            head.dispatch_gen += 1
-            head.running = (node, task_id, head.allocation, now)
-            self._running[task_id] = head
-            wait = now - head.queued_at
-            for collector in self.collectors:
-                collector.on_dispatch(head, now, node, wait)
-            success = head.allocation >= head.inst.peak_memory_mb
-            duration = (
-                head.inst.runtime_hours
-                if success
-                else head.inst.runtime_hours * self.time_to_failure
-            )
-            self.events.push(
-                now + duration, COMPLETION, (head, head.dispatch_gen)
-            )
-
-    def _schedule_profiled(self, now: float, timer: PhaseTimer) -> None:
-        """Mirror of :meth:`_schedule` with phase laps (see
-        :meth:`_loop_profiled` for the phase catalogue)."""
-        queue = self.driver.queue
-        while queue:
-            head = queue.head()
-            if head.allocation is None:
-                self._size_wave()
-                timer.lap("size")
-            node = self._try_place(head.allocation)
-            timer.lap("place")
-            if node is None:
-                break
-            queue.pop()
-            if head.attempt + 1 > MAX_ATTEMPTS:
-                raise RuntimeError(
-                    f"task {head.inst.instance_id} "
-                    f"({head.inst.task_type.key}) did not finish within "
-                    f"{MAX_ATTEMPTS} attempts; last allocation "
-                    f"{head.allocation:.0f} MB, "
-                    f"peak {head.inst.peak_memory_mb:.0f} MB"
-                )
-            task_id = self.manager.next_task_id()
-            node.allocate(task_id, head.allocation)
-            head.attempt += 1
-            head.dispatch_gen += 1
-            head.running = (node, task_id, head.allocation, now)
-            self._running[task_id] = head
-            wait = now - head.queued_at
-            timer.lap("dispatch")
-            for collector in self.collectors:
-                collector.on_dispatch(head, now, node, wait)
-            timer.lap("collect")
-            success = head.allocation >= head.inst.peak_memory_mb
-            duration = (
-                head.inst.runtime_hours
-                if success
-                else head.inst.runtime_hours * self.time_to_failure
-            )
-            self.events.push(
-                now + duration, COMPLETION, (head, head.dispatch_gen)
-            )
-            timer.lap("dispatch")
-
-    def _size_wave(self) -> None:
-        """Size the next dispatch wave with one ``predict_batch`` call.
-
-        Both flat and DAG queues surface their unsized states in FCFS
-        order, so every mode gets the vectorized one-query-per-model-
-        slot path.
-        """
-        wave = self.driver.queue.unsized(self.prediction_chunk)
-        size_first_attempts(self.predictor, self.manager, wave)
-
-    def _try_place(self, memory_mb: float) -> Machine | None:
-        if self._drained:
-            return self.manager.try_place(
-                memory_mb, exclude=self._drained.keys()
-            )
-        return self.manager.try_place(memory_mb)
-
-    # ------------------------------------------------------------------
     # lifecycle transitions
     # ------------------------------------------------------------------
     def _release(self, state: TaskState, now: float) -> tuple[float, float]:
         """Free the task's node slice; returns (allocated mb, occupied h)."""
-        assert state.running is not None
         node, task_id, allocated, start = state.running
         state.running = None
-        node.release(task_id)
+        # Inlined Machine.release: ``task_id`` is always present (the
+        # state carried a live running tuple) and the stored reservation
+        # equals ``allocated`` — the tuple and the node never disagree.
+        del node.running[task_id]
+        node.allocated_mb -= allocated
         del self._running[task_id]
+        # Capacity grew: void any cached placement failure.
+        self.manager.generation += 1
         occupied = now - start
-        for collector in self.collectors:
+        for collector in self._release_collectors:
             collector.on_release(state, now, node, allocated, occupied)
         return allocated, occupied
 
-    def _complete(self, state: TaskState, now: float) -> None:
-        assert state.running is not None
-        if state.running[2] >= state.inst.peak_memory_mb:
-            self._finish(state, now)
-        else:
-            self._kill(state, now)
-
-    def _finish(self, state: TaskState, now: float) -> None:
-        inst = state.inst
-        allocated, _ = self._release(state, now)
-        for collector in self.collectors:
-            collector.on_task_success(state, now, allocated)
-        self.predictor.observe(
-            TaskRecord(
-                task_type=inst.task_type.name,
-                workflow=inst.task_type.workflow,
-                machine=inst.machine,
-                timestamp=state.index,
-                input_size_mb=inst.input_size_mb,
-                peak_memory_mb=inst.peak_memory_mb,
-                runtime_hours=inst.runtime_hours,
-                success=True,
-                attempt=state.attempt,
-                allocated_mb=allocated,
-                instance_id=inst.instance_id,
-            )
-        )
-        for released in self.driver.on_success(state, now):
-            released.queued_at = now
-            for collector in self._ready_collectors:
-                collector.on_ready(released, now)
-
     def _kill(self, state: TaskState, now: float) -> None:
         inst = state.inst
-        allocated, occupied = self._release(state, now)
-        for collector in self.collectors:
+        # Inlined :meth:`_release` (one call per kill).
+        node, task_id, allocated, start = state.running
+        state.running = None
+        del node.running[task_id]
+        node.allocated_mb -= allocated
+        del self._running[task_id]
+        self.manager.generation += 1
+        occupied = now - start
+        for collector in self._release_collectors:
+            collector.on_release(state, now, node, allocated, occupied)
+        for collector in self._failure_collectors:
             collector.on_task_failure(state, now, allocated, occupied)
         # The failure record's "peak" is the exceeded limit — a lower
         # bound, flagged via ``success=False``.
-        self.predictor.observe(
-            TaskRecord(
-                task_type=inst.task_type.name,
-                workflow=inst.task_type.workflow,
-                machine=inst.machine,
-                timestamp=state.index,
-                input_size_mb=inst.input_size_mb,
-                peak_memory_mb=allocated,
-                runtime_hours=occupied,
-                success=False,
-                attempt=state.attempt,
-                allocated_mb=allocated,
-                instance_id=inst.instance_id,
+        if self._observe:
+            self.predictor.observe(
+                TaskRecord(
+                    task_type=inst.task_type.name,
+                    workflow=inst.task_type.workflow,
+                    machine=inst.machine,
+                    timestamp=state.index,
+                    input_size_mb=inst.input_size_mb,
+                    peak_memory_mb=allocated,
+                    runtime_hours=occupied,
+                    success=False,
+                    attempt=state.attempt,
+                    allocated_mb=allocated,
+                    instance_id=inst.instance_id,
+                )
             )
-        )
         # Retries must strictly grow or the task can never finish; the
         # escalation floor is the configured doubling factor.
         next_allocation = float(
@@ -670,6 +950,9 @@ class SimulationKernel:
     # node drains
     # ------------------------------------------------------------------
     def _start_outage(self, outage: NodeOutage, now: float) -> None:
+        # The effective node set changed; cached placement failures are
+        # scoped to one exclude set, so every transition voids them.
+        self.manager.generation += 1
         opened = outage.node_id not in self._drained
         self._drained[outage.node_id] = self._drained.get(outage.node_id, 0) + 1
         if opened:
@@ -689,7 +972,7 @@ class SimulationKernel:
             # stale completion event is invalidated by the bumped gen.
             state.attempt -= 1
             state.dispatch_gen += 1
-            for collector in self.collectors:
+            for collector in self._preempt_collectors:
                 collector.on_preempt(state, now)
             state.queued_at = now
             self.driver.queue.requeue(state)
@@ -697,6 +980,8 @@ class SimulationKernel:
                 collector.on_ready(state, now)
 
     def _end_outage(self, outage: NodeOutage, now: float) -> None:
+        # A drained node may return to service: capacity can grow.
+        self.manager.generation += 1
         remaining = self._drained.get(outage.node_id, 0) - 1
         if remaining > 0:
             self._drained[outage.node_id] = remaining

@@ -44,7 +44,15 @@ OUTAGE_START = 3
 
 
 class EventHeap:
-    """Min-heap of ``(time, kind, seq, payload)`` events."""
+    """Min-heap of ``(time, kind, seq, payload)`` events.
+
+    The kernel's hot loop reads ``_heap`` directly (peek at
+    ``_heap[0][0]``, pop via :func:`heapq.heappop`) to skip the method
+    and property indirection; the entry layout is therefore part of the
+    kernel-internal contract.
+    """
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, int, object]] = []

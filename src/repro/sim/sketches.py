@@ -88,7 +88,7 @@ class QuantileSketch:
     its own centroid, i.e. small streams degrade to exact quantiles).
     """
 
-    __slots__ = ("compression", "_means", "_weights", "_buffer", "stat")
+    __slots__ = ("compression", "_means", "_weights", "_buffer", "_cap", "stat")
 
     def __init__(self, compression: int = 512) -> None:
         if compression < 16:
@@ -97,14 +97,25 @@ class QuantileSketch:
         self._means: list[float] = []
         self._weights: list[float] = []
         self._buffer: list[float] = []
+        self._cap = compression * 2
         self.stat = RunningStat()
 
     # ------------------------------------------------------------------
     def add(self, value: float) -> None:
+        # Inlined RunningStat.add: the simulation kernel calls this for
+        # every completion (wastage + turnaround) and every dispatch
+        # (queue wait), so the extra method call was measurable.
         value = float(value)
-        self.stat.add(value)
-        self._buffer.append(value)
-        if len(self._buffer) >= self.compression * 2:
+        stat = self.stat
+        stat.n += 1
+        stat.total += value
+        if value < stat.min:
+            stat.min = value
+        if value > stat.max:
+            stat.max = value
+        buffer = self._buffer
+        buffer.append(value)
+        if len(buffer) >= self._cap:
             self._compress()
 
     def extend(self, values: Iterable[float]) -> None:
@@ -218,3 +229,4 @@ class QuantileSketch:
             self._buffer,
             self.stat,
         ) = state
+        self._cap = self.compression * 2

@@ -1,0 +1,207 @@
+"""Placement-failure cache: invalidation exactness.
+
+The kernel caches a failed placement scan as a certificate
+``(generation, min_failed_mb, exclude)`` and short-circuits every
+later probe the certificate covers.  That is only sound if the
+generation bumps on *every* transition where free capacity can grow —
+release (success or kill), outage start/end, drain, reset.  These
+tests pin the bump sites and the certificate semantics, and a
+randomized sequence checks the cached scan never disagrees with an
+uncached ground-truth scan (a stale cache must never skip a feasible
+placement).
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.machine import MachineConfig
+from repro.cluster.manager import ResourceManager
+from repro.cluster.policies import FirstFit
+from repro.experiments.factories import method_factories
+from repro.sim.backends.event import EventDrivenBackend
+from repro.sim.engine import OnlineSimulator
+from repro.workflow.nfcore import build_workflow_trace
+
+GB = 1024.0
+
+
+def _manager(n_nodes=2, memory_gb=4.0, **kwargs):
+    cfg = MachineConfig(name="test", memory_mb=memory_gb * GB)
+    return ResourceManager(cfg, n_nodes=n_nodes, **kwargs)
+
+
+class _CountingFirstFit(FirstFit):
+    """First-fit that counts scans, to observe cache short-circuits."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def select(self, nodes, memory_mb):
+        self.calls += 1
+        return super().select(nodes, memory_mb)
+
+
+class TestFailureCertificate:
+    def test_miss_caches_and_short_circuits_larger_probes(self):
+        mgr = _manager(n_nodes=1, memory_gb=4.0)
+        assert mgr.try_place(5 * GB) is None
+        assert mgr._fail_gen == mgr.generation
+        assert mgr._fail_mb == 5 * GB
+        # Anything >= the cached size short-circuits at this generation.
+        assert mgr.try_place(5 * GB) is None
+        assert mgr.try_place(6 * GB) is None
+        # A smaller request is *not* covered and must scan (and fit).
+        assert mgr.try_place(3 * GB) is not None
+
+    def test_policy_override_bypasses_cache(self):
+        mgr = _manager(n_nodes=1, memory_gb=4.0)
+        assert mgr.try_place(5 * GB) is None
+        counting = _CountingFirstFit()
+        assert mgr.try_place(5 * GB, policy=counting) is None
+        assert counting.calls == 1  # scanned despite the cached miss
+
+    def test_invalidate_placement_voids_the_cache(self):
+        mgr = _manager(n_nodes=1, memory_gb=4.0)
+        node = mgr.try_place(3 * GB)
+        node.allocate(mgr.next_task_id(), 3 * GB)
+        assert mgr.try_place(2 * GB) is None
+        # Release capacity the way the kernel does: free, then bump.
+        node.running.clear()
+        node.allocated_mb = 0.0
+        mgr.invalidate_placement()
+        assert mgr.try_place(2 * GB) is not None
+
+    def test_release_all_bumps_generation(self):
+        mgr = _manager()
+        before = mgr.generation
+        mgr.release_all()
+        assert mgr.generation == before + 1
+
+    def test_exclude_superset_hits_subset_misses(self):
+        mgr = _manager(n_nodes=2, memory_gb=4.0)
+        # Fail with node 0 hidden: certificate covers {1} only... i.e.
+        # "no node outside {0} fits 3G".
+        node = mgr.nodes[1]
+        node.allocate(mgr.next_task_id(), 3.5 * GB)
+        assert mgr.try_place(3 * GB, exclude={0}) is None
+        # Probing with a *larger* exclude set scans fewer nodes: hit.
+        assert mgr.try_place(3 * GB, exclude={0, 1}) is None
+        # Probing with a smaller exclude set sees node 0 again: must
+        # rescan, and node 0 fits.
+        assert mgr.try_place(3 * GB) is mgr.nodes[0]
+
+    def test_empty_exclude_certificate_covers_every_probe(self):
+        mgr = _manager(n_nodes=2, memory_gb=4.0)
+        for node in mgr.nodes:
+            node.allocate(mgr.next_task_id(), 3.5 * GB)
+        assert mgr.try_place(1 * GB) is None  # cache: nothing fits 1G
+        # The no-exclude certificate covers probes with any exclude set.
+        assert mgr.try_place(1 * GB, exclude={0}) is None
+        assert mgr.try_place(2 * GB, exclude={0, 1}) is None
+
+
+def test_randomized_cache_never_disagrees_with_uncached_scan():
+    """A cached ``try_place`` must equal a fresh ground-truth scan.
+
+    Random walk over allocate / release / drain transitions, with the
+    kernel's bump discipline (bump on anything that grows capacity).
+    Before every probe the expected answer is computed by an uncached
+    first-fit scan over the live node list; any divergence means a
+    stale certificate skipped a feasible placement (or invented one).
+    """
+    rng = random.Random(42)
+    mgr = _manager(n_nodes=3, memory_gb=4.0)
+    ground_truth = FirstFit()
+    live: list[tuple] = []  # (node, task_id)
+    drained: set[int] = set()
+    for _ in range(2000):
+        action = rng.random()
+        if action < 0.55:
+            request = rng.uniform(0.1, 5.0) * GB
+            exclude = drained or None
+            visible = [n for n in mgr.nodes if n.node_id not in drained]
+            expected = ground_truth.select(visible, request)
+            got = mgr.try_place(request, exclude=exclude)
+            assert got is expected, (
+                f"cache diverged: expected {expected}, got {got} "
+                f"for {request / GB:.2f}G exclude={drained}"
+            )
+            if got is not None:
+                task_id = mgr.next_task_id()
+                got.allocate(task_id, request)
+                live.append((got, task_id))
+        elif action < 0.8 and live:
+            node, task_id = live.pop(rng.randrange(len(live)))
+            node.release(task_id)
+            mgr.invalidate_placement()
+        elif action < 0.9:
+            # Outage start: capacity shrank for placement purposes, but
+            # the kernel still bumps (exclude-scoped certificates).
+            drained.add(rng.randrange(3))
+            mgr.invalidate_placement()
+        elif drained:
+            drained.remove(rng.choice(sorted(drained)))
+            mgr.invalidate_placement()
+
+
+def _generation_after(backend_kwargs, sim_kwargs, method="Witt-Percentile"):
+    trace = build_workflow_trace("iwd", seed=3, scale=0.05)
+    backend = EventDrivenBackend(**backend_kwargs)
+    sim = OnlineSimulator(trace, backend=backend, **sim_kwargs)
+    result = sim.run(method_factories()[method]())
+    return sim.manager.generation, result
+
+
+class TestKernelBumpSites:
+    """Every capacity-growing kernel transition bumps the generation."""
+
+    def test_successful_releases_bump(self):
+        gen, result = _generation_after(
+            dict(arrival="poisson:600", seed=7),
+            dict(cluster="6g:2"),
+        )
+        assert result.num_tasks > 0
+        # One bump per release: every attempt (success or kill) frees
+        # its allocation exactly once.
+        assert gen >= result.num_tasks + result.num_failures
+
+    def test_kills_bump(self):
+        gen, result = _generation_after(
+            dict(arrival="poisson:600", seed=7),
+            dict(time_to_failure=0.7, cluster="6g:2"),
+        )
+        assert result.num_failures > 0
+        # Every attempt — success or kill — releases capacity once.
+        assert gen >= result.num_tasks + result.num_failures
+
+    def test_outage_transitions_bump(self):
+        with_outage, result = _generation_after(
+            dict(arrival="poisson:600", seed=7, node_outage="0.005:0.02:0"),
+            dict(time_to_failure=0.7, cluster="4g:2"),
+        )
+        without_outage, baseline = _generation_after(
+            dict(arrival="poisson:600", seed=7),
+            dict(time_to_failure=0.7, cluster="4g:2"),
+        )
+        attempts = result.num_tasks + result.num_failures
+        # The single outage window bumps at its start and its end, on
+        # top of the per-attempt releases.
+        assert with_outage >= attempts + 2
+        assert result.num_tasks == baseline.num_tasks
+
+
+def test_stale_cache_never_blocks_after_release_in_kernel():
+    """End-to-end: a full cluster drains and later tasks still place.
+
+    With one 4G node and 3G allocations, every dispatch fills the
+    cluster and queues the next head behind a cached failure; each
+    completion must void the cache or the run would deadlock (the
+    kernel raises on an unschedulable stall rather than spinning).
+    """
+    gen, result = _generation_after(
+        dict(arrival="poisson:2000", seed=7),
+        dict(cluster="4g:1"),
+    )
+    assert result.num_tasks > 0
+    assert gen >= result.num_tasks

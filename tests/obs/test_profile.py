@@ -147,6 +147,10 @@ def _run(workflow_kwargs, backend_kwargs, sim_kwargs, method="Witt-Percentile"):
 #: Structurally different kernel modes, all small enough to stay fast:
 #: pure flat contention with kills, flat with a node drain (preemption
 #: + outage events), and DAG scheduling with multi-workflow arrivals.
+#: The ``*-firstfit`` variants run the default first-fit policy with no
+#: drains — the branch the kernel inlines (placement-failure cache and
+#: all) instead of calling ``ResourceManager.try_place``, so the
+#: pairwise profiled-twin pin covers both placement code paths.
 MODES = {
     "flat-kills": dict(
         workflow_kwargs=dict(name="iwd", seed=3, scale=0.05),
@@ -154,6 +158,18 @@ MODES = {
         sim_kwargs=dict(
             time_to_failure=0.7, cluster="4g:1,6g:1", placement="best-fit"
         ),
+    ),
+    "flat-firstfit": dict(
+        workflow_kwargs=dict(name="iwd", seed=3, scale=0.05),
+        backend_kwargs=dict(arrival="poisson:600", seed=7),
+        sim_kwargs=dict(time_to_failure=0.7, cluster="4g:1,6g:1"),
+    ),
+    "dag-firstfit": dict(
+        workflow_kwargs=dict(name="iwd", seed=3, scale=0.05),
+        backend_kwargs=dict(
+            dag="trace", workflow_arrival="3@poisson:8@tenants:2", seed=11
+        ),
+        sim_kwargs=dict(time_to_failure=0.7, cluster="4g:1,6g:1"),
     ),
     "flat-outage": dict(
         workflow_kwargs=dict(name="iwd", seed=3, scale=0.05),
