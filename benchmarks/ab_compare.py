@@ -1,0 +1,284 @@
+#!/usr/bin/env python
+"""Automated interleaved same-host worktree A/B (docs/BENCH.md protocol).
+
+Single-snapshot benchmark numbers confound code changes with host
+drift — this repo's bench hosts have swung ±40% on multi-minute
+periods.  The protocol that adjudicates a suspect number is an
+*interleaved same-machine A/B* of the two commits: check out the prior
+commit in a ``git worktree``, alternate best-of-N probes of both trees
+on one host, bracket every probe with a pure-Python spin calibration,
+and compare *normalized* throughput (events/sec divided by the host's
+spin speed at that moment).  PR 8 and PR 9 both needed this done by
+hand; this script makes it one command:
+
+.. code-block:: console
+
+   $ git worktree add /tmp/pr9 <prior-commit>
+   $ PYTHONPATH=src python benchmarks/ab_compare.py \\
+         --tree-a /tmp/pr9 --tree-b . --cells flat,dag,profiled
+
+Each probe is a fresh subprocess running *this* file's ``--probe`` mode
+with ``PYTHONPATH`` pointed at the target tree's ``src`` — the probe
+code is identical for both trees (it only uses API stable since PR 6),
+so the measured difference is the library, not the harness.  Pairs
+alternate order (A→B, B→A, …) so slow host windows hit both trees
+symmetrically; the summary reports each tree's best raw events/sec and
+the median (plus range) of the per-pair normalized ratios.
+
+``--self-check`` runs one tiny probe pair against the current tree on
+both sides (expected ratio ≈ 1) — a fast CI smoke that the harness
+itself executes end-to-end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+
+__all__ = [
+    "CELLS",
+    "spin_mops",
+    "run_probe",
+    "summarize_pairs",
+    "format_table",
+]
+
+#: Probe cells, mirroring benchmarks/test_bench_kernel.py's headline
+#: trio: flat Poisson arrivals, DAG multi-workflow arrivals, and the
+#: flat cell with the phase profiler on.
+CELLS = ("flat", "dag", "profiled")
+
+_SPIN_N = 2_000_000
+
+
+def spin_mops(n: int = _SPIN_N) -> float:
+    """Millions of pure-Python loop iterations per second, right now.
+
+    The calibration constant behind normalized ratios: a fixed
+    interpreter-bound spin whose speed tracks the host's effective
+    single-core performance (frequency, steal, cache pressure) at the
+    moment of the probe.
+    """
+    start = time.perf_counter()
+    i = 0
+    while i < n:
+        i += 1
+    return n / (time.perf_counter() - start) / 1e6
+
+
+def run_probe(cell: str, rounds: int, scale: float, seed: int = 0) -> dict:
+    """Run one best-of-``rounds`` kernel probe in *this* process.
+
+    Imports the simulator from whatever ``PYTHONPATH`` points at — the
+    parent process aims that at the tree under test.  Returns the raw
+    measurements; the spin calibration brackets the timed rounds and
+    the two samples are averaged.
+    """
+    from repro.cluster.machine import MachineConfig
+    from repro.cluster.manager import ResourceManager
+    from repro.sim.backends.event import EventDrivenBackend
+    from repro.sim.interface import MemoryPredictor
+    from repro.workflow.nfcore import build_workflow_trace
+
+    class _CheapPredictor(MemoryPredictor):
+        name = "Cheap"
+
+        def predict(self, task):
+            return 64.0 * 1024
+
+        def predict_batch(self, tasks):
+            return [64.0 * 1024] * len(tasks)
+
+    if cell == "flat":
+        backend = EventDrivenBackend(arrival="poisson:50", seed=seed)
+    elif cell == "dag":
+        backend = EventDrivenBackend(
+            dag="trace", workflow_arrival="4@poisson:2", seed=seed
+        )
+    elif cell == "profiled":
+        backend = EventDrivenBackend(
+            arrival="poisson:50", seed=seed, profile=True
+        )
+    else:
+        raise ValueError(f"unknown cell {cell!r}; expected one of {CELLS}")
+    trace = build_workflow_trace("rnaseq", seed=seed, scale=scale)
+    spin_before = spin_mops()
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        manager = ResourceManager(
+            MachineConfig(name="big", memory_mb=512.0 * 1024), n_nodes=8
+        )
+        start = time.perf_counter()
+        result = backend.run(trace, _CheapPredictor(), manager, 1.0)
+        best = min(best, time.perf_counter() - start)
+    spin_after = spin_mops()
+    n_events = 2 * len(result.ledger.outcomes) + (4 if cell == "dag" else 0)
+    spin = (spin_before + spin_after) / 2.0
+    return {
+        "cell": cell,
+        "n_events": n_events,
+        "best_seconds": best,
+        "events_per_sec": n_events / best,
+        "spin_mops": spin,
+        "normalized": n_events / best / spin,
+    }
+
+
+def _subprocess_probe(
+    tree: str, cell: str, rounds: int, scale: float
+) -> dict:
+    """Run one probe against ``tree`` in a fresh interpreter."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.abspath(tree), "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.abspath(__file__),
+            "--probe",
+            cell,
+            "--rounds",
+            str(rounds),
+            "--scale",
+            str(scale),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"probe {cell!r} against {tree!r} failed:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def summarize_pairs(pairs: list) -> dict:
+    """Reduce ``[(probe_a, probe_b), ...]`` to the A/B verdict numbers.
+
+    The per-pair *normalized ratio* divides each probe's events/sec by
+    its own spin calibration before comparing, cancelling host-speed
+    drift between the two probes of a pair; the median over pairs then
+    shrugs off the odd pair that straddled a drift edge.
+    """
+    if not pairs:
+        raise ValueError("summarize_pairs needs at least one probe pair")
+    ratios = [b["normalized"] / a["normalized"] for a, b in pairs]
+    return {
+        "best_a": max(a["events_per_sec"] for a, _ in pairs),
+        "best_b": max(b["events_per_sec"] for _, b in pairs),
+        "ratios": ratios,
+        "median_ratio": statistics.median(ratios),
+        "min_ratio": min(ratios),
+        "max_ratio": max(ratios),
+    }
+
+
+def format_table(results: dict) -> str:
+    """Render ``{cell: summary}`` as the BENCH.md-style markdown table."""
+    lines = [
+        "| cell | A best ev/s | B best ev/s | normalized ratio (B/A) |",
+        "| --- | --- | --- | --- |",
+    ]
+    for cell, s in results.items():
+        lines.append(
+            f"| {cell} | {s['best_a']:,.0f} | {s['best_b']:,.0f} | "
+            f"**{s['median_ratio']:.2f}x** "
+            f"({s['min_ratio']:.2f}-{s['max_ratio']:.2f} over "
+            f"{len(s['ratios'])} pairs) |"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Interleaved same-host worktree A/B (docs/BENCH.md)"
+    )
+    parser.add_argument("--tree-a", help="baseline tree (e.g. prior-PR worktree)")
+    parser.add_argument("--tree-b", help="candidate tree (default: this repo)")
+    parser.add_argument(
+        "--cells",
+        default="flat,dag,profiled",
+        help=f"comma-separated subset of {','.join(CELLS)}",
+    )
+    parser.add_argument("--pairs", type=int, default=5, help="A/B pairs per cell")
+    parser.add_argument("--rounds", type=int, default=5, help="best-of-N per probe")
+    parser.add_argument(
+        "--scale", type=float, default=0.5, help="workflow trace scale"
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="one tiny same-tree pair per side; expects ratio ~1",
+    )
+    parser.add_argument("--probe", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.probe:
+        # Child mode: measure one probe and emit it as the last stdout
+        # line for the parent to parse.
+        print(json.dumps(run_probe(args.probe, args.rounds, args.scale)))
+        return 0
+
+    here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if args.self_check:
+        tree_a = tree_b = here
+        cells = ["flat"]
+        # Best-of-3 because the tiny trace runs ~1 ms per round — a
+        # single round is at the mercy of one scheduler hiccup.
+        pairs, rounds, scale = 1, 3, 0.05
+    else:
+        if not args.tree_a:
+            parser.error("--tree-a is required (or use --self-check)")
+        tree_a = args.tree_a
+        tree_b = args.tree_b or here
+        cells = [c.strip() for c in args.cells.split(",") if c.strip()]
+        for c in cells:
+            if c not in CELLS:
+                parser.error(f"unknown cell {c!r}; expected subset of {CELLS}")
+        pairs, rounds, scale = args.pairs, args.rounds, args.scale
+
+    print(f"A = {tree_a}")
+    print(f"B = {tree_b}")
+    results = {}
+    for cell in cells:
+        cell_pairs = []
+        for k in range(pairs):
+            # Alternate order so slow host windows hit both trees
+            # symmetrically.
+            first_a = k % 2 == 0
+            first_tree = tree_a if first_a else tree_b
+            second_tree = tree_b if first_a else tree_a
+            p1 = _subprocess_probe(first_tree, cell, rounds, scale)
+            p2 = _subprocess_probe(second_tree, cell, rounds, scale)
+            pa, pb = (p1, p2) if first_a else (p2, p1)
+            cell_pairs.append((pa, pb))
+            print(
+                f"  {cell} pair {k + 1}/{pairs}: "
+                f"A {pa['events_per_sec']:,.0f} ev/s "
+                f"(spin {pa['spin_mops']:.1f} Mops)  "
+                f"B {pb['events_per_sec']:,.0f} ev/s "
+                f"(spin {pb['spin_mops']:.1f} Mops)  "
+                f"ratio {pb['normalized'] / pa['normalized']:.2f}x"
+            )
+        results[cell] = summarize_pairs(cell_pairs)
+    print()
+    print(format_table(results))
+    if args.self_check:
+        ratio = results["flat"]["median_ratio"]
+        if not 0.2 < ratio < 5.0:
+            # Same tree on both sides: anything far from 1 means the
+            # harness (not the host) is broken.
+            print(f"self-check FAILED: same-tree ratio {ratio:.2f}x")
+            return 1
+        print(f"self-check ok (same-tree ratio {ratio:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,7 @@ Every benchmark regenerates one paper artifact end-to-end, so a single
 round is the meaningful unit of measurement (these are throughput
 benchmarks of the full experiment pipeline, not micro-benchmarks).
 
-Each session also emits a machine-readable ``BENCH_9.json`` next to the
+Each session also emits a machine-readable ``BENCH_10.json`` next to the
 repo root — wall-clock seconds per benchmark cell keyed by the pytest
 node id — so the perf trajectory across PRs can be tracked by diffing
 the committed snapshots (see ``docs/BENCH.md`` for the key reference).
@@ -23,7 +23,7 @@ import pytest
 from _bench_utils import check_headline_sanity, record_peak_rss
 
 #: PR-numbered snapshot written at session end: {nodeid: seconds}.
-_BENCH_FILE = "BENCH_9.json"
+_BENCH_FILE = "BENCH_10.json"
 
 _cells: dict[str, float] = {}
 #: Extra named measurements (e.g. kernel events/sec), merged alongside
@@ -131,7 +131,7 @@ def pytest_sessionfinish(session, exitstatus):
     )
     payload = {
         "format": "repro-bench",
-        "pr": 9,
+        "pr": 10,
         "unit": "seconds",
         "cells": dict(sorted(cells.items())),
         "metrics": dict(sorted(metrics.items())),

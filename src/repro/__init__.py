@@ -49,7 +49,7 @@ Quickstart::
     print(result.cluster.makespan_hours, result.cluster.mean_utilization)
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = ["SizeyPredictor", "SizeyConfig", "__version__"]
 

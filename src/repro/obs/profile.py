@@ -38,6 +38,7 @@ __all__ = ["PHASE_ORDER", "KernelProfile", "PhaseStat", "PhaseTimer", "profile_t
 PHASE_ORDER = (
     "seed",
     "heap",
+    "wave",
     "arrival",
     "size",
     "place",

@@ -278,25 +278,60 @@ class DagWorkflowDriver:
         )
         self.n_tasks = sum(wi.n_tasks for wi in self.workflows)
         offset = 0
+        new = object.__new__
         for wi in self.workflows:
             # ``index`` is the dense submission position (copy k owns
             # the positions past all earlier copies' tasks) — the flat
             # backends' timestamp convention — while instance ids keep
             # their trace values.  In a sharded run the positions are
-            # dense *within the shard*.
-            self._states[wi.key] = {
-                t.instance_id: TaskState(
-                    inst=t,
-                    submission=TaskSubmission.from_instance(t, offset + i),
-                    index=offset + i,
-                    arrival=wi.submit_time,
-                    wi=wi,
+            # dense *within the shard*.  Submission/state assembly
+            # bypasses the dataclass constructors (``object.__new__`` +
+            # direct stores — one pair per task, seed hot path at
+            # million-task scale).
+            submit = wi.submit_time
+            states = {}
+            for i, t in enumerate(wi.tasks, offset):
+                task_type = t.task_type
+                sub = new(TaskSubmission)
+                # Direct __dict__ bind: one dict build instead of
+                # build-then-merge (frozen dataclass, no slots).
+                sub.__dict__.update(
+                    task_type=task_type.name,
+                    workflow=task_type.workflow,
+                    machine=t.machine,
+                    instance_id=t.instance_id,
+                    input_size_mb=t.input_size_mb,
+                    preset_memory_mb=task_type.preset_memory_mb,
+                    timestamp=i,
                 )
-                for i, t in enumerate(wi.tasks)
-            }
+                state = new(TaskState)
+                state.inst = t
+                state.submission = sub
+                state.index = i
+                state.arrival = submit
+                state.wi = wi
+                state.allocation = None
+                state.first_allocation = None
+                state.attempt = 0
+                state.queued_at = 0.0
+                state.running = None
+                state.dispatch_gen = 0
+                states[t.instance_id] = state
+            self._states[wi.key] = states
             offset += wi.n_tasks
-        for wi in self.workflows:
-            kernel.events.push(wi.submit_time, ARRIVAL, wi)
+        try:
+            # Bulk-load the whole submission timetable into the event
+            # calendar's scheduled lane (arrival models produce
+            # non-decreasing times, and the shard filter keeps a
+            # subsequence).
+            kernel.events.schedule_batch(
+                [wi.submit_time for wi in self.workflows],
+                ARRIVAL,
+                list(self.workflows),
+            )
+        except ValueError:
+            for wi in self.workflows:
+                kernel.events.push(wi.submit_time, ARRIVAL, wi)
 
     def on_arrival(self, payload: object, now: float) -> Iterable[TaskState]:
         wi = payload

@@ -66,22 +66,25 @@ __all__ = ["EventDrivenBackend", "FlatStreamDriver"]
 class _FlatQueue:
     """FCFS ready queue ordered by submission index.
 
-    Besides the main heap, a dedicated index heap tracks queued states
-    that still need sizing, so :meth:`unsized` pops its wave in O(wave
-    log n) instead of scanning the whole queue per sizing call.  The
-    index is exact because of two kernel invariants: states enter the
-    queue unsized only on arrival (kill/preempt requeues are always
-    already sized), and every state :meth:`unsized` returns is sized
-    immediately by the caller — so popped index entries never need to
-    come back, and an entry whose state was sized as part of an earlier
-    wave is simply skipped.
+    Besides the main heap, a plain append-list tracks queued states that
+    still need sizing, consumed through a cursor — O(1) per push and per
+    pop, no heap sift at all.  The list *is* index-sorted because of two
+    kernel invariants: states enter the queue unsized only on arrival
+    (kill/preempt requeues are always already sized), and flat arrivals
+    are handled in strictly increasing submission-index order (the event
+    calendar pops same-time arrivals in schedule order).  Every state
+    :meth:`unsized` returns is sized immediately by the caller, so
+    consumed entries never come back; an entry whose state was sized as
+    part of an earlier wave is simply skipped.  The consumed prefix is
+    compacted once it dominates the list, keeping memory O(pending).
     """
 
-    __slots__ = ("_heap", "_unsized", "order")
+    __slots__ = ("_heap", "_unsized", "_upos", "order")
 
     def __init__(self) -> None:
         self._heap: list[tuple[int, TaskState]] = []
-        self._unsized: list[tuple[int, TaskState]] = []
+        self._unsized: list[TaskState] = []
+        self._upos = 0
         #: Kernel-internal contract (shared with ``_DagQueue``): the live
         #: heap list itself.  Entries sort FCFS and end with the state,
         #: so the kernel peeks ``order[0][-1]`` and pops with ``heappop``
@@ -91,7 +94,7 @@ class _FlatQueue:
     def push(self, state: TaskState) -> None:
         heapq.heappush(self._heap, (state.index, state))
         if state.allocation is None:
-            heapq.heappush(self._unsized, (state.index, state))
+            self._unsized.append(state)
 
     def head(self) -> TaskState:
         return self._heap[0][1]
@@ -102,10 +105,17 @@ class _FlatQueue:
     def unsized(self, limit: int) -> list[TaskState]:
         wave: list[TaskState] = []
         index = self._unsized
-        while index and len(wave) < limit:
-            state = heapq.heappop(index)[1]
+        pos = self._upos
+        n = len(index)
+        while pos < n and len(wave) < limit:
+            state = index[pos]
+            pos += 1
             if state.allocation is None:
                 wave.append(state)
+        if pos > 512 and pos * 2 > n:
+            del index[:pos]
+            pos = 0
+        self._upos = pos
         return wave
 
     def requeue(self, state: TaskState) -> None:
@@ -122,33 +132,47 @@ class _FlatQueue:
 class FlatStreamDriver:
     """Kernel driver for a flat, pre-ordered task stream.
 
-    Arrival events carry task states; nothing is released on success —
-    the stream has no dependencies, only submission times.  Tasks are
-    pulled lazily from the kernel's workload source and zipped with the
-    arrival model's schedule: a sized source uses the vectorized
-    ``sample(n, rng)`` path, an unsized (streaming) source the
-    draw-for-draw-identical ``times(rng)`` iterator — the same schedule
-    either way, so trace files and streams replay identically.
+    Nothing is released on success — the stream has no dependencies,
+    only submission times.  The schedule comes from the arrival model's
+    vectorized ``sample(n, rng)`` for sized sources and the
+    draw-for-draw-identical ``times(rng)`` iterator for unsized
+    (streaming) ones — the same schedule either way, so trace files and
+    streams replay identically.
 
-    **Lazy arrivals** (sized sources): only one pending arrival event
-    lives in the heap at a time; each arrival, once popped, pulls the
-    next task from the stream and pushes its event.  This is pop-order
-    identical to pushing the whole schedule up front — arrival times
-    are non-decreasing, so the single pending arrival is always the
-    earliest remaining one, and at equal timestamps the event *kind*
-    (not push sequence) decides against completions and outages — while
-    keeping heap memory O(1) in the trace length.  An unsized source
-    cannot pre-commit ``n_tasks``, so it keeps the eager schedule.
+    **Scheduled arrivals** (sized sources, PR 10): the whole (sharded)
+    arrival timetable is bulk-loaded into the event calendar's columnar
+    scheduled lane at seed time — no payloads, no per-event heap sift —
+    and the task states themselves are prebuilt in blocks of
+    :data:`_BLOCK` as arrivals drain, assembled straight from the
+    workload iterator with ``object.__new__`` + direct slot stores.
+    Each popped arrival takes the next prebuilt state; stream order *is*
+    schedule order, which is what the old one-pending-arrival lazy
+    machinery relied on anyway.  A custom arrival model whose sampled
+    times are not non-decreasing (violating the
+    :class:`~repro.sim.arrivals.ArrivalModel` contract) is caught by
+    ``schedule_batch``'s validation and falls back to eager per-event
+    pushes through the dynamic lane, which re-sorts them.
 
-    Sharding (``shard`` of ``shards``, sized sources only): the driver
-    walks the full stream and schedule but materializes only tasks whose
-    global submission index is congruent to ``shard`` — every kept task
-    has exactly the arrival time and index it has in the unsharded run.
+    Sharding (``shard`` of ``shards``, sized sources only): only tasks
+    whose global submission index is congruent to ``shard`` are
+    materialized — every kept task has exactly the arrival time and
+    index it has in the unsharded run.
     """
 
     #: Flat streams have no dependency graph: success never releases new
     #: work, so the kernel skips the per-success driver call entirely.
     releases_on_success = False
+
+    #: Kernel contract: a payload-less (scheduled-lane) arrival may be
+    #: inlined by the loop as ``_block`` pop (refilling via
+    #: :meth:`_refill`) + arrival/queued stamp + FCFS-heap push +
+    #: ``queue._unsized`` append — the exact body of
+    #: :meth:`on_arrival`.  A subclass that overrides :meth:`on_arrival`
+    #: or swaps the queue type must reset this to ``False``.
+    inline_arrival = True
+
+    #: Task states prebuilt per refill of the scheduled-arrival path.
+    _BLOCK = 256
 
     def __init__(
         self,
@@ -169,22 +193,52 @@ class FlatStreamDriver:
         self.shards = shards
         self.queue = _FlatQueue()
         self.n_tasks = 0
-        #: Global submission index of the next stream entry (lazy mode).
-        self._cursor = 0
-        #: Live ``zip(tasks, times)`` iterator; never pickled — rebuilt
-        #: deterministically from ``_cursor`` after a resume.
-        self._stream: "Iterable | None" = None
-        self._lazy = False
+        #: Shard-local count of tasks pulled from the source so far
+        #: (including those still waiting in ``_block``).
+        self._consumed = 0
+        #: Prebuilt task states in *reverse* schedule order (pop() takes
+        #: the next arrival); refilled from the source in _BLOCK chunks.
+        self._block: list[TaskState] = []
+        #: Live shard-sliced task iterator; never pickled — rebuilt
+        #: deterministically from ``_consumed`` after a resume.
+        self._tasks: "Iterable | None" = None
         self._kernel: SimulationKernel | None = None
 
     def seed(self, kernel: SimulationKernel) -> None:
         source = kernel.source
         n = source.n_tasks
         if n is not None:
-            self._lazy = True
             self._kernel = kernel
             self.n_tasks = len(range(self.shard, n, self.shards))
-            self._push_next()
+            # One vectorized draw for the full schedule (n floats, not n
+            # events) so sharded and resumed runs all see the exact
+            # arrival times of the unsharded run.
+            rng = np.random.default_rng(self.rng_seed)
+            schedule = np.ascontiguousarray(
+                self.arrival.sample(n, rng), dtype=np.float64
+            )
+            try:
+                kernel.events.schedule_batch(
+                    schedule[self.shard :: self.shards], ARRIVAL
+                )
+            except ValueError:
+                # Contract-violating custom model (unsorted times):
+                # push each arrival through the dynamic lane instead,
+                # whose heap restores the time order.
+                times = schedule.tolist()
+                events = kernel.events
+                shard, shards = self.shard, self.shards
+                for k, inst in enumerate(source.iter_tasks()):
+                    if k % shards != shard:
+                        continue
+                    state = TaskState(
+                        inst=inst,
+                        submission=TaskSubmission.from_instance(inst, k),
+                        index=k,
+                        arrival=times[k],
+                    )
+                    events.push(state.arrival, ARRIVAL, state)
+                self._consumed = self.n_tasks
             return
         if self.shards != 1:
             raise ValueError(
@@ -214,46 +268,37 @@ class FlatStreamDriver:
         self.n_tasks = count
 
     # ------------------------------------------------------------------
-    # lazy stream plumbing (sized sources)
+    # batched state assembly (sized sources, scheduled arrivals)
     # ------------------------------------------------------------------
-    def _ensure_stream(self) -> None:
-        if self._stream is not None:
-            return
-        assert self._kernel is not None
-        source = self._kernel.source
-        n = source.n_tasks
-        assert n is not None
-        # The full schedule is drawn in one vectorized call (n floats,
-        # not n events) so lazy, resumed, and sharded runs all see the
-        # exact arrival times of the eager unsharded run.
-        rng = np.random.default_rng(self.rng_seed)
-        schedule = self.arrival.sample(n, rng)
-        if hasattr(schedule, "tolist"):
-            # Bulk-convert to Python floats once: the per-arrival
-            # ``float(np.float64)`` on the hot path was measurable.
-            schedule = schedule.tolist()
-        stream = zip(source.iter_tasks(), schedule)
-        if self._cursor:
-            stream = islice(stream, self._cursor, None)
-        self._stream = iter(stream)
+    def _refill(self) -> None:
+        """Prebuild the next block of task states from the source.
 
-    def _push_next(self) -> None:
-        """Advance to this shard's next task and push its arrival event."""
-        if self._stream is None:
-            self._ensure_stream()
-        while True:
-            entry = next(self._stream, None)  # type: ignore[arg-type]
-            if entry is None:
-                return
-            index = self._cursor
-            self._cursor += 1
-            if index % self.shards != self.shard:
-                continue
-            inst, arrival_time = entry
-            arrival = float(arrival_time)
-            # Inlined TaskSubmission.from_instance (one per arrival).
+        One ``islice`` drain per block instead of one generator resume
+        per arrival; submission/state assembly bypasses the dataclass
+        constructors with ``object.__new__`` + direct slot stores (all
+        non-identity fields are defaults).  ``arrival`` is stamped when
+        the scheduled event pops — the popped timestamp *is* this
+        task's sampled arrival time.
+        """
+        it = self._tasks
+        if it is None:
+            assert self._kernel is not None
+            it = self._tasks = islice(
+                self._kernel.source.iter_tasks(),
+                self.shard + self._consumed * self.shards,
+                None,
+                self.shards,
+            )
+        index = self.shard + self._consumed * self.shards
+        shards = self.shards
+        new = object.__new__
+        block: list[TaskState] = []
+        append = block.append
+        for inst in islice(it, self._BLOCK):
             task_type = inst.task_type
-            sub = object.__new__(TaskSubmission)
+            sub = new(TaskSubmission)
+            # Direct __dict__ bind: one dict build instead of
+            # build-then-merge (frozen dataclass, no slots).
             sub.__dict__.update(
                 task_type=task_type.name,
                 workflow=task_type.workflow,
@@ -263,13 +308,11 @@ class FlatStreamDriver:
                 preset_memory_mb=task_type.preset_memory_mb,
                 timestamp=index,
             )
-            # Direct slot assignment instead of the dataclass __init__
-            # (one TaskState per task; all other fields are defaults).
-            state = TaskState.__new__(TaskState)
+            state = new(TaskState)
             state.inst = inst
             state.submission = sub
             state.index = index
-            state.arrival = arrival
+            state.arrival = 0.0
             state.wi = None
             state.allocation = None
             state.first_allocation = None
@@ -277,71 +320,38 @@ class FlatStreamDriver:
             state.queued_at = 0.0
             state.running = None
             state.dispatch_gen = 0
-            # Inlined EventHeap.push — one arrival per task, hot path.
-            events = self._kernel.events
-            seq = events._seq
-            events._seq = seq + 1
-            heapq.heappush(events._heap, (arrival, ARRIVAL, seq, state))
-            return
+            append(state)
+            index += shards
+        self._consumed += len(block)
+        block.reverse()
+        self._block = block
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
-        state["_stream"] = None  # live iterator; rebuilt from _cursor
+        state["_tasks"] = None  # live iterator; rebuilt from _consumed
         return state
 
     def on_arrival(self, payload: object, now: float) -> Iterable[TaskState]:
-        state = payload
-        # Inlined _FlatQueue.push; fresh arrivals are always unsized, so
-        # the entry goes straight onto both heaps.
+        if payload is None:
+            # Scheduled-lane arrival: take the next prebuilt state.
+            block = self._block
+            if not block:
+                self._refill()
+                block = self._block
+                if not block:
+                    # Source yielded fewer tasks than n_tasks promised —
+                    # match the old zip() truncation semantics.
+                    return ()
+            state = block.pop()
+            state.arrival = now
+        else:
+            state = payload
+        # Inlined _FlatQueue.push; fresh arrivals are always unsized and
+        # arrive in increasing index order, so the unsized list append
+        # keeps it sorted.
         queue = self.queue
-        entry = (state.index, state)
-        heapq.heappush(queue._heap, entry)
-        heapq.heappush(queue._unsized, entry)
-        if self._lazy:
-            # Inlined :meth:`_push_next` (one call per arrival; the
-            # method stays the canonical copy for seeding/resume).
-            stream = self._stream
-            if stream is None:
-                self._ensure_stream()
-                stream = self._stream
-            while True:
-                nxt = next(stream, None)  # type: ignore[arg-type]
-                if nxt is None:
-                    break
-                index = self._cursor
-                self._cursor += 1
-                if index % self.shards != self.shard:
-                    continue
-                inst, arrival_time = nxt
-                arrival = float(arrival_time)
-                task_type = inst.task_type
-                sub = object.__new__(TaskSubmission)
-                sub.__dict__.update(
-                    task_type=task_type.name,
-                    workflow=task_type.workflow,
-                    machine=inst.machine,
-                    instance_id=inst.instance_id,
-                    input_size_mb=inst.input_size_mb,
-                    preset_memory_mb=task_type.preset_memory_mb,
-                    timestamp=index,
-                )
-                nstate = TaskState.__new__(TaskState)
-                nstate.inst = inst
-                nstate.submission = sub
-                nstate.index = index
-                nstate.arrival = arrival
-                nstate.wi = None
-                nstate.allocation = None
-                nstate.first_allocation = None
-                nstate.attempt = 0
-                nstate.queued_at = 0.0
-                nstate.running = None
-                nstate.dispatch_gen = 0
-                events = self._kernel.events
-                seq = events._seq
-                events._seq = seq + 1
-                heapq.heappush(events._heap, (arrival, ARRIVAL, seq, nstate))
-                break
+        heapq.heappush(queue._heap, (state.index, state))
+        queue._unsized.append(state)
         return (state,)
 
     def on_success(self, state: TaskState, now: float) -> Iterable[TaskState]:

@@ -49,7 +49,9 @@ __all__ = [
 ]
 
 CHECKPOINT_FORMAT = "repro-checkpoint"
-CHECKPOINT_VERSION = 1
+# Version 2 (PR 10): the pickled kernel carries EventCalendar state
+# (columnar scheduled lane + dynamic heap) instead of a single EventHeap.
+CHECKPOINT_VERSION = 2
 
 
 def save_checkpoint(kernel: "SimulationKernel", path: str) -> None:

@@ -42,6 +42,7 @@ from repro.sim.errors import UnschedulableTaskError
 from repro.sim.interface import MemoryPredictor, TaskSubmission, TraceContext
 from repro.sim.kernel.collectors import (
     BaseCollector,
+    ClusterMetricsCollector,
     MetricsCollector,
     WastageCollector,
 )
@@ -50,7 +51,7 @@ from repro.sim.kernel.events import (
     COMPLETION,
     OUTAGE_END,
     OUTAGE_START,
-    EventHeap,
+    EventCalendar,
 )
 from repro.sim.kernel.outage import NodeOutage, parse_node_outages
 from repro.sim.results import RunSummary, SimulationResult
@@ -273,6 +274,15 @@ class SimulationKernel:
             is not BaseCollector.on_events
         )
         self._ready_collectors = _overrides("on_ready")
+        # ``on_wave`` is newer than the collector protocol: a collector
+        # written against the old protocol may not define it at all, so
+        # a missing attribute means "not subscribed", not "overridden".
+        self._wave_collectors = tuple(
+            c
+            for c in self.collectors
+            if getattr(type(c), "on_wave", None)
+            not in (None, BaseCollector.on_wave)
+        )
         self._outage_collectors = _overrides("on_outage")
         self._dispatch_collectors = _overrides("on_dispatch")
         self._release_collectors = _overrides("on_release")
@@ -291,6 +301,12 @@ class SimulationKernel:
         # False``) never release successors, so the per-success driver
         # call is skipped entirely.
         self._driver_releases = getattr(driver, "releases_on_success", True)
+        # Per-run stock-collector certificates (see :meth:`run`): the
+        # exact-mode ClusterMetricsCollector the loop may write into
+        # directly, and the collector whose makespan tracking replaces
+        # the per-wave ``on_events`` fan-out.
+        self._cluster_fast: ClusterMetricsCollector | None = None
+        self._makespan_fast: ClusterMetricsCollector | None = None
         self.prediction_chunk = prediction_chunk
         self.doubling_factor = doubling_factor
         self.outages = parse_node_outages(outages)
@@ -303,7 +319,7 @@ class SimulationKernel:
             PhaseTimer(self.profile) if self.profile is not None else None
         )
 
-        self.events = EventHeap()
+        self.events = EventCalendar()
         self.now = 0.0
         #: Set once the run has been seeded; a resumed kernel skips the
         #: seeding/begin_trace phase and picks the loop back up.
@@ -336,6 +352,39 @@ class SimulationKernel:
         it left off and is bit-for-bit identical to an uninterrupted
         run.
         """
+        # Stock-collector certificates, re-derived per call so flag
+        # flips between runs (e.g. ``stream``) are honoured.  When a
+        # single stock ClusterMetricsCollector in exact mode sits on
+        # the dispatch+release seams, the loop (and the kill/preempt
+        # paths) append its timeline entries, queue waits, and
+        # busy-memory integrals straight into its containers — the
+        # same entries, in the same event order, the callback would
+        # produce; ``_flush_pending`` then only folds the wait
+        # statistics.  Likewise a stock event-wave subscriber gets its
+        # makespan from one write-back instead of a call per wave.
+        # Other subscribers on the same seams (workflow metrics, trace
+        # collectors) still receive the generic fan-out — the loops
+        # build their call tuples with the fast-pathed collector
+        # filtered out, and collectors never read each other's state,
+        # so the relative order is immaterial.
+        dc = self._dispatch_collectors
+        rc = self._release_collectors
+        cands = [
+            c
+            for c in dc
+            if type(c) is ClusterMetricsCollector and not c.stream
+        ]
+        self._cluster_fast = (
+            cands[0]
+            if len(cands) == 1 and any(c is cands[0] for c in rc)
+            else None
+        )
+        mcands = [
+            c
+            for c in self._event_collectors
+            if type(c) is ClusterMetricsCollector
+        ]
+        self._makespan_fast = mcands[0] if len(mcands) == 1 else None
         timer = self._timer
         if timer is None:
             # Fast path: profiling off — no timer reads anywhere.
@@ -384,27 +433,43 @@ class SimulationKernel:
         self._started = True
 
     def _loop(self, until: float | None = None) -> bool:
-        """Process event batches; False when paused by ``until``.
+        """Process event waves; False when paused by ``until``.
 
-        This is the kernel's hottest code: the event heap is read as a
-        raw list (``heap[0][0]`` peek, ``heappop``), the success/kill
-        branch of :meth:`_complete` is inlined, per-event collector
-        callbacks are coalesced into one batched ``on_events`` call per
-        same-timestamp wave (stale completions and outage transitions
-        are excluded from the count, exactly as they were excluded from
-        the per-event fan-out), and the whole dispatch pass — sizing
-        wave, placement, the bookkeeping of :meth:`Machine.allocate`
-        (same capacity guard, same error), task-id handout, and the
-        completion-event push — lives in the loop body so its local
-        aliases are hoisted once per run instead of once per wave.
-        Every mutable container aliased here (event heap, ready-queue
-        ``order`` list, ``_drained``, ``_running``) is identity-stable
-        for the whole run — mutated in place, never rebound.  Any
-        change here must be mirrored in :meth:`_loop_profiled` — the
-        golden and twin-parity tests pin the two loops bit-for-bit
-        against each other.
+        This is the kernel's hottest code: the
+        :class:`~repro.sim.kernel.events.EventCalendar`'s two lanes are
+        read raw and merged inline — the bulk-scheduled lane through its
+        Python-list mirrors and a local ``cursor`` (written back in the
+        ``finally``), the dynamic lane as a raw heap list (``heap[0]``
+        peek, ``heappop``) — so scheduled arrivals never pay a heap
+        sift.  All events sharing the current timestamp are consumed as
+        one wave; the success/kill branch of the old ``_complete`` is
+        inlined, per-event collector callbacks are coalesced into one
+        batched ``on_events`` call per wave (stale completions and
+        outage transitions are excluded from the count, exactly as they
+        were excluded from the per-event fan-out), completion outcomes
+        are handed to ``on_wave`` subscribers once per wave (the list is
+        only built when someone subscribes), and the whole dispatch
+        pass — sizing wave, placement, the bookkeeping of
+        :meth:`Machine.allocate` (same capacity guard, same error),
+        task-id handout, and the completion-event push — lives in the
+        loop body so its local aliases are hoisted once per run instead
+        of once per wave.  Every mutable container aliased here (event
+        heap, schedule mirrors, ready-queue ``order`` list,
+        ``_drained``, ``_running``) is identity-stable for the whole
+        run — mutated in place, never rebound — and the scheduled lane
+        is never extended while the loop runs.  Any change here must be
+        mirrored in :meth:`_loop_profiled` — the golden and twin-parity
+        tests pin the two loops bit-for-bit against each other.
         """
-        heap = self.events._heap
+        events = self.events
+        heap = events._heap
+        s_times = events._mtimes
+        s_kinds = events._mkinds
+        s_seqs = events._mseqs
+        s_payloads = events._spayloads
+        has_payloads = s_payloads is not None
+        s_n = events._n_scheduled
+        cursor = events._cursor
         heappop = heapq.heappop
         heappush = heapq.heappush
         driver = self.driver
@@ -413,19 +478,63 @@ class SimulationKernel:
         # Bound-method tuples: the per-call attribute lookup inside the
         # collector fan-out loops was measurable at bench scale.
         ready_calls = tuple(c.on_ready for c in self._ready_collectors)
-        event_calls = tuple(c.on_events for c in self._event_collectors)
-        dispatch_calls = tuple(
-            c.on_dispatch for c in self._dispatch_collectors
+        # Stock-collector fast paths: when the stock collector sits on
+        # a seam in deferred/exact mode, skip its bound-method call and
+        # produce its effect directly — the wastage collector gets the
+        # identical pending row; the cluster collector (the
+        # ``run()``-issued ``_cluster_fast``/``_makespan_fast``
+        # certificates) gets its timeline entries, queue waits, busy
+        # integrals, and makespan written straight into its containers.
+        # The call tuples below are built with the fast-pathed
+        # collector filtered out, so any co-subscribers (workflow
+        # metrics, trace collectors) still receive the generic fan-out.
+        cf = self._cluster_fast
+        if cf is not None:
+            cf_timelines = cf._timelines
+            cf_waits_append = cf._queue_waits.append
+            cf_busy = cf._busy_mbh
+        mf = self._makespan_fast
+        makespan = mf._makespan if mf is not None else 0.0
+        event_calls = tuple(
+            c.on_events for c in self._event_collectors if c is not mf
         )
-        release_calls = tuple(c.on_release for c in self._release_collectors)
+        dispatch_calls = tuple(
+            c.on_dispatch
+            for c in self._dispatch_collectors
+            if c is not cf
+        )
+        release_calls = tuple(
+            c.on_release
+            for c in self._release_collectors
+            if c is not cf
+        )
         success_calls = tuple(
             c.on_task_success for c in self._success_collectors
         )
+        wave_calls = tuple(c.on_wave for c in self._wave_collectors)
+        sc = self._success_collectors
+        wastage_pending = (
+            sc[0]._pending.append
+            if len(sc) == 1
+            and type(sc[0]) is WastageCollector
+            and sc[0]._deferred
+            else None
+        )
+        # Stock flat driver with no on_ready subscribers: scheduled-lane
+        # arrivals inline the block pop + ready-queue push (the
+        # ``inline_arrival`` contract on the driver class).
+        inline_arrival = (
+            getattr(type(driver), "inline_arrival", False)
+            and not ready_calls
+        )
+        outcomes: list = []
+        outcomes_append = outcomes.append
         observe = self._observe
         driver_releases = self._driver_releases
         queue = driver.queue
         qorder = queue.order
         take_unsized = queue.unsized
+        unsized_append = queue._unsized.append if inline_arrival else None
         manager = self.manager
         try_place = manager.try_place
         cap = manager._max_allocation_mb
@@ -434,19 +543,65 @@ class SimulationKernel:
         empty_exclude = frozenset()
         drained = self._drained
         running = self._running
-        events = self.events
         time_to_failure = self.time_to_failure
         predictor = self.predictor
         predict_batch = predictor.predict_batch
         prediction_chunk = self.prediction_chunk
-        while heap:
-            now = heap[0][0]
+        kill = self._kill
+        try:
+          while True:
+            # Wave clock: the earlier head of the two lanes.
+            if cursor < s_n:
+                now = s_times[cursor]
+                if heap:
+                    ht = heap[0][0]
+                    if ht < now:
+                        now = ht
+            elif heap:
+                now = heap[0][0]
+            else:
+                break
             if until is not None and now > until:
                 return False
             self.now = now
             handled = 0
-            while heap and heap[0][0] == now:
-                _, kind, _, payload = heappop(heap)
+            while True:
+                # Next event at ``now``, merging lanes on (time, kind,
+                # seq); break once the wave is drained.
+                if cursor < s_n and s_times[cursor] == now:
+                    if heap:
+                        h0 = heap[0]
+                        if h0[0] == now:
+                            hk = h0[1]
+                            sk = s_kinds[cursor]
+                            if hk < sk or (
+                                hk == sk and h0[2] < s_seqs[cursor]
+                            ):
+                                _, kind, _, payload = heappop(heap)
+                            else:
+                                kind = sk
+                                payload = (
+                                    s_payloads[cursor]
+                                    if has_payloads
+                                    else None
+                                )
+                                cursor += 1
+                        else:
+                            kind = s_kinds[cursor]
+                            payload = (
+                                s_payloads[cursor] if has_payloads else None
+                            )
+                            cursor += 1
+                    else:
+                        kind = s_kinds[cursor]
+                        payload = (
+                            s_payloads[cursor] if has_payloads else None
+                        )
+                        cursor += 1
+                elif heap and heap[0][0] == now:
+                    _, kind, _, payload = heappop(heap)
+                else:
+                    break
                 if kind == COMPLETION:
                     state, gen = payload
                     run = state.running
@@ -464,10 +619,18 @@ class SimulationKernel:
                         del running[task_id]
                         manager.generation += 1
                         occupied = now - start
+                        if cf is not None:
+                            cf_timelines[node.node_id].append(
+                                (now, node.allocated_mb)
+                            )
+                            cf_busy[node.node_id] += allocated * occupied
                         for call in release_calls:
                             call(state, now, node, allocated, occupied)
-                        for call in success_calls:
-                            call(state, now, allocated)
+                        if wastage_pending is not None:
+                            wastage_pending((state, now, allocated))
+                        else:
+                            for call in success_calls:
+                                call(state, now, allocated)
                         if observe:
                             predictor.observe(
                                 TaskRecord(
@@ -489,13 +652,37 @@ class SimulationKernel:
                                 released.queued_at = now
                                 for call in ready_calls:
                                     call(released, now)
+                        if wave_calls:
+                            outcomes_append(
+                                (state, True, allocated, occupied)
+                            )
                     else:
-                        self._kill(state, now)
+                        freed = kill(state, now)
+                        if wave_calls:
+                            outcomes_append(
+                                (state, False, freed[0], freed[1])
+                            )
                 elif kind == ARRIVAL:
-                    for state in on_arrival(payload, now):
-                        state.queued_at = now
-                        for call in ready_calls:
-                            call(state, now)
+                    if inline_arrival and payload is None:
+                        # Inlined FlatStreamDriver.on_arrival: pop the
+                        # next prebuilt state, stamp it, and push it
+                        # onto the FCFS heap + unsized index — the
+                        # exact statement sequence of the driver call.
+                        block = driver._block
+                        if not block:
+                            driver._refill()
+                            block = driver._block
+                        if block:
+                            state = block.pop()
+                            state.arrival = now
+                            state.queued_at = now
+                            heappush(qorder, (state.index, state))
+                            unsized_append(state)
+                    else:
+                        for state in on_arrival(payload, now):
+                            state.queued_at = now
+                            for call in ready_calls:
+                                call(state, now)
                 elif kind == OUTAGE_END:
                     self._end_outage(payload, now)
                     continue  # drains don't extend the measured makespan
@@ -504,8 +691,17 @@ class SimulationKernel:
                     continue
                 handled += 1
             if handled:
+                if mf is not None:
+                    # Wave times are non-decreasing, so the makespan is
+                    # just the last counted wave's clock — assigned
+                    # here, written back once in the ``finally``.
+                    makespan = now
                 for call in event_calls:
                     call(now, handled)
+                if wave_calls:
+                    for call in wave_calls:
+                        call(now, handled, outcomes)
+                    del outcomes[:]
             # Dispatch pass: size, place, and start queued heads FCFS.
             while qorder:
                 head = qorder[0][-1]
@@ -594,6 +790,11 @@ class SimulationKernel:
                 head.running = (node, task_id, allocation, now)
                 running[task_id] = head
                 wait = now - head.queued_at
+                if cf is not None:
+                    cf_timelines[node.node_id].append(
+                        (now, node.allocated_mb)
+                    )
+                    cf_waits_append(wait)
                 for call in dispatch_calls:
                     call(head, now, node, wait)
                 inst = head.inst
@@ -605,6 +806,13 @@ class SimulationKernel:
                 seq = events._seq
                 events._seq = seq + 1
                 heappush(heap, (now + duration, COMPLETION, seq, (head, gen)))
+        finally:
+            # Pause, normal exit, or error: the calendar must agree with
+            # the local cursor before anyone can observe it, and the
+            # fast-path makespan must land on its collector.
+            events._cursor = cursor
+            if mf is not None and makespan > mf._makespan:
+                mf._makespan = makespan
         return True
 
     def _loop_profiled(self, until: float | None, timer: PhaseTimer) -> bool:
@@ -618,7 +826,9 @@ class SimulationKernel:
         charges the interval since the previous one, so phase totals
         tile the loop's wall time:
 
-        - ``heap``     — event pop, clock advance, loop control;
+        - ``heap``     — per-wave clock advance and loop control;
+        - ``wave``     — per-event two-lane merge and pop (the event
+          calendar's wave extraction);
         - ``arrival``  — driver arrival handling (incl. on_ready);
         - ``success``  — completion within limit: release, ledger,
           ``predictor.observe``, successor release;
@@ -631,12 +841,20 @@ class SimulationKernel:
         - ``place``    — placement scans;
         - ``dispatch`` — allocation bookkeeping + completion push.
 
-        (The profile's ``n_events`` counts heap pops, same as the BENCH
-        events/sec denominator.)
+        (The profile's ``n_events`` counts popped events, same as the
+        BENCH events/sec denominator.)
         """
         profile = self.profile
         assert profile is not None
-        heap = self.events._heap
+        events = self.events
+        heap = events._heap
+        s_times = events._mtimes
+        s_kinds = events._mkinds
+        s_seqs = events._mseqs
+        s_payloads = events._spayloads
+        has_payloads = s_payloads is not None
+        s_n = events._n_scheduled
+        cursor = events._cursor
         heappop = heapq.heappop
         heappush = heapq.heappush
         driver = self.driver
@@ -645,19 +863,63 @@ class SimulationKernel:
         # Bound-method tuples: the per-call attribute lookup inside the
         # collector fan-out loops was measurable at bench scale.
         ready_calls = tuple(c.on_ready for c in self._ready_collectors)
-        event_calls = tuple(c.on_events for c in self._event_collectors)
-        dispatch_calls = tuple(
-            c.on_dispatch for c in self._dispatch_collectors
+        # Stock-collector fast paths: when the stock collector sits on
+        # a seam in deferred/exact mode, skip its bound-method call and
+        # produce its effect directly — the wastage collector gets the
+        # identical pending row; the cluster collector (the
+        # ``run()``-issued ``_cluster_fast``/``_makespan_fast``
+        # certificates) gets its timeline entries, queue waits, busy
+        # integrals, and makespan written straight into its containers.
+        # The call tuples below are built with the fast-pathed
+        # collector filtered out, so any co-subscribers (workflow
+        # metrics, trace collectors) still receive the generic fan-out.
+        cf = self._cluster_fast
+        if cf is not None:
+            cf_timelines = cf._timelines
+            cf_waits_append = cf._queue_waits.append
+            cf_busy = cf._busy_mbh
+        mf = self._makespan_fast
+        makespan = mf._makespan if mf is not None else 0.0
+        event_calls = tuple(
+            c.on_events for c in self._event_collectors if c is not mf
         )
-        release_calls = tuple(c.on_release for c in self._release_collectors)
+        dispatch_calls = tuple(
+            c.on_dispatch
+            for c in self._dispatch_collectors
+            if c is not cf
+        )
+        release_calls = tuple(
+            c.on_release
+            for c in self._release_collectors
+            if c is not cf
+        )
         success_calls = tuple(
             c.on_task_success for c in self._success_collectors
         )
+        wave_calls = tuple(c.on_wave for c in self._wave_collectors)
+        sc = self._success_collectors
+        wastage_pending = (
+            sc[0]._pending.append
+            if len(sc) == 1
+            and type(sc[0]) is WastageCollector
+            and sc[0]._deferred
+            else None
+        )
+        # Stock flat driver with no on_ready subscribers: scheduled-lane
+        # arrivals inline the block pop + ready-queue push (the
+        # ``inline_arrival`` contract on the driver class).
+        inline_arrival = (
+            getattr(type(driver), "inline_arrival", False)
+            and not ready_calls
+        )
+        outcomes: list = []
+        outcomes_append = outcomes.append
         observe = self._observe
         driver_releases = self._driver_releases
         queue = driver.queue
         qorder = queue.order
         take_unsized = queue.unsized
+        unsized_append = queue._unsized.append if inline_arrival else None
         manager = self.manager
         try_place = manager.try_place
         cap = manager._max_allocation_mb
@@ -666,27 +928,73 @@ class SimulationKernel:
         empty_exclude = frozenset()
         drained = self._drained
         running = self._running
-        events = self.events
         time_to_failure = self.time_to_failure
         predictor = self.predictor
         predict_batch = predictor.predict_batch
         prediction_chunk = self.prediction_chunk
-        while heap:
-            now = heap[0][0]
+        kill = self._kill
+        try:
+          while True:
+            # Wave clock: the earlier head of the two lanes.
+            if cursor < s_n:
+                now = s_times[cursor]
+                if heap:
+                    ht = heap[0][0]
+                    if ht < now:
+                        now = ht
+            elif heap:
+                now = heap[0][0]
+            else:
+                break
             if until is not None and now > until:
                 return False
             self.now = now
             timer.lap("heap")
             handled = 0
-            while heap and heap[0][0] == now:
-                _, kind, _, payload = heappop(heap)
+            while True:
+                # Next event at ``now``, merging lanes on (time, kind,
+                # seq); break once the wave is drained.
+                if cursor < s_n and s_times[cursor] == now:
+                    if heap:
+                        h0 = heap[0]
+                        if h0[0] == now:
+                            hk = h0[1]
+                            sk = s_kinds[cursor]
+                            if hk < sk or (
+                                hk == sk and h0[2] < s_seqs[cursor]
+                            ):
+                                _, kind, _, payload = heappop(heap)
+                            else:
+                                kind = sk
+                                payload = (
+                                    s_payloads[cursor]
+                                    if has_payloads
+                                    else None
+                                )
+                                cursor += 1
+                        else:
+                            kind = s_kinds[cursor]
+                            payload = (
+                                s_payloads[cursor] if has_payloads else None
+                            )
+                            cursor += 1
+                    else:
+                        kind = s_kinds[cursor]
+                        payload = (
+                            s_payloads[cursor] if has_payloads else None
+                        )
+                        cursor += 1
+                elif heap and heap[0][0] == now:
+                    _, kind, _, payload = heappop(heap)
+                else:
+                    break
                 profile.n_events += 1
-                timer.lap("heap")
+                timer.lap("wave")
                 if kind == COMPLETION:
                     state, gen = payload
                     run = state.running
                     if gen != state.dispatch_gen or run is None:
-                        continue  # stale; charged to the next heap lap
+                        continue  # stale; charged to the next wave lap
                     inst = state.inst
                     if run[2] >= inst.peak_memory_mb:
                         node, task_id, allocated, start = run
@@ -696,10 +1004,18 @@ class SimulationKernel:
                         del running[task_id]
                         manager.generation += 1
                         occupied = now - start
+                        if cf is not None:
+                            cf_timelines[node.node_id].append(
+                                (now, node.allocated_mb)
+                            )
+                            cf_busy[node.node_id] += allocated * occupied
                         for call in release_calls:
                             call(state, now, node, allocated, occupied)
-                        for call in success_calls:
-                            call(state, now, allocated)
+                        if wastage_pending is not None:
+                            wastage_pending((state, now, allocated))
+                        else:
+                            for call in success_calls:
+                                call(state, now, allocated)
                         if observe:
                             predictor.observe(
                                 TaskRecord(
@@ -721,15 +1037,35 @@ class SimulationKernel:
                                 released.queued_at = now
                                 for call in ready_calls:
                                     call(released, now)
+                        if wave_calls:
+                            outcomes_append(
+                                (state, True, allocated, occupied)
+                            )
                         timer.lap("success")
                     else:
-                        self._kill(state, now)
+                        freed = kill(state, now)
+                        if wave_calls:
+                            outcomes_append(
+                                (state, False, freed[0], freed[1])
+                            )
                         timer.lap("kill")
                 elif kind == ARRIVAL:
-                    for state in on_arrival(payload, now):
-                        state.queued_at = now
-                        for call in ready_calls:
-                            call(state, now)
+                    if inline_arrival and payload is None:
+                        block = driver._block
+                        if not block:
+                            driver._refill()
+                            block = driver._block
+                        if block:
+                            state = block.pop()
+                            state.arrival = now
+                            state.queued_at = now
+                            heappush(qorder, (state.index, state))
+                            unsized_append(state)
+                    else:
+                        for state in on_arrival(payload, now):
+                            state.queued_at = now
+                            for call in ready_calls:
+                                call(state, now)
                     timer.lap("arrival")
                 elif kind == OUTAGE_END:
                     self._end_outage(payload, now)
@@ -741,8 +1077,17 @@ class SimulationKernel:
                     continue
                 handled += 1
             if handled:
+                if mf is not None:
+                    # Wave times are non-decreasing, so the makespan is
+                    # just the last counted wave's clock — assigned
+                    # here, written back once in the ``finally``.
+                    makespan = now
                 for call in event_calls:
                     call(now, handled)
+                if wave_calls:
+                    for call in wave_calls:
+                        call(now, handled, outcomes)
+                    del outcomes[:]
                 timer.lap("collect")
             while qorder:
                 head = qorder[0][-1]
@@ -828,6 +1173,11 @@ class SimulationKernel:
                 running[task_id] = head
                 wait = now - head.queued_at
                 timer.lap("dispatch")
+                if cf is not None:
+                    cf_timelines[node.node_id].append(
+                        (now, node.allocated_mb)
+                    )
+                    cf_waits_append(wait)
                 for call in dispatch_calls:
                     call(head, now, node, wait)
                 timer.lap("collect")
@@ -841,6 +1191,13 @@ class SimulationKernel:
                 events._seq = seq + 1
                 heappush(heap, (now + duration, COMPLETION, seq, (head, gen)))
                 timer.lap("dispatch")
+        finally:
+            # Pause, normal exit, or error: the calendar must agree with
+            # the local cursor before anyone can observe it, and the
+            # fast-path makespan must land on its collector.
+            events._cursor = cursor
+            if mf is not None and makespan > mf._makespan:
+                mf._makespan = makespan
         return True
 
     def _finalize(self) -> SimulationResult:
@@ -895,11 +1252,17 @@ class SimulationKernel:
         # Capacity grew: void any cached placement failure.
         self.manager.generation += 1
         occupied = now - start
+        cf = self._cluster_fast
+        if cf is not None:
+            cf._timelines[node.node_id].append((now, node.allocated_mb))
+            cf._busy_mbh[node.node_id] += allocated * occupied
         for collector in self._release_collectors:
-            collector.on_release(state, now, node, allocated, occupied)
+            if collector is not cf:
+                collector.on_release(state, now, node, allocated, occupied)
         return allocated, occupied
 
-    def _kill(self, state: TaskState, now: float) -> None:
+    def _kill(self, state: TaskState, now: float) -> tuple[float, float]:
+        """Kill an over-limit attempt; returns (allocated mb, occupied h)."""
         inst = state.inst
         # Inlined :meth:`_release` (one call per kill).
         node, task_id, allocated, start = state.running
@@ -909,8 +1272,13 @@ class SimulationKernel:
         del self._running[task_id]
         self.manager.generation += 1
         occupied = now - start
+        cf = self._cluster_fast
+        if cf is not None:
+            cf._timelines[node.node_id].append((now, node.allocated_mb))
+            cf._busy_mbh[node.node_id] += allocated * occupied
         for collector in self._release_collectors:
-            collector.on_release(state, now, node, allocated, occupied)
+            if collector is not cf:
+                collector.on_release(state, now, node, allocated, occupied)
         for collector in self._failure_collectors:
             collector.on_task_failure(state, now, allocated, occupied)
         # The failure record's "peak" is the exceeded limit — a lower
@@ -945,6 +1313,7 @@ class SimulationKernel:
         self.driver.queue.requeue(state)
         for collector in self._ready_collectors:
             collector.on_ready(state, now)
+        return allocated, occupied
 
     # ------------------------------------------------------------------
     # node drains

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
+from operator import itemgetter
 
 import numpy as np
 
@@ -11,6 +12,7 @@ from repro.sim.sketches import QuantileSketch, RunningStat
 
 __all__ = [
     "PredictionLog",
+    "LOG_FIELDS",
     "ClusterMetrics",
     "WorkflowInstanceMetrics",
     "WorkflowMetrics",
@@ -46,6 +48,25 @@ class PredictionLog:
     def first_attempt_over_mb(self) -> float:
         """Over-allocation of the first attempt (negative = underprediction)."""
         return self.first_allocation_mb - self.true_peak_mb
+
+
+#: :class:`PredictionLog` field names in declaration order — the schema
+#: of the compact row tuples collectors buffer during a run (and of the
+#: JSONL spill lines) before the dataclass view materializes.
+LOG_FIELDS = (
+    "instance_id",
+    "task_type",
+    "workflow",
+    "timestamp",
+    "input_size_mb",
+    "true_peak_mb",
+    "true_runtime_hours",
+    "first_allocation_mb",
+    "final_allocation_mb",
+    "n_attempts",
+)
+
+_ROW_TIMESTAMP = itemgetter(LOG_FIELDS.index("timestamp"))
 
 
 @dataclass(frozen=True)
@@ -368,28 +389,80 @@ def summary_to_dict(summary: RunSummary) -> dict[str, object]:
     return out
 
 
-@dataclass
 class SimulationResult:
-    """Everything measured while one method ran one workflow trace."""
+    """Everything measured while one method ran one workflow trace.
 
-    workflow: str
-    method: str
-    time_to_failure: float
-    ledger: WastageLedger
-    predictions: list[PredictionLog] = field(default_factory=list)
-    #: Cluster-level metrics; filled in by the event-driven backend only.
-    cluster: ClusterMetrics | None = None
-    #: Per-workflow-instance metrics; filled in by the DAG-aware
-    #: scheduling engine only (``dag=`` / ``workflow_arrival=``).
-    workflows: WorkflowMetrics | None = None
-    #: Compact mergeable summary; filled in by every kernel run
-    #: (streaming or not).  The only per-task-complete view a
-    #: ``stream_collectors=True`` run carries.
-    summary: RunSummary | None = None
-    #: Kernel phase profile (:class:`~repro.obs.profile.KernelProfile`);
-    #: filled in only when the kernel ran with ``profile=True``.  Typed
-    #: loosely to keep the result module free of obs imports.
-    profile: "object | None" = None
+    Attributes
+    ----------
+    cluster:
+        Cluster-level metrics; filled in by the event-driven backend only.
+    workflows:
+        Per-workflow-instance metrics; filled in by the DAG-aware
+        scheduling engine only (``dag=`` / ``workflow_arrival=``).
+    summary:
+        Compact mergeable summary; filled in by every kernel run
+        (streaming or not).  The only per-task-complete view a
+        ``stream_collectors=True`` run carries.
+    profile:
+        Kernel phase profile (:class:`~repro.obs.profile.KernelProfile`);
+        filled in only when the kernel ran with ``profile=True``.  Typed
+        loosely to keep the result module free of obs imports.
+
+    ``predictions`` is lazy: the kernel's wastage collector hands over
+    compact :data:`LOG_FIELDS`-ordered row tuples, and the sorted
+    :class:`PredictionLog` list is built (and cached) on first access —
+    so result assembly stays off the simulation's timed path.  Assigning
+    a list directly works as before and discards any pending rows.
+    """
+
+    def __init__(
+        self,
+        workflow: str,
+        method: str,
+        time_to_failure: float,
+        ledger: WastageLedger,
+        predictions: list[PredictionLog] | None = None,
+        cluster: ClusterMetrics | None = None,
+        workflows: WorkflowMetrics | None = None,
+        summary: RunSummary | None = None,
+        profile: "object | None" = None,
+    ) -> None:
+        self.workflow = workflow
+        self.method = method
+        self.time_to_failure = time_to_failure
+        self.ledger = ledger
+        self.cluster = cluster
+        self.workflows = workflows
+        self.summary = summary
+        self.profile = profile
+        self._prediction_rows: list[tuple] | None = None
+        self._predictions: list[PredictionLog] = (
+            list(predictions) if predictions is not None else []
+        )
+
+    @property
+    def predictions(self) -> list[PredictionLog]:
+        rows = self._prediction_rows
+        if rows is not None:
+            self._prediction_rows = None
+            # Stable sort by timestamp — rows arrive in completion
+            # order, exactly as the eager path sorted its log objects.
+            rows = sorted(rows, key=_ROW_TIMESTAMP)
+            new = object.__new__
+            logs = self._predictions
+            append = logs.append
+            for row in rows:
+                log = new(PredictionLog)
+                # ``__dict__`` fill skips the frozen dataclass's
+                # per-field ``object.__setattr__``.
+                log.__dict__.update(zip(LOG_FIELDS, row))
+                append(log)
+        return self._predictions
+
+    @predictions.setter
+    def predictions(self, value: list[PredictionLog]) -> None:
+        self._prediction_rows = None
+        self._predictions = value
 
     @property
     def total_wastage_gbh(self) -> float:

@@ -119,8 +119,34 @@ class QuantileSketch:
             self._compress()
 
     def extend(self, values: Iterable[float]) -> None:
-        for v in values:
-            self.add(v)
+        # Bulk add: one stat update for the whole batch (``sum`` with a
+        # start value is the same sequential left-fold as repeated
+        # ``+=``, so the float total is bit-identical to add() calls),
+        # then buffer fills chunked to the exact compress boundaries the
+        # per-value path would hit.  _compress() rebinds ``_buffer``, so
+        # it is re-fetched after every chunk.
+        vals = [float(v) for v in values]
+        if not vals:
+            return
+        stat = self.stat
+        stat.n += len(vals)
+        stat.total = sum(vals, stat.total)
+        lo = min(vals)
+        hi = max(vals)
+        if lo < stat.min:
+            stat.min = lo
+        if hi > stat.max:
+            stat.max = hi
+        cap = self._cap
+        pos = 0
+        n = len(vals)
+        while pos < n:
+            buffer = self._buffer
+            take = cap - len(buffer)
+            buffer.extend(vals[pos : pos + take])
+            pos += take
+            if len(buffer) >= cap:
+                self._compress()
 
     @property
     def n(self) -> int:

@@ -157,7 +157,27 @@ def generate_trace(spec: WorkflowSpec, seed: int = 0) -> WorkflowTrace:
 
     # Pass 3: emit instances stage by stage; shuffle within a stage so
     # different task types interleave as they would on a busy cluster.
+    # The per-type columns are bulk-converted to Python floats once
+    # (``tolist`` yields the exact same values as per-element
+    # ``float(arr[i])``), and each instance is assembled with
+    # ``object.__new__`` + a ``__dict__`` fill — skipping the frozen
+    # dataclass's per-field ``object.__setattr__`` — so the assembly
+    # keeps up with the vectorized draws at million-task scale.
+    columns = {
+        name: (
+            d["inputs"].tolist(),
+            d["peaks"].tolist(),
+            d["runtime"].tolist(),
+            d["cpu"].tolist(),
+            d["io_read"].tolist(),
+            d["io_write"].tolist(),
+        )
+        for name, d in per_type.items()
+    }
     instances: list[TaskInstance] = []
+    append = instances.append
+    new = object.__new__
+    machines = spec.machines
     instance_id = 0
     assert spec.dag is not None
     for stage in spec.dag.stages:
@@ -172,23 +192,25 @@ def generate_trace(spec: WorkflowSpec, seed: int = 0) -> WorkflowTrace:
         machine_draws = rng.integers(
             0, len(spec.machines), size=len(stage_slots)
         )
-        for slot_pos, k in enumerate(order):
+        machine_picks = machine_draws.tolist()
+        for slot_pos, k in enumerate(order.tolist()):
             name, i = stage_slots[k]
-            data = per_type[name]
-            machine = spec.machines[int(machine_draws[slot_pos])]
-            instances.append(
-                TaskInstance(
-                    task_type=task_types[name],
-                    instance_id=instance_id,
-                    input_size_mb=float(data["inputs"][i]),
-                    peak_memory_mb=float(data["peaks"][i]),
-                    runtime_hours=float(data["runtime"][i]),
-                    cpu_percent=float(data["cpu"][i]),
-                    io_read_mb=float(data["io_read"][i]),
-                    io_write_mb=float(data["io_write"][i]),
-                    machine=machine,
-                )
+            inputs, peaks, runtimes, cpus, io_reads, io_writes = columns[name]
+            inst = new(TaskInstance)
+            # ``__dict__`` fill skips the frozen dataclass's per-field
+            # ``object.__setattr__``.
+            inst.__dict__.update(
+                task_type=task_types[name],
+                instance_id=instance_id,
+                input_size_mb=inputs[i],
+                peak_memory_mb=peaks[i],
+                runtime_hours=runtimes[i],
+                cpu_percent=cpus[i],
+                io_read_mb=io_reads[i],
+                io_write_mb=io_writes[i],
+                machine=machines[machine_picks[slot_pos]],
             )
+            append(inst)
             instance_id += 1
 
     # Export the DAG that governed stage ordering above, so the

@@ -1,0 +1,218 @@
+"""Tests for the columnar two-lane :class:`EventCalendar` (PR 10).
+
+The calendar's contract is that its merged pop stream is *identical* to
+pushing every event through one :class:`EventHeap` — same ``(time,
+kind, seq)`` total order, ties included.  The randomized model test
+drives both structures through the same operation sequence and compares
+every popped event; the rest pins the grow-by-doubling boundary,
+checkpoint/resume mid-wave, wave extraction, and the batch-validation
+errors that guard the scheduled lane's sortedness invariant.
+"""
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel.events import (
+    ARRIVAL,
+    COMPLETION,
+    OUTAGE_END,
+    OUTAGE_START,
+    EventCalendar,
+    EventHeap,
+)
+
+KINDS = (COMPLETION, OUTAGE_END, ARRIVAL, OUTAGE_START)
+
+
+def drain(calendar):
+    out = []
+    while calendar:
+        out.append(calendar.pop())
+    return out
+
+
+class TestRandomizedHeapEquivalence:
+    def test_10k_events_match_heap_reference(self):
+        """Same op sequence on calendar and EventHeap → same pop order.
+
+        Times are drawn from a tiny grid so ties (same time, same kind
+        and cross-kind) are dense; payloads are unique ints, so any
+        ordering divergence — including within a tie group — shows up
+        as a payload mismatch.
+        """
+        rng = random.Random(42)
+        calendar = EventCalendar()
+        heap = EventHeap()
+        payload = 0
+        # Load phase: scheduled batches (non-decreasing ARRIVAL times)
+        # interleaved with dynamic pushes of every kind, mirrored as
+        # plain pushes on the reference heap in the same order.
+        last = 0.0
+        for _ in range(110):
+            if rng.random() < 0.5:
+                m = rng.randrange(0, 200)
+                times = sorted(
+                    last + rng.choice([0.0, 0.25, 0.5]) for _ in range(m)
+                )
+                payloads = list(range(payload, payload + m))
+                payload += m
+                calendar.schedule_batch(times, ARRIVAL, payloads)
+                for t, p in zip(times, payloads):
+                    heap.push(t, ARRIVAL, p)
+                if times:
+                    last = times[-1]
+            else:
+                for _ in range(rng.randrange(0, 200)):
+                    t = rng.choice([0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0])
+                    k = rng.choice(KINDS)
+                    calendar.push(t, k, payload)
+                    heap.push(t, k, payload)
+                    payload += 1
+        assert payload >= 10_000
+        # Consume phase: pop both, occasionally pushing more dynamic
+        # events mid-drain (legal — only schedule_batch is load-only).
+        popped = 0
+        while calendar:
+            got = calendar.pop()
+            want = heap.pop()
+            assert got == want
+            popped += 1
+            if popped % 97 == 0:
+                t = got[0] + rng.choice([0.0, 0.1, 1.0])
+                k = rng.choice(KINDS)
+                calendar.push(t, k, payload)
+                heap.push(t, k, payload)
+                payload += 1
+        assert len(heap) == 0
+        assert popped >= 10_000
+
+    def test_cross_lane_ties_decided_by_kind_and_seq(self):
+        # A completion pushed *after* arrivals were scheduled at the
+        # same instant still pops first (kind 0 < kind 2); dynamic
+        # arrivals at the same instant pop after scheduled ones (their
+        # seq is larger, assigned later).
+        calendar = EventCalendar()
+        calendar.schedule_batch([1.0, 1.0], ARRIVAL, ["s0", "s1"])
+        calendar.push(1.0, ARRIVAL, "d0")
+        calendar.push(1.0, COMPLETION, "c0")
+        assert drain(calendar) == [
+            (1.0, COMPLETION, "c0"),
+            (1.0, ARRIVAL, "s0"),
+            (1.0, ARRIVAL, "s1"),
+            (1.0, ARRIVAL, "d0"),
+        ]
+
+
+class TestScheduledLane:
+    def test_grow_by_doubling_boundary(self):
+        calendar = EventCalendar(capacity=4)
+        # Three batches straddling the 4 → 8 → 16 → 32 growth points.
+        calendar.schedule_batch([0.0, 1.0, 2.0], ARRIVAL, [0, 1, 2])
+        calendar.schedule_batch([2.0, 3.0], ARRIVAL, [3, 4])
+        calendar.schedule_batch(
+            [float(i) for i in range(3, 30)], ARRIVAL, list(range(5, 32))
+        )
+        assert calendar._stimes.shape[0] == 32
+        assert len(calendar) == 32
+        assert [p for _, _, p in drain(calendar)] == list(range(32))
+
+    def test_empty_batch_is_noop(self):
+        calendar = EventCalendar()
+        calendar.schedule_batch([], ARRIVAL)
+        assert not calendar
+        assert len(calendar) == 0
+
+    def test_unsorted_batch_rejected(self):
+        calendar = EventCalendar()
+        with pytest.raises(ValueError, match="non-decreasing"):
+            calendar.schedule_batch([1.0, 0.5], ARRIVAL)
+
+    def test_batch_before_scheduled_tail_rejected(self):
+        calendar = EventCalendar()
+        calendar.schedule_batch([5.0], ARRIVAL)
+        with pytest.raises(ValueError, match="before the last scheduled"):
+            calendar.schedule_batch([4.0], ARRIVAL)
+
+    def test_payload_length_mismatch_rejected(self):
+        calendar = EventCalendar()
+        with pytest.raises(ValueError, match="length"):
+            calendar.schedule_batch([1.0, 2.0], ARRIVAL, ["only-one"])
+
+    def test_non_1d_times_rejected(self):
+        calendar = EventCalendar()
+        with pytest.raises(ValueError, match="one-dimensional"):
+            calendar.schedule_batch(np.zeros((2, 2)), ARRIVAL)
+
+    def test_none_payload_mode_upgrades_lazily(self):
+        # First batch payload-free (None mode), second carries payloads:
+        # the first batch's events must still pop with payload None.
+        calendar = EventCalendar()
+        calendar.schedule_batch([0.0, 1.0], ARRIVAL)
+        calendar.schedule_batch([2.0, 3.0], ARRIVAL, ["a", "b"])
+        calendar.schedule_batch([4.0], ARRIVAL)
+        assert [p for _, _, p in drain(calendar)] == [None, None, "a", "b", None]
+
+    def test_next_time_merges_lanes(self):
+        calendar = EventCalendar()
+        calendar.schedule_batch([2.0], ARRIVAL)
+        assert calendar.next_time == 2.0
+        calendar.push(1.0, COMPLETION, None)
+        assert calendar.next_time == 1.0
+        calendar.pop()
+        assert calendar.next_time == 2.0
+
+
+class TestWaves:
+    def test_pop_wave_groups_same_timestamp(self):
+        calendar = EventCalendar()
+        calendar.schedule_batch([1.0, 1.0, 2.0], ARRIVAL, ["a", "b", "c"])
+        calendar.push(1.0, COMPLETION, "done")
+        now, wave = calendar.pop_wave()
+        assert now == 1.0
+        assert wave == [(COMPLETION, "done"), (ARRIVAL, "a"), (ARRIVAL, "b")]
+        now, wave = calendar.pop_wave()
+        assert (now, wave) == (2.0, [(ARRIVAL, "c")])
+        assert not calendar
+
+
+class TestCheckpointResume:
+    def test_pickle_mid_wave_resumes_bit_for_bit(self):
+        """Pickle partway through a same-time group; order continues."""
+        reference = EventCalendar()
+        calendar = EventCalendar()
+        for c in (reference, calendar):
+            c.schedule_batch(
+                [0.0, 1.0, 1.0, 1.0, 2.0], ARRIVAL, list(range(5))
+            )
+            c.push(1.0, COMPLETION, "mid")
+            c.push(3.0, OUTAGE_START, "later")
+        want = drain(reference)
+        got = [calendar.pop() for _ in range(3)]  # stops inside t=1.0
+        resumed = pickle.loads(pickle.dumps(calendar))
+        assert len(resumed) == len(calendar)
+        got += drain(resumed)
+        assert got == want
+
+    def test_pickle_keeps_only_unconsumed_tail(self):
+        calendar = EventCalendar()
+        calendar.schedule_batch(
+            [float(i) for i in range(100)], ARRIVAL, list(range(100))
+        )
+        for _ in range(90):
+            calendar.pop()
+        resumed = pickle.loads(pickle.dumps(calendar))
+        assert resumed._n_scheduled == 10
+        assert resumed._cursor == 0
+        assert [p for _, _, p in drain(resumed)] == list(range(90, 100))
+
+    def test_pickle_preserves_seq_counter_for_new_pushes(self):
+        # Post-resume dynamic pushes must sort after pre-checkpoint
+        # events at the same (time, kind) — the seq counter survives.
+        calendar = EventCalendar()
+        calendar.schedule_batch([1.0], ARRIVAL, ["scheduled"])
+        resumed = pickle.loads(pickle.dumps(calendar))
+        resumed.push(1.0, ARRIVAL, "dynamic")
+        assert [p for _, _, p in drain(resumed)] == ["scheduled", "dynamic"]

@@ -201,3 +201,49 @@ def test_sketch_accuracy_on_mid_size_scenario():
             f"{label}: sketch {rebuilt.quantile(q)} vs exact {exact}"
         )
         assert summary_sketch.quantile(q) == rebuilt.quantile(q)
+
+
+def test_extend_bit_identical_to_per_value_add():
+    """Bulk extend = the exact same state as a loop of add() calls.
+
+    PR 10 rewrote extend() with one batched stat update and
+    chunk-to-the-boundary buffer fills; the compress points (and hence
+    centroids) must land exactly where per-value adds put them.  Sizes
+    straddle the compress boundary: empty, single, cap-1, cap, cap+1,
+    and several caps plus a remainder.
+    """
+    rng = np.random.default_rng(7)
+    cap = QuantileSketch(compression=16)._cap
+    for size in (0, 1, cap - 1, cap, cap + 1, 3 * cap + 7):
+        values = rng.lognormal(1.0, 1.5, size=size)
+        one = QuantileSketch(compression=16)
+        two = QuantileSketch(compression=16)
+        for v in values:
+            one.add(v)
+        two.extend(values)
+        assert one._means == two._means
+        assert one._weights == two._weights
+        assert one._buffer == two._buffer
+        assert one.stat.__getstate__() == two.stat.__getstate__()
+        if size:  # empty sketches report nan, which never compares equal
+            for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+                assert one.quantile(q) == two.quantile(q)
+
+
+def test_extend_resumes_partial_buffer():
+    # extend() on a sketch that already holds a partial buffer must hit
+    # the same boundaries as continuing with add().
+    one = QuantileSketch(compression=16)
+    two = QuantileSketch(compression=16)
+    head = [float(i) for i in range(5)]
+    tail = [float(i) * 1.5 for i in range(100)]
+    for v in head:
+        one.add(v)
+        two.add(v)
+    for v in tail:
+        one.add(v)
+    two.extend(tail)
+    assert one._means == two._means
+    assert one._weights == two._weights
+    assert one._buffer == two._buffer
+    assert one.stat.__getstate__() == two.stat.__getstate__()

@@ -1,0 +1,81 @@
+"""Unit tests for the A/B harness math in ``benchmarks/ab_compare.py``.
+
+The subprocess probes are exercised by the CI ``--self-check`` smoke;
+these pin the pure parts — normalized-ratio reduction and the BENCH.md
+table rendering — which adjudicate perf claims and must not drift.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(__file__)), "benchmarks"),
+)
+
+from ab_compare import format_table, run_probe, spin_mops, summarize_pairs  # noqa: E402
+
+
+def probe(events_per_sec: float, spin: float, cell: str = "flat") -> dict:
+    return {
+        "cell": cell,
+        "n_events": 1000,
+        "best_seconds": 1000 / events_per_sec,
+        "events_per_sec": events_per_sec,
+        "spin_mops": spin,
+        "normalized": events_per_sec / spin,
+    }
+
+
+def test_summarize_pairs_cancels_host_drift():
+    # Pair 2 ran on a 2x-slower host window: raw ev/s halves on both
+    # sides, but the spin calibration halves too, so the normalized
+    # ratio is unchanged and the median stays 1.5x.
+    pairs = [
+        (probe(100.0, 10.0), probe(150.0, 10.0)),
+        (probe(50.0, 5.0), probe(75.0, 5.0)),
+    ]
+    s = summarize_pairs(pairs)
+    assert s["ratios"] == pytest.approx([1.5, 1.5])
+    assert s["median_ratio"] == pytest.approx(1.5)
+    assert s["min_ratio"] == s["max_ratio"] == pytest.approx(1.5)
+    # Raw bests are raw: the fast-window probes win.
+    assert s["best_a"] == 100.0
+    assert s["best_b"] == 150.0
+
+
+def test_summarize_pairs_median_shrugs_off_outlier_pair():
+    pairs = [
+        (probe(100.0, 10.0), probe(160.0, 10.0)),
+        (probe(100.0, 10.0), probe(150.0, 10.0)),
+        # One pair straddled a drift edge: B looks absurdly fast.
+        (probe(100.0, 10.0), probe(400.0, 10.0)),
+    ]
+    s = summarize_pairs(pairs)
+    assert s["median_ratio"] == pytest.approx(1.6)
+    assert s["max_ratio"] == pytest.approx(4.0)
+
+
+def test_summarize_pairs_rejects_empty():
+    with pytest.raises(ValueError, match="at least one"):
+        summarize_pairs([])
+
+
+def test_format_table_renders_markdown():
+    s = summarize_pairs([(probe(100.0, 10.0), probe(250.0, 10.0))])
+    table = format_table({"flat": s})
+    lines = table.splitlines()
+    assert lines[0].startswith("| cell | A best ev/s | B best ev/s |")
+    assert lines[1].startswith("| --- |")
+    assert "| flat | 100 | 250 | **2.50x** (2.50-2.50 over 1 pairs) |" in table
+
+
+def test_run_probe_rejects_unknown_cell():
+    with pytest.raises(ValueError, match="unknown cell"):
+        run_probe("warp", rounds=1, scale=0.5)
+
+
+def test_spin_mops_is_positive_and_fast():
+    assert spin_mops(n=100_000) > 0.1
